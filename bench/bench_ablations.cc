@@ -1,0 +1,133 @@
+// Ablations over the design choices DESIGN.md calls out (§5.1/§5.2/§5.3
+// variants, the footnote-5 Min-Size objective, and Hybrid's c multiplier).
+// The paper evaluated the variants and found none beat the basic
+// algorithms (§5.1, §7.1); this bench regenerates that evidence.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/bottom_up.h"
+#include "core/fixed_order.h"
+#include "core/hybrid.h"
+
+int main() {
+  using namespace qagview;
+  core::AnswerSet s = benchutil::MakeAnswers(500, 8, /*seed=*/21);
+  auto universe = core::ClusterUniverse::Build(&s, 40);
+  QAG_CHECK(universe.ok());
+  // k=10/L=30 keeps the solution away from total collapse so the merge-rule
+  // variants actually differentiate (at k<=8 every rule converges to the
+  // same heavily generalized solution on this instance).
+  core::Params params{10, 30, 2};
+
+  benchutil::PrintHeader(
+      "Ablation: Bottom-Up start point and merge rule (§5.1 variants)",
+      "the level-(D-1) start and the LCA-average merge rule are comparable "
+      "or worse than the basic algorithm in both time and value");
+  struct BuCase {
+    const char* name;
+    core::BottomUpOptions options;
+  };
+  core::BottomUpOptions level_start;
+  level_start.start = core::BottomUpOptions::Start::kLevelDMinus1;
+  core::BottomUpOptions lca_rule;
+  lca_rule.merge_rule = core::BottomUpOptions::MergeRule::kLcaAverage;
+  core::BottomUpOptions min_size;
+  min_size.merge_rule = core::BottomUpOptions::MergeRule::kMinRedundant;
+  core::BottomUpOptions max_min;
+  max_min.merge_rule = core::BottomUpOptions::MergeRule::kMaxMin;
+  const BuCase cases[] = {
+      {"basic (top-L singletons, solution-avg)", core::BottomUpOptions()},
+      {"variant (i): start at level D-1", level_start},
+      {"variant (ii): merge by LCA average", lca_rule},
+      {"footnote 5: Min-Size objective", min_size},
+      {"S9: Max-Min objective", max_min},
+  };
+  std::printf("%-42s %10s %10s %10s %10s %10s\n", "variant", "ms", "avg",
+              "min", "covered", "redundant");
+  for (const BuCase& c : cases) {
+    core::Solution solution;
+    double ms = benchutil::TimeMillis([&] {
+      solution = core::BottomUp::Run(*universe, params, c.options).value();
+    });
+    int top_covered = 0;
+    for (int id : solution.cluster_ids) {
+      (void)id;
+    }
+    // Redundant = covered elements outside the top L.
+    std::vector<char> top(static_cast<size_t>(s.size()), 0);
+    int redundant = 0;
+    {
+      std::vector<char> seen(static_cast<size_t>(s.size()), 0);
+      for (int id : solution.cluster_ids) {
+        for (int32_t e : universe->covered(id)) {
+          if (!seen[static_cast<size_t>(e)]) {
+            seen[static_cast<size_t>(e)] = 1;
+            if (e >= params.L) ++redundant;
+            else ++top_covered;
+          }
+        }
+      }
+    }
+    std::printf("%-42s %10.3f %10.4f %10.4f %10d %10d\n", c.name, ms,
+                solution.average, solution.covered_min,
+                solution.covered_count, redundant);
+  }
+
+  benchutil::PrintHeader(
+      "Ablation: Fixed-Order seeding (§5.2 variants, 50 seeds each)",
+      "random and k-means seeding add variance and cost without improving "
+      "the plain Fixed-Order value");
+  std::printf("%-24s %12s %12s %12s\n", "seeding", "mean avg", "stddev",
+              "ms/run");
+  for (auto seeding : {core::FixedOrderOptions::Seeding::kNone,
+                       core::FixedOrderOptions::Seeding::kRandom,
+                       core::FixedOrderOptions::Seeding::kKMeans}) {
+    const char* name =
+        seeding == core::FixedOrderOptions::Seeding::kNone
+            ? "plain"
+            : (seeding == core::FixedOrderOptions::Seeding::kRandom
+                   ? "random"
+                   : "k-means");
+    double sum = 0.0;
+    double sq = 0.0;
+    const int kRuns = 50;
+    WallTimer timer;
+    for (int seed = 0; seed < kRuns; ++seed) {
+      core::FixedOrderOptions options;
+      options.seeding = seeding;
+      options.seed = static_cast<uint64_t>(seed);
+      double v = core::FixedOrder::Run(*universe, params, options)->average;
+      sum += v;
+      sq += v * v;
+    }
+    double mean = sum / kRuns;
+    double var = sq / kRuns - mean * mean;
+    std::printf("%-24s %12.4f %12.4f %12.4f\n", name, mean,
+                var > 0 ? std::sqrt(var) : 0.0,
+                timer.ElapsedMillis() / kRuns);
+  }
+
+  benchutil::PrintHeader(
+      "Ablation: Hybrid pool multiplier c (§5.3)",
+      "larger c approaches Bottom-Up quality at Bottom-Up-like cost; small "
+      "c approaches Fixed-Order speed");
+  std::printf("%-8s %12s %12s\n", "c", "ms", "avg");
+  for (int c : {2, 3, 4, 6, 8}) {
+    core::HybridOptions options;
+    options.c = c;
+    core::Solution solution;
+    double ms = benchutil::TimeMillis([&] {
+      solution = core::Hybrid::Run(*universe, params, options).value();
+    });
+    std::printf("%-8d %12.4f %12.4f\n", c, ms, solution.average);
+  }
+  double bu_ms = benchutil::TimeMillis([&] {
+    QAG_CHECK(core::BottomUp::Run(*universe, params).ok());
+  });
+  auto bu = core::BottomUp::Run(*universe, params);
+  std::printf("%-8s %12.4f %12.4f  (reference)\n", "BottomUp", bu_ms,
+              bu->average);
+  return 0;
+}

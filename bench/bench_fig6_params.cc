@@ -1,0 +1,108 @@
+// Figure 6: runtime and solution value of the three algorithms while
+// varying k (6a/6b), L (6c/6d), D (6e/6f), and the number of group-by
+// attributes m (6g: initialization, 6h: runtime).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/bottom_up.h"
+#include "core/fixed_order.h"
+#include "core/hybrid.h"
+
+namespace {
+
+using namespace qagview;
+
+struct Row {
+  double bu_ms, fo_ms, hy_ms;
+  double bu_v, fo_v, hy_v;
+};
+
+Row RunAll(const core::ClusterUniverse& u, const core::Params& params) {
+  Row row;
+  row.bu_ms = benchutil::TimeMillis(
+      [&] { row.bu_v = core::BottomUp::Run(u, params)->average; });
+  row.fo_ms = benchutil::TimeMillis(
+      [&] { row.fo_v = core::FixedOrder::Run(u, params)->average; });
+  row.hy_ms = benchutil::TimeMillis(
+      [&] { row.hy_v = core::Hybrid::Run(u, params)->average; });
+  return row;
+}
+
+void PrintRow(const char* param_name, int param_value, const Row& row,
+              double lower_bound) {
+  std::printf("%s=%-4d %12.4f %12.4f %12.4f   | %8.4f %8.4f %8.4f %8.4f\n",
+              param_name, param_value, row.bu_ms, row.fo_ms, row.hy_ms,
+              row.bu_v, row.fo_v, row.hy_v, lower_bound);
+}
+
+void PrintColumns() {
+  std::printf("%-7s %12s %12s %12s   | %8s %8s %8s %8s\n", "param",
+              "BottomUp(ms)", "FixedOrd(ms)", "Hybrid(ms)", "BU val",
+              "FO val", "HY val", "LowerBd");
+}
+
+}  // namespace
+
+int main() {
+  // The paper's defaults: m=8, k=3, L=40, D=3 on the MovieLens answer set
+  // (input size 140-280 tuples).
+  core::AnswerSet s = benchutil::MakeAnswers(/*n=*/260, /*m=*/8, /*seed=*/6);
+  auto universe = core::ClusterUniverse::Build(&s, /*top_l=*/81);
+  if (!universe.ok()) {
+    std::fprintf(stderr, "%s\n", universe.status().ToString().c_str());
+    return 1;
+  }
+
+  benchutil::PrintHeader(
+      "Figure 6a/6b: vary k (L=40, D=3, m=8)",
+      "Fixed-Order fastest, Bottom-Up slowest but best value, Hybrid in "
+      "between; runtimes fall with larger k (fewer merges), values rise");
+  PrintColumns();
+  for (int k : {5, 10, 20, 40}) {
+    PrintRow("k", k, RunAll(*universe, {k, 40, 3}), s.TrivialAverage());
+  }
+
+  benchutil::PrintHeader(
+      "Figure 6c/6d: vary L (k=3, D=3, m=8)",
+      "runtimes grow with L (quadratically for Bottom-Up, linearly for "
+      "Fixed-Order); values shrink as more coverage is forced");
+  PrintColumns();
+  for (int l : {3, 9, 27, 81}) {
+    PrintRow("L", l, RunAll(*universe, {3, l, 3}), s.TrivialAverage());
+  }
+
+  benchutil::PrintHeader(
+      "Figure 6e/6f: vary D (k=10, L=40, m=8)",
+      "Fixed-Order and Hybrid roughly flat in D; Bottom-Up dips then climbs; "
+      "value is highest at D=1 and falls as diversity is forced");
+  PrintColumns();
+  for (int d = 1; d <= 6; ++d) {
+    PrintRow("D", d, RunAll(*universe, {10, 40, d}), s.TrivialAverage());
+  }
+
+  benchutil::PrintHeader(
+      "Figure 6g/6h: vary m (k=L=20, D=3); input size grows with m "
+      "(n = 35m as in the paper's 140-280 range)",
+      "initialization grows steeply with m (2^m generalizations; ~10ms at "
+      "m=4 to ~1s at m=10); the algorithms themselves stay in single-digit "
+      "ms after initialization");
+  std::printf("%-7s %10s %14s | %12s %12s %12s\n", "param", "n", "init(ms)",
+              "BottomUp(ms)", "FixedOrd(ms)", "Hybrid(ms)");
+  for (int m : {4, 6, 8, 10}) {
+    core::AnswerSet sm =
+        benchutil::MakeAnswers(35 * m, m, /*seed=*/60 + m);
+    double init_ms = benchutil::TimeMillis(
+        [&] {
+          auto um = core::ClusterUniverse::Build(&sm, 20);
+          QAG_CHECK(um.ok());
+        },
+        1);
+    auto um = core::ClusterUniverse::Build(&sm, 20);
+    QAG_CHECK(um.ok());
+    Row row = RunAll(*um, {20, 20, 3});
+    std::printf("m=%-5d %10d %14.2f | %12.4f %12.4f %12.4f\n", m, sm.size(),
+                init_ms, row.bu_ms, row.fo_ms, row.hy_ms);
+  }
+  return 0;
+}

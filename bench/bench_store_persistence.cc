@@ -1,0 +1,83 @@
+// §6.2 storage efficiency and persistence: the interval-tree store keeps
+// one (cluster, k-interval) record per cluster per D instead of a cluster
+// list per (k, D) combination, and a serialized store reloads orders of
+// magnitude faster than recomputing the grid.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "core/precompute.h"
+#include "core/solution_store_io.h"
+
+int main() {
+  using namespace qagview;
+
+  benchutil::PrintHeader(
+      "S6.2 interval-tree storage: records stored vs naive per-(k,D) lists",
+      "continuity (Prop 6.1) keeps one contiguous k-interval per cluster, "
+      "so stored records are a small fraction of the naive copies");
+  std::printf("%-6s %-8s %14s %14s %10s\n", "L", "N", "intervals",
+              "naive entries", "ratio");
+  for (int l : {100, 300, 600}) {
+    core::AnswerSet s = benchutil::MakeAnswers(2087, 8, /*seed=*/31);
+    auto universe = core::ClusterUniverse::Build(&s, l);
+    QAG_CHECK(universe.ok());
+    core::PrecomputeOptions options;
+    options.k_min = 2;
+    options.k_max = 50;
+    options.d_values = {1, 2, 3, 4};
+    auto store = core::Precompute::Run(*universe, l, options);
+    QAG_CHECK(store.ok());
+    std::printf("%-6d %-8d %14lld %14lld %9.1fx\n", l, s.size(),
+                static_cast<long long>(store->num_intervals()),
+                static_cast<long long>(store->naive_entries()),
+                static_cast<double>(store->naive_entries()) /
+                    static_cast<double>(store->num_intervals()));
+  }
+
+  benchutil::PrintHeader(
+      "Persistence: precompute vs save + reload of the guidance grid",
+      "reloading a persisted grid replaces the precompute cost with a "
+      "parse that is far cheaper, while retrieval stays identical");
+  std::printf("%-6s %12s %12s %12s %12s %10s\n", "L", "precompute",
+              "serialize", "load", "retrieve", "bytes");
+  for (int l : {100, 300, 600}) {
+    core::AnswerSet s = benchutil::MakeAnswers(2087, 8, /*seed=*/31);
+    auto universe = core::ClusterUniverse::Build(&s, l);
+    QAG_CHECK(universe.ok());
+    core::PrecomputeOptions options;
+    options.k_min = 2;
+    options.k_max = 50;
+    options.d_values = {1, 2, 3, 4};
+
+    core::SolutionStore store = [&] {
+      auto result = core::Precompute::Run(*universe, l, options);
+      QAG_CHECK(result.ok());
+      return std::move(result).value();
+    }();
+    double precompute_ms = benchutil::TimeMillis([&] {
+      QAG_CHECK(core::Precompute::Run(*universe, l, options).ok());
+    });
+
+    std::string text;
+    double serialize_ms = benchutil::TimeMillis(
+        [&] { text = core::SerializeSolutionStore(store); });
+    double load_ms = benchutil::TimeMillis([&] {
+      auto loaded = core::DeserializeSolutionStore(&*universe, text);
+      QAG_CHECK(loaded.ok()) << loaded.status().ToString();
+    });
+    auto loaded = core::DeserializeSolutionStore(&*universe, text);
+    QAG_CHECK(loaded.ok());
+    double retrieve_ms = benchutil::TimeMillis([&] {
+      QAG_CHECK(loaded->Retrieve(2, 20).ok());
+    });
+    // Reload must reproduce the original store's solutions bit-for-bit.
+    QAG_CHECK(std::abs(loaded->Retrieve(2, 20)->average -
+                       store.Retrieve(2, 20)->average) < 1e-12);
+    std::printf("%-6d %10.1fms %10.2fms %10.2fms %10.3fms %10zu\n", l,
+                precompute_ms, serialize_ms, load_ms, retrieve_ms,
+                text.size());
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+#ifndef QAGVIEW_BENCH_BENCH_UTIL_H_
+#define QAGVIEW_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/answer_set.h"
+#include "datagen/answers.h"
+
+namespace qagview::benchutil {
+
+/// Synthesizes a MovieLens-answer-shaped instance with exact n and m (see
+/// DESIGN.md: the benches substitute direct answer-set synthesis for the
+/// PostgreSQL-backed queries; the algorithms only ever see the answer set).
+inline core::AnswerSet MakeAnswers(int n, int m, uint64_t seed = 1,
+                                   int domain = 9) {
+  datagen::SyntheticAnswerOptions options;
+  options.n = n;
+  options.m = m;
+  options.domain = domain;
+  options.seed = seed;
+  return datagen::MakeSyntheticAnswers(options);
+}
+
+/// Prints the figure banner: what is being reproduced and what shape the
+/// paper reports (absolute numbers differ; see EXPERIMENTS.md).
+inline void PrintHeader(const std::string& figure,
+                        const std::string& paper_expectation) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Median wall time in milliseconds over `reps` runs of fn().
+inline double TimeMillis(const std::function<void()>& fn, int reps = 3) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    times.push_back(timer.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace qagview::benchutil
+
+#endif  // QAGVIEW_BENCH_BENCH_UTIL_H_

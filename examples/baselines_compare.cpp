@@ -1,0 +1,129 @@
+// Qualitative comparison against related approaches (Appendix A.5): runs
+// smart drill-down, diversified top-k, DisC diversity, and MMR on the same
+// aggregate answers and prints their outputs next to QAGView's summary.
+
+#include <iostream>
+
+#include "baselines/disc_diversity.h"
+#include "baselines/diversified_topk.h"
+#include "baselines/mmr.h"
+#include "baselines/smart_drilldown.h"
+#include "core/explore.h"
+#include "core/hybrid.h"
+#include "core/semilattice.h"
+#include "datagen/movielens.h"
+#include "sql/executor.h"
+
+namespace {
+
+void PrintElements(const qagview::core::AnswerSet& s,
+                   const std::vector<int>& ids) {
+  for (int e : ids) {
+    const qagview::core::Element& el = s.element(e);
+    std::cout << "  ";
+    for (int a = 0; a < s.num_attrs(); ++a) {
+      if (a) std::cout << ", ";
+      std::cout << s.ValueName(a, el.attrs[static_cast<size_t>(a)]);
+    }
+    std::cout << "  score=" << s.value(e) << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace qagview;
+
+  datagen::MovieLensOptions gen_options;
+  gen_options.num_ratings = 50000;
+  storage::Table ratings =
+      datagen::MovieLensGenerator(gen_options).GenerateRatingTable();
+  sql::Catalog catalog;
+  catalog.Register("RatingTable", &ratings);
+  auto result = sql::ExecuteSql(
+      "SELECT hdec, agegrp, gender, occupation, avg(rating) AS val "
+      "FROM RatingTable WHERE genres_adventure = 1 "
+      "GROUP BY hdec, agegrp, gender, occupation HAVING count(*) > 30 "
+      "ORDER BY val DESC",
+      catalog);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  auto answers = core::AnswerSet::FromTable(*result, "val");
+  if (!answers.ok()) {
+    std::cerr << answers.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "n=" << answers->size() << " aggregate answers\n\n";
+
+  const int kK = 4;
+  const int kTopL = 10;
+  const int kD = 2;
+
+  // --- QAGView (this paper). ---
+  auto universe = core::ClusterUniverse::Build(&*answers, kTopL);
+  auto solution =
+      core::Hybrid::Run(*universe, core::Params{kK, kTopL, kD});
+  if (!solution.ok()) {
+    std::cerr << solution.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "=== QAGView (k=4, L=10, D=2) ===\n"
+            << core::RenderSummary(*universe, *solution) << "\n";
+
+  // --- Smart drill-down (A.5.1), on top-10 and on all elements. ---
+  baselines::SmartDrilldownResult on_top =
+      baselines::SmartDrilldown(*universe, kK);
+  std::cout << "=== Smart drill-down on top-" << kTopL << " elements ===\n";
+  for (const auto& rule : on_top.rules) {
+    std::cout << "  " << universe->cluster(rule.cluster_id).ToString(*answers)
+              << "  mcount=" << rule.marginal_count
+              << " weight=" << rule.weight
+              << " avg=" << rule.marginal_avg << "\n";
+  }
+  auto full_universe =
+      core::ClusterUniverse::Build(&*answers, answers->size());
+  if (full_universe.ok()) {
+    baselines::SmartDrilldownResult on_all =
+        baselines::SmartDrilldown(*full_universe, kK);
+    std::cout << "=== Smart drill-down on all elements ===\n";
+    for (const auto& rule : on_all.rules) {
+      std::cout << "  "
+                << full_universe->cluster(rule.cluster_id).ToString(*answers)
+                << "  mcount=" << rule.marginal_count
+                << " weight=" << rule.weight
+                << " avg=" << rule.marginal_avg << "\n";
+    }
+  }
+  std::cout << "\n";
+
+  // --- Diversified top-k (A.5.2). ---
+  auto div = baselines::DiversifiedTopKExact(*answers, kK, kTopL, kD);
+  if (div.ok()) {
+    std::cout << "=== Diversified top-k on top-" << kTopL << " ===\n";
+    PrintElements(*answers, div->element_ids);
+    std::cout << "  represented avg (radius D-1): "
+              << baselines::RepresentedAverage(*answers, div->element_ids,
+                                               kD - 1)
+              << "\n\n";
+  }
+
+  // --- DisC diversity (A.5.3). ---
+  baselines::DiscResult disc =
+      baselines::DiscDiversity(*answers, kTopL, /*radius=*/kD);
+  std::cout << "=== DisC diversity on top-" << kTopL << " (r=" << kD
+            << ") ===\n";
+  PrintElements(*answers, disc.element_ids);
+  std::cout << "\n";
+
+  // --- MMR (A.5.4) across lambda. ---
+  for (double lambda : {0.0, 0.5, 1.0}) {
+    std::cout << "=== MMR lambda=" << lambda << " ===\n";
+    PrintElements(*answers, baselines::Mmr(*answers, kK, kTopL, lambda));
+  }
+  std::cout << "\nNote how only QAGView reports *summarized* patterns with\n"
+               "'*' values and per-cluster averages; the baselines return\n"
+               "individual representative tuples (A.5's observation).\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Appendix A.6 extension in action: summarization over concept hierarchies,
+// so generalized positions display as ranges (age [20,40), year buckets)
+// instead of '*'. Compares the flat '*' summary with the range summary on
+// the same answers.
+
+#include <iostream>
+
+#include "core/explore.h"
+#include "core/hierarchical_summarizer.h"
+#include "core/hybrid.h"
+#include "core/semilattice.h"
+#include "datagen/movielens.h"
+#include "sql/executor.h"
+
+int main() {
+  using namespace qagview;
+
+  datagen::MovieLensOptions gen;
+  gen.num_ratings = 60000;
+  storage::Table ratings =
+      datagen::MovieLensGenerator(gen).GenerateRatingTable();
+  sql::Catalog catalog;
+  catalog.Register("RatingTable", &ratings);
+  auto result = sql::ExecuteSql(
+      "SELECT hdec, agegrp, occupation, avg(rating) AS val "
+      "FROM RatingTable GROUP BY hdec, agegrp, occupation "
+      "HAVING count(*) > 25 ORDER BY val DESC",
+      catalog);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  auto answers = core::AnswerSet::FromTable(*result, "val");
+  if (!answers.ok()) {
+    std::cerr << answers.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "n=" << answers->size() << " answers over (hdec, agegrp, "
+            << "occupation)\n\n";
+
+  core::Params params{4, 10, 2};
+
+  // --- Flat '*' summary (the core framework). ---
+  auto universe = core::ClusterUniverse::Build(&*answers, params.L);
+  auto flat = core::Hybrid::Run(*universe, params);
+  if (!flat.ok()) {
+    std::cerr << flat.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "=== Flat '*' summary ===\n"
+            << core::RenderSummary(*universe, *flat) << "\n";
+
+  // --- Range summary: automatically derived range trees over the ordinal
+  //     attributes (the A.6 auto-construction: hdec sorts numerically,
+  //     agegrp lexicographically); occupation stays flat. ---
+  std::vector<core::ConceptHierarchy> trees;
+  for (int a = 0; a < answers->num_attrs(); ++a) {
+    const std::string& name = answers->attr_names()[static_cast<size_t>(a)];
+    if (name == "hdec" || name == "agegrp") {
+      auto tree = core::AutoHierarchyForAttribute(*answers, a);
+      if (!tree.ok()) {
+        std::cerr << tree.status().ToString() << "\n";
+        return 1;
+      }
+      trees.push_back(std::move(tree).value());
+    } else {
+      std::vector<std::string> labels;
+      for (int32_t v = 0; v < answers->domain_size(a); ++v) {
+        labels.push_back(answers->ValueName(a, v));
+      }
+      trees.push_back(core::ConceptHierarchy::Flat(labels));
+    }
+  }
+  core::HierarchicalSummarizer summarizer(
+      &*answers, core::HierarchySet(std::move(trees)));
+  auto ranged = summarizer.Run(params);
+  if (!ranged.ok()) {
+    std::cerr << ranged.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "=== Range summary, Fixed-Order policy (Appendix A.6) ===\n"
+            << summarizer.Render(*ranged) << "\n";
+
+  auto ranged_bu = summarizer.RunBottomUp(params);
+  if (!ranged_bu.ok()) {
+    std::cerr << ranged_bu.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "=== Range summary, Bottom-Up policy ===\n"
+            << summarizer.Render(*ranged_bu)
+            << "\nNote the [lo..hi] nodes where the flat summary shows '*':"
+            << " ranges exclude unrelated values, so covered averages stay"
+            << " tighter.\n";
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "baselines/decision_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace qagview::baselines {
+
+bool DecisionRule::Matches(const std::vector<int32_t>& attrs) const {
+  for (const Predicate& p : predicates) {
+    if (!p.Matches(attrs)) return false;
+  }
+  return true;
+}
+
+int DecisionRule::Complexity() const {
+  int c = 0;
+  for (const Predicate& p : predicates) c += p.equals ? 1 : 2;
+  return c;
+}
+
+namespace {
+
+double Gini(int positives, int total) {
+  if (total == 0) return 0.0;
+  double p = static_cast<double>(positives) / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::Train(const core::AnswerSet& s, int top_l,
+                                 const DecisionTreeOptions& options) {
+  QAG_CHECK(top_l >= 1 && top_l <= s.size());
+  DecisionTree tree;
+  tree.top_l_ = top_l;
+  std::vector<int> elements(static_cast<size_t>(s.size()));
+  for (int e = 0; e < s.size(); ++e) elements[static_cast<size_t>(e)] = e;
+  tree.root_ = tree.BuildNode(s, &elements, 0, s.size(), 0, options);
+  return tree;
+}
+
+int DecisionTree::BuildNode(const core::AnswerSet& s,
+                            std::vector<int>* elements, int begin, int end,
+                            int depth, const DecisionTreeOptions& options) {
+  int positives = 0;
+  double value_sum = 0.0;
+  for (int i = begin; i < end; ++i) {
+    int e = (*elements)[static_cast<size_t>(i)];
+    positives += e < top_l_;
+    value_sum += s.value(e);
+  }
+  int total = end - begin;
+  height_ = std::max(height_, depth);
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.positive_count = positives;
+    leaf.total_count = total;
+    leaf.positive = 2 * positives > total;  // majority vote
+    leaf.avg_value = total == 0 ? 0.0 : value_sum / total;
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size()) - 1;
+  };
+
+  if (depth >= options.max_height || positives == 0 || positives == total ||
+      total <= options.min_leaf_size) {
+    return make_leaf();
+  }
+
+  // Best (attr == value) split by Gini gain.
+  double base = Gini(positives, total);
+  double best_gain = 1e-12;
+  int best_attr = -1;
+  int32_t best_value = 0;
+  for (int a = 0; a < s.num_attrs(); ++a) {
+    // Per-value (count, positive-count) tallies in this node.
+    std::unordered_map<int32_t, std::pair<int, int>> tallies;
+    for (int i = begin; i < end; ++i) {
+      int e = (*elements)[static_cast<size_t>(i)];
+      auto& t = tallies[s.element(e).attrs[static_cast<size_t>(a)]];
+      ++t.first;
+      t.second += e < top_l_;
+    }
+    if (tallies.size() < 2) continue;
+    for (const auto& [value, tally] : tallies) {
+      int in_count = tally.first;
+      int in_pos = tally.second;
+      int out_count = total - in_count;
+      int out_pos = positives - in_pos;
+      double split =
+          (static_cast<double>(in_count) / total) * Gini(in_pos, in_count) +
+          (static_cast<double>(out_count) / total) * Gini(out_pos, out_count);
+      double gain = base - split;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_attr = a;
+        best_value = value;
+      }
+    }
+  }
+  if (best_attr < 0) return make_leaf();
+
+  // Partition [begin, end) into == (left) and != (right).
+  auto mid_it = std::stable_partition(
+      elements->begin() + begin, elements->begin() + end, [&](int e) {
+        return s.element(e).attrs[static_cast<size_t>(best_attr)] ==
+               best_value;
+      });
+  int mid = static_cast<int>(mid_it - elements->begin());
+  QAG_DCHECK(mid > begin && mid < end);
+
+  int left = BuildNode(s, elements, begin, mid, depth + 1, options);
+  int right = BuildNode(s, elements, mid, end, depth + 1, options);
+  Node node;
+  node.attr = best_attr;
+  node.value = best_value;
+  node.left = left;
+  node.right = right;
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+DecisionTree DecisionTree::TrainTuned(const core::AnswerSet& s, int top_l,
+                                      int k) {
+  DecisionTree best;
+  bool have_best = false;
+  for (int height = 1; height <= 12; ++height) {
+    DecisionTreeOptions options;
+    options.max_height = height;
+    DecisionTree tree = Train(s, top_l, options);
+    int leaves = tree.PositiveLeafCount();
+    if (leaves <= k) {
+      best = std::move(tree);
+      have_best = true;
+    } else {
+      break;  // deeper trees only grow more positive leaves
+    }
+  }
+  if (!have_best) {
+    DecisionTreeOptions options;
+    options.max_height = 1;
+    best = Train(s, top_l, options);
+  }
+  return best;
+}
+
+bool DecisionTree::PredictTop(const std::vector<int32_t>& attrs) const {
+  int node = root_;
+  while (!nodes_[static_cast<size_t>(node)].is_leaf) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    node = attrs[static_cast<size_t>(n.attr)] == n.value ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(node)].positive;
+}
+
+int DecisionTree::PositiveLeafCount() const {
+  int count = 0;
+  for (const Node& n : nodes_) count += n.is_leaf && n.positive;
+  return count;
+}
+
+void DecisionTree::CollectRules(int node, std::vector<Predicate>* path,
+                                std::vector<DecisionRule>* out) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.is_leaf) {
+    if (n.positive) {
+      DecisionRule rule;
+      rule.predicates = *path;
+      rule.positive_count = n.positive_count;
+      rule.total_count = n.total_count;
+      rule.avg_value = n.avg_value;
+      out->push_back(std::move(rule));
+    }
+    return;
+  }
+  path->push_back({n.attr, n.value, /*equals=*/true});
+  CollectRules(n.left, path, out);
+  path->back().equals = false;
+  CollectRules(n.right, path, out);
+  path->pop_back();
+}
+
+std::vector<DecisionRule> DecisionTree::PositiveRules() const {
+  std::vector<DecisionRule> out;
+  std::vector<Predicate> path;
+  CollectRules(root_, &path, &out);
+  return out;
+}
+
+std::string DecisionTree::ToString(const core::AnswerSet& s) const {
+  std::string out;
+  for (const DecisionRule& rule : PositiveRules()) {
+    std::vector<std::string> parts;
+    for (const Predicate& p : rule.predicates) {
+      parts.push_back(StrCat(s.attr_names()[static_cast<size_t>(p.attr)],
+                             p.equals ? " = " : " != ",
+                             s.ValueName(p.attr, p.value)));
+    }
+    out += StrCat(Join(parts, " AND "), "  [", rule.positive_count, "/",
+                  rule.total_count, " top, avg ",
+                  FormatDouble(rule.avg_value, 2), "]\n");
+  }
+  return out;
+}
+
+}  // namespace qagview::baselines

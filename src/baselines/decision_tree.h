@@ -1,0 +1,104 @@
+#ifndef QAGVIEW_BASELINES_DECISION_TREE_H_
+#define QAGVIEW_BASELINES_DECISION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/answer_set.h"
+
+namespace qagview::baselines {
+
+/// One atomic test on a tuple: attribute == value or attribute != value.
+struct Predicate {
+  int attr = 0;
+  int32_t value = 0;
+  bool equals = true;
+
+  bool Matches(const std::vector<int32_t>& attrs) const {
+    bool eq = attrs[static_cast<size_t>(attr)] == value;
+    return equals ? eq : !eq;
+  }
+};
+
+/// A root-to-positive-leaf path: the conjunction of its predicates is one
+/// "rule" of the decision-tree summary shown to user-study subjects.
+struct DecisionRule {
+  std::vector<Predicate> predicates;
+  int positive_count = 0;  // top-L tuples at the leaf
+  int total_count = 0;
+  double avg_value = 0.0;  // average value of tuples at the leaf
+
+  bool Matches(const std::vector<int32_t>& attrs) const;
+  /// Rule complexity: equality tests count 1, negations 2 (they are harder
+  /// to read and recall — the §8 hypothesis our study layer models).
+  int Complexity() const;
+};
+
+struct DecisionTreeOptions {
+  int max_height = 6;
+  int min_leaf_size = 1;
+};
+
+/// \brief CART-style binary decision tree (Gini impurity, categorical
+/// equality splits), the user-study comparator of §8: trained to separate
+/// the top-L tuples ("positive") from the rest.
+///
+/// Mirrors the paper's scikit-learn usage: TrainTuned() grows trees of
+/// increasing height and keeps the tallest whose number of positive leaves
+/// (leaves where top-L tuples are the majority) stays <= k.
+class DecisionTree {
+ public:
+  static DecisionTree Train(const core::AnswerSet& s, int top_l,
+                            const DecisionTreeOptions& options =
+                                DecisionTreeOptions());
+
+  /// Height tuning per §8.1: largest height whose positive-leaf count is
+  /// as close as possible to, but no greater than, k.
+  static DecisionTree TrainTuned(const core::AnswerSet& s, int top_l, int k);
+
+  /// True iff the tuple reaches a positive leaf.
+  bool PredictTop(const std::vector<int32_t>& attrs) const;
+
+  /// Number of leaves where positives are the majority.
+  int PositiveLeafCount() const;
+
+  /// The positive-leaf rules (root-to-leaf predicate paths).
+  std::vector<DecisionRule> PositiveRules() const;
+
+  int height() const { return height_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  /// Multi-line description of the positive rules.
+  std::string ToString(const core::AnswerSet& s) const;
+
+ private:
+  struct Node {
+    // Split (internal nodes): attr == value goes left, != goes right.
+    int attr = -1;
+    int32_t value = 0;
+    int left = -1;
+    int right = -1;
+    // Leaf payload.
+    bool is_leaf = false;
+    bool positive = false;
+    int positive_count = 0;
+    int total_count = 0;
+    double avg_value = 0.0;
+  };
+
+  int BuildNode(const core::AnswerSet& s, std::vector<int>* elements,
+                int begin, int end, int depth,
+                const DecisionTreeOptions& options);
+  void CollectRules(int node, std::vector<Predicate>* path,
+                    std::vector<DecisionRule>* out) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int top_l_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace qagview::baselines
+
+#endif  // QAGVIEW_BASELINES_DECISION_TREE_H_

@@ -1,0 +1,49 @@
+#include "baselines/disc_diversity.h"
+
+#include "core/cluster.h"
+
+namespace qagview::baselines {
+
+DiscResult DiscDiversity(const core::AnswerSet& s, int top_l, int radius) {
+  DiscResult result;
+  for (int e = 0; e < top_l; ++e) {
+    bool independent = true;
+    for (int rep : result.element_ids) {
+      if (core::ElementDistance(s.element(e).attrs, s.element(rep).attrs) <=
+          radius) {
+        independent = false;
+        break;
+      }
+    }
+    if (independent) result.element_ids.push_back(e);
+  }
+  return result;
+}
+
+bool IsDiscDiverse(const core::AnswerSet& s, int top_l, int radius,
+                   const std::vector<int>& element_ids) {
+  // Independence.
+  for (size_t i = 0; i < element_ids.size(); ++i) {
+    for (size_t j = i + 1; j < element_ids.size(); ++j) {
+      if (core::ElementDistance(s.element(element_ids[i]).attrs,
+                                s.element(element_ids[j]).attrs) <= radius) {
+        return false;
+      }
+    }
+  }
+  // Domination of all top-L elements.
+  for (int e = 0; e < top_l; ++e) {
+    bool dominated = false;
+    for (int rep : element_ids) {
+      if (core::ElementDistance(s.element(e).attrs, s.element(rep).attrs) <=
+          radius) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+}  // namespace qagview::baselines

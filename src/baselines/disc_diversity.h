@@ -1,0 +1,32 @@
+#ifndef QAGVIEW_BASELINES_DISC_DIVERSITY_H_
+#define QAGVIEW_BASELINES_DISC_DIVERSITY_H_
+
+#include <vector>
+
+#include "core/answer_set.h"
+
+namespace qagview::baselines {
+
+struct DiscResult {
+  /// Chosen representative element ids.
+  std::vector<int> element_ids;
+};
+
+/// \brief DisC diversity of Drosou & Pitoura [8], adapted as in Appendix
+/// A.5.3: an independent-and-dominating subset of the top-L elements — each
+/// top-L element is within distance `radius` of some representative, and no
+/// two representatives are within `radius` of each other.
+///
+/// Greedy maximal-independent-set construction in descending-value order
+/// (a maximal independent set under the distance-<= radius graph is also
+/// dominating, hence DisC diverse).
+DiscResult DiscDiversity(const core::AnswerSet& s, int top_l, int radius);
+
+/// Validates the DisC property of a subset (test helper): coverage of all
+/// top-L within `radius` and pairwise independence.
+bool IsDiscDiverse(const core::AnswerSet& s, int top_l, int radius,
+                   const std::vector<int>& element_ids);
+
+}  // namespace qagview::baselines
+
+#endif  // QAGVIEW_BASELINES_DISC_DIVERSITY_H_

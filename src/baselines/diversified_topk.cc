@@ -1,0 +1,109 @@
+#include "baselines/diversified_topk.h"
+
+#include "core/cluster.h"
+
+namespace qagview::baselines {
+
+namespace {
+
+// Depth-first exact search over elements in rank order.
+struct ExactSearcher {
+  const core::AnswerSet& s;
+  int k, top_l, d;
+  std::vector<int> current;
+  double current_sum = 0.0;
+  std::vector<int> best;
+  double best_sum = -1.0;
+
+  void Dfs(int next) {
+    if (current_sum > best_sum) {
+      best_sum = current_sum;
+      best = current;
+    }
+    if (static_cast<int>(current.size()) == k || next >= top_l) return;
+    // Upper bound prune: even taking the next (k - |current|) elements in
+    // rank order cannot beat best.
+    double bound = current_sum;
+    int picks = k - static_cast<int>(current.size());
+    for (int e = next; e < top_l && picks > 0; ++e, --picks) {
+      bound += s.value(e);
+    }
+    if (bound <= best_sum) return;
+
+    for (int e = next; e < top_l; ++e) {
+      bool compatible = true;
+      for (int other : current) {
+        if (core::ElementDistance(s.element(e).attrs,
+                                  s.element(other).attrs) < d) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible) continue;
+      current.push_back(e);
+      current_sum += s.value(e);
+      Dfs(e + 1);
+      current.pop_back();
+      current_sum -= s.value(e);
+    }
+  }
+};
+
+}  // namespace
+
+Result<DiversifiedTopKResult> DiversifiedTopKExact(const core::AnswerSet& s,
+                                                   int k, int top_l, int d) {
+  if (k < 1 || top_l < 1 || top_l > s.size()) {
+    return Status::InvalidArgument("bad k or L");
+  }
+  if (top_l > 40) {
+    return Status::InvalidArgument(
+        "exact diversified top-k is for small L (qualitative comparison)");
+  }
+  ExactSearcher searcher{s, k, top_l, d, {}, 0.0, {}, -1.0};
+  searcher.Dfs(0);
+  DiversifiedTopKResult result;
+  result.element_ids = searcher.best;
+  result.score_sum = searcher.best_sum < 0 ? 0.0 : searcher.best_sum;
+  return result;
+}
+
+DiversifiedTopKResult DiversifiedTopKGreedy(const core::AnswerSet& s, int k,
+                                            int top_l, int d) {
+  DiversifiedTopKResult result;
+  for (int e = 0; e < top_l && static_cast<int>(result.element_ids.size()) < k;
+       ++e) {
+    bool compatible = true;
+    for (int other : result.element_ids) {
+      if (core::ElementDistance(s.element(e).attrs, s.element(other).attrs) <
+          d) {
+        compatible = false;
+        break;
+      }
+    }
+    if (compatible) {
+      result.element_ids.push_back(e);
+      result.score_sum += s.value(e);
+    }
+  }
+  return result;
+}
+
+double RepresentedAverage(const core::AnswerSet& s,
+                          const std::vector<int>& element_ids, int radius) {
+  double sum = 0.0;
+  int count = 0;
+  for (int e = 0; e < s.size(); ++e) {
+    for (int rep : element_ids) {
+      if (core::ElementDistance(s.element(e).attrs, s.element(rep).attrs) <=
+          radius) {
+        sum += s.value(e);
+        ++count;
+        break;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+}  // namespace qagview::baselines

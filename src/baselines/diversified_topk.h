@@ -1,0 +1,39 @@
+#ifndef QAGVIEW_BASELINES_DIVERSIFIED_TOPK_H_
+#define QAGVIEW_BASELINES_DIVERSIFIED_TOPK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/answer_set.h"
+
+namespace qagview::baselines {
+
+struct DiversifiedTopKResult {
+  /// Chosen element ids (indices into the answer set's ranking).
+  std::vector<int> element_ids;
+  double score_sum = 0.0;
+};
+
+/// \brief Diversified top-k of Qin et al. [31], adapted as in Appendix
+/// A.5.2: choose at most k of the top-L *elements* (no '*' summarization)
+/// with pairwise element distance >= d, maximizing the sum of scores.
+///
+/// Exact search (branch and bound over elements in rank order; the paper
+/// used brute force for its qualitative comparison). L and k must be small.
+Result<DiversifiedTopKResult> DiversifiedTopKExact(const core::AnswerSet& s,
+                                                   int k, int top_l, int d);
+
+/// Greedy variant: sweep elements by descending value, keep each element
+/// that is >= d away from everything kept so far, stop at k.
+DiversifiedTopKResult DiversifiedTopKGreedy(const core::AnswerSet& s, int k,
+                                            int top_l, int d);
+
+/// Average value of the elements within distance `radius` of any chosen
+/// element (the "avg score" column of the A.5.2 table: the implicit
+/// cluster a representative stands for).
+double RepresentedAverage(const core::AnswerSet& s,
+                          const std::vector<int>& element_ids, int radius);
+
+}  // namespace qagview::baselines
+
+#endif  // QAGVIEW_BASELINES_DIVERSIFIED_TOPK_H_

@@ -1,0 +1,50 @@
+#include "baselines/mmr.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "core/cluster.h"
+
+namespace qagview::baselines {
+
+std::vector<int> Mmr(const core::AnswerSet& s, int k, int top_l,
+                     double lambda) {
+  QAG_CHECK(top_l >= 1 && top_l <= s.size());
+  QAG_CHECK(lambda >= 0.0 && lambda <= 1.0);
+  double hi = s.value(0);
+  double lo = s.value(top_l - 1);
+  double range = hi > lo ? hi - lo : 1.0;
+  double m = s.num_attrs();
+
+  std::vector<int> chosen;
+  std::vector<char> used(static_cast<size_t>(top_l), 0);
+  while (static_cast<int>(chosen.size()) < std::min(k, top_l)) {
+    int best = -1;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (int e = 0; e < top_l; ++e) {
+      if (used[static_cast<size_t>(e)]) continue;
+      double rel = (s.value(e) - lo) / range;
+      double div = 1.0;  // first pick: diversity term is neutral-max
+      if (!chosen.empty()) {
+        int min_d = s.num_attrs();
+        for (int other : chosen) {
+          min_d = std::min(min_d,
+                           core::ElementDistance(s.element(e).attrs,
+                                                 s.element(other).attrs));
+        }
+        div = min_d / m;
+      }
+      double score = (1.0 - lambda) * rel + lambda * div;
+      if (score > best_score) {
+        best_score = score;
+        best = e;
+      }
+    }
+    used[static_cast<size_t>(best)] = 1;
+    chosen.push_back(best);
+  }
+  return chosen;
+}
+
+}  // namespace qagview::baselines

@@ -1,0 +1,22 @@
+#ifndef QAGVIEW_BASELINES_MMR_H_
+#define QAGVIEW_BASELINES_MMR_H_
+
+#include <vector>
+
+#include "core/answer_set.h"
+
+namespace qagview::baselines {
+
+/// \brief MMR (Maximal Marginal Relevance [4]) λ-parameterized result
+/// diversification as used in Vieira et al. [41] and compared against in
+/// Appendix A.5.4: iteratively select up to k of the top-L elements,
+/// each maximizing
+///     (1 - λ) · rel(e) + λ · min_{chosen} dist(e, chosen)
+/// with rel normalized to [0,1] over the top-L values and dist normalized
+/// by m. λ = 0 reduces to plain top-k; λ = 1 to pure dispersion.
+std::vector<int> Mmr(const core::AnswerSet& s, int k, int top_l,
+                     double lambda);
+
+}  // namespace qagview::baselines
+
+#endif  // QAGVIEW_BASELINES_MMR_H_

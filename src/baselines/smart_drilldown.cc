@@ -1,0 +1,55 @@
+#include "baselines/smart_drilldown.h"
+
+#include <vector>
+
+namespace qagview::baselines {
+
+SmartDrilldownResult SmartDrilldown(const core::ClusterUniverse& universe,
+                                    int k,
+                                    const SmartDrilldownOptions& options) {
+  const core::AnswerSet& s = universe.answer_set();
+  std::vector<char> covered(static_cast<size_t>(s.size()), 0);
+  std::vector<char> chosen(static_cast<size_t>(universe.num_clusters()), 0);
+
+  SmartDrilldownResult result;
+  for (int round = 0; round < k; ++round) {
+    int best = -1;
+    double best_score = 0.0;
+    DrilldownRule best_rule;
+    for (int id = 0; id < universe.num_clusters(); ++id) {
+      if (chosen[static_cast<size_t>(id)]) continue;
+      int weight = s.num_attrs() - universe.cluster(id).level();
+      if (weight == 0) continue;  // trivial all-* rule scores 0
+      int mcount = 0;
+      double msum = 0.0;
+      for (int32_t e : universe.covered(id)) {
+        if (!covered[static_cast<size_t>(e)]) {
+          ++mcount;
+          msum += s.value(e);
+        }
+      }
+      if (mcount == 0) continue;
+      double score = static_cast<double>(mcount) * weight;
+      if (options.value_weighted) score *= msum / mcount;
+      if (score > best_score) {
+        best_score = score;
+        best = id;
+        best_rule.cluster_id = id;
+        best_rule.marginal_count = mcount;
+        best_rule.weight = weight;
+        best_rule.marginal_avg = msum / mcount;
+        best_rule.contribution = score;
+      }
+    }
+    if (best < 0) break;  // everything covered
+    chosen[static_cast<size_t>(best)] = 1;
+    for (int32_t e : universe.covered(best)) {
+      covered[static_cast<size_t>(e)] = 1;
+    }
+    result.total_score += best_rule.contribution;
+    result.rules.push_back(best_rule);
+  }
+  return result;
+}
+
+}  // namespace qagview::baselines

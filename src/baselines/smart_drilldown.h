@@ -1,0 +1,51 @@
+#ifndef QAGVIEW_BASELINES_SMART_DRILLDOWN_H_
+#define QAGVIEW_BASELINES_SMART_DRILLDOWN_H_
+
+#include <vector>
+
+#include "core/semilattice.h"
+
+namespace qagview::baselines {
+
+/// One selected rule with its marginal statistics at selection time.
+struct DrilldownRule {
+  int cluster_id = -1;
+  /// MCount(r, R): elements covered by r and by no earlier rule.
+  int marginal_count = 0;
+  /// W(r): number of non-* attributes.
+  int weight = 0;
+  /// Average value of the marginal elements (the val(r) factor of the
+  /// value-extended scoring).
+  double marginal_avg = 0.0;
+  /// This rule's contribution to the total score.
+  double contribution = 0.0;
+};
+
+struct SmartDrilldownResult {
+  std::vector<DrilldownRule> rules;
+  double total_score = 0.0;
+};
+
+struct SmartDrilldownOptions {
+  /// When true, uses the paper's value-extended scoring
+  /// score(R) = Σ MCount(r,R) × W(r) × val(r) (Appendix A.5.1); when
+  /// false, the original [24] scoring Σ MCount(r,R) × W(r).
+  bool value_weighted = true;
+};
+
+/// \brief The smart drill-down operator of Joglekar et al. [24], adapted as
+/// in Appendix A.5.1: greedily selects an ordered set of k rules maximizing
+/// the (optionally value-weighted) marginal-coverage × specificity score.
+///
+/// Candidate rules are the clusters of `universe`; build the universe with
+/// top_l = n to emulate "smart drill-down on all elements" or a smaller
+/// top_l for "on top-L elements". The trivial all-* rule is excluded (it is
+/// weight 0 anyway under W(r)).
+SmartDrilldownResult SmartDrilldown(const core::ClusterUniverse& universe,
+                                    int k,
+                                    const SmartDrilldownOptions& options =
+                                        SmartDrilldownOptions());
+
+}  // namespace qagview::baselines
+
+#endif  // QAGVIEW_BASELINES_SMART_DRILLDOWN_H_

@@ -1,0 +1,31 @@
+#ifndef QAGVIEW_COMMON_HASH_H_
+#define QAGVIEW_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace qagview {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe).
+template <typename T>
+void HashCombine(size_t* seed, const T& value) {
+  *seed ^= std::hash<T>()(value) + 0x9e3779b97f4a7c15ULL + (*seed << 6) +
+           (*seed >> 2);
+}
+
+/// Hash functor for vectors of hashable elements; used to key cluster
+/// patterns (vectors of int32 attribute codes) in hash maps.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& v) const {
+    size_t seed = v.size();
+    for (const T& x : v) HashCombine(&seed, x);
+    return seed;
+  }
+};
+
+}  // namespace qagview
+
+#endif  // QAGVIEW_COMMON_HASH_H_

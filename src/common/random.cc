@@ -1,0 +1,40 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace qagview {
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  QAG_DCHECK(n > 0);
+  if (n == 1) return 0;
+  // Inverse-CDF sampling over the truncated zeta distribution. n is small
+  // (attribute domain sizes), so the linear scan is fine.
+  double norm = 0.0;
+  for (int64_t i = 0; i < n; ++i) norm += 1.0 / std::pow(i + 1.0, theta);
+  double u = Uniform01() * norm;
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(i + 1.0, theta);
+    if (u <= acc) return i;
+  }
+  return n - 1;
+}
+
+size_t Rng::WeightedChoice(const std::vector<double>& weights) {
+  QAG_DCHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    QAG_DCHECK(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return Index(static_cast<int64_t>(weights.size()));
+  double u = Uniform01() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace qagview

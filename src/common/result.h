@@ -1,0 +1,89 @@
+#ifndef QAGVIEW_COMMON_RESULT_H_
+#define QAGVIEW_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace qagview {
+
+/// \brief Holds either a value of type T or an error Status, modeled after
+/// absl::StatusOr / arrow::Result.
+///
+/// Accessing the value of an error Result aborts the process (programming
+/// error); callers must test ok() or use the QAG_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error Status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!status_.ok()) {
+      std::cerr << "Accessed value of error Result: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qagview
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs`.
+#define QAG_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  QAG_ASSIGN_OR_RETURN_IMPL(                              \
+      QAG_RESULT_CONCAT(_qag_result_, __LINE__), lhs, rexpr)
+
+#define QAG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define QAG_RESULT_CONCAT_INNER(a, b) a##b
+#define QAG_RESULT_CONCAT(a, b) QAG_RESULT_CONCAT_INNER(a, b)
+
+#endif  // QAGVIEW_COMMON_RESULT_H_

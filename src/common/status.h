@@ -1,0 +1,103 @@
+#ifndef QAGVIEW_COMMON_STATUS_H_
+#define QAGVIEW_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace qagview {
+
+/// \brief Canonical error space used across the library.
+///
+/// QAGView does not throw exceptions across public API boundaries; fallible
+/// operations return a Status (or Result<T>, see common/result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kParseError,
+  kIOError,
+  kInternal,
+};
+
+/// \brief Returns a short human-readable name for a StatusCode
+/// (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error value, modeled after absl::Status / rocksdb
+/// Status.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are cheap to copy (OK carries no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Named constructors for each error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace qagview
+
+/// Propagates an error Status from the current function.
+#define QAG_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::qagview::Status _qag_status = (expr);      \
+    if (!_qag_status.ok()) return _qag_status;   \
+  } while (false)
+
+#endif  // QAGVIEW_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef QAGVIEW_COMMON_TIMER_H_
+#define QAGVIEW_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace qagview {
+
+/// \brief Simple monotonic wall-clock stopwatch used by benchmarks and the
+/// precomputation layer.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qagview
+
+#endif  // QAGVIEW_COMMON_TIMER_H_

@@ -1,0 +1,141 @@
+#include "core/answer_set.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace qagview::core {
+
+Result<AnswerSet> AnswerSet::FromTable(const storage::Table& table,
+                                       const std::string& value_column) {
+  const storage::Schema& schema = table.schema();
+  QAG_ASSIGN_OR_RETURN(int value_col, schema.GetFieldIndex(value_column));
+  storage::ValueType vt = schema.field(value_col).type;
+  if (vt != storage::ValueType::kInt64 && vt != storage::ValueType::kDouble) {
+    return Status::InvalidArgument(
+        StrCat("value column ", value_column, " must be numeric, is ",
+               storage::ValueTypeToString(vt)));
+  }
+
+  AnswerSet out;
+  std::vector<int> attr_cols;
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    if (c == value_col) continue;
+    attr_cols.push_back(c);
+    out.attr_names_.push_back(schema.field(c).name);
+  }
+  if (attr_cols.empty()) {
+    return Status::InvalidArgument("answer set needs at least one attribute");
+  }
+
+  out.value_names_.resize(attr_cols.size());
+  std::vector<std::unordered_map<std::string, int32_t>> interning(
+      attr_cols.size());
+
+  out.elements_.reserve(static_cast<size_t>(table.num_rows()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (table.column(value_col).IsNull(r)) continue;  // no score: skip
+    Element e;
+    e.value = table.column(value_col).GetDouble(r);
+    e.attrs.reserve(attr_cols.size());
+    for (size_t a = 0; a < attr_cols.size(); ++a) {
+      storage::Value v = table.Get(r, attr_cols[a]);
+      std::string name = v.is_null() ? "<null>" : v.ToString();
+      auto [it, inserted] = interning[a].emplace(
+          std::move(name), static_cast<int32_t>(out.value_names_[a].size()));
+      if (inserted) out.value_names_[a].push_back(it->first);
+      e.attrs.push_back(it->second);
+    }
+    out.elements_.push_back(std::move(e));
+  }
+  if (out.elements_.empty()) {
+    return Status::InvalidArgument("answer set is empty");
+  }
+  out.SortAndFinalize();
+  return out;
+}
+
+Result<AnswerSet> AnswerSet::FromRaw(
+    std::vector<std::string> attr_names,
+    std::vector<std::vector<std::string>> value_names,
+    std::vector<Element> elements) {
+  if (attr_names.empty()) {
+    return Status::InvalidArgument("need at least one attribute");
+  }
+  if (attr_names.size() != value_names.size()) {
+    return Status::InvalidArgument("attr_names/value_names size mismatch");
+  }
+  for (const Element& e : elements) {
+    if (e.attrs.size() != attr_names.size()) {
+      return Status::InvalidArgument("element arity mismatch");
+    }
+    for (size_t a = 0; a < e.attrs.size(); ++a) {
+      if (e.attrs[a] < 0 ||
+          e.attrs[a] >= static_cast<int32_t>(value_names[a].size())) {
+        return Status::OutOfRange(
+            StrCat("element code ", e.attrs[a], " out of range for attr ",
+                   attr_names[a]));
+      }
+    }
+  }
+  if (elements.empty()) {
+    return Status::InvalidArgument("answer set is empty");
+  }
+  AnswerSet out;
+  out.attr_names_ = std::move(attr_names);
+  out.value_names_ = std::move(value_names);
+  out.elements_ = std::move(elements);
+  out.SortAndFinalize();
+  return out;
+}
+
+void AnswerSet::SortAndFinalize() {
+  std::sort(elements_.begin(), elements_.end(),
+            [](const Element& a, const Element& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.attrs < b.attrs;  // deterministic tie-break
+            });
+  double sum = 0.0;
+  for (const Element& e : elements_) sum += e.value;
+  trivial_average_ = sum / static_cast<double>(elements_.size());
+}
+
+const std::string& AnswerSet::ValueName(int a, int32_t code) const {
+  QAG_DCHECK(a >= 0 && a < num_attrs());
+  QAG_DCHECK(code >= 0 && code < domain_size(a));
+  return value_names_[static_cast<size_t>(a)][static_cast<size_t>(code)];
+}
+
+double AnswerSet::TopAverage(int l) const {
+  QAG_DCHECK(l > 0 && l <= size());
+  double sum = 0.0;
+  for (int i = 0; i < l; ++i) sum += value(i);
+  return sum / l;
+}
+
+std::string AnswerSet::ToString(int edge) const {
+  std::ostringstream out;
+  out << "rank";
+  for (const std::string& name : attr_names_) out << "\t" << name;
+  out << "\tval\n";
+  auto print_row = [&](int i) {
+    out << (i + 1);
+    const Element& e = element(i);
+    for (int a = 0; a < num_attrs(); ++a) {
+      out << "\t" << ValueName(a, e.attrs[static_cast<size_t>(a)]);
+    }
+    out << "\t" << FormatDouble(e.value, 2) << "\n";
+  };
+  if (size() <= 2 * edge) {
+    for (int i = 0; i < size(); ++i) print_row(i);
+  } else {
+    for (int i = 0; i < edge; ++i) print_row(i);
+    out << "...\n";
+    for (int i = size() - edge; i < size(); ++i) print_row(i);
+  }
+  return out.str();
+}
+
+}  // namespace qagview::core

@@ -1,0 +1,91 @@
+#ifndef QAGVIEW_CORE_ANSWER_SET_H_
+#define QAGVIEW_CORE_ANSWER_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace qagview::core {
+
+/// One tuple of the aggregate query answer S: the grouping-attribute values
+/// (as dense int32 codes, see AnswerSet) plus the aggregate value.
+struct Element {
+  std::vector<int32_t> attrs;
+  double value = 0.0;
+};
+
+/// \brief The materialized answer set S of an aggregate query, the input to
+/// every summarization algorithm.
+///
+/// Elements are sorted by value descending (ties broken by attribute codes
+/// for determinism), so `element(i)` is the rank-(i+1) answer and the first
+/// L elements are S*_L. Every attribute value is interned into a dense
+/// int32 code per attribute — the paper's "hash values for fields"
+/// optimization — with code->display-string maps retained for rendering.
+class AnswerSet {
+ public:
+  /// Builds from a query-result table. All columns except `value_column`
+  /// become grouping attributes (in schema order); `value_column` must be
+  /// numeric. Attribute values are interned by display form, so INT64 and
+  /// STRING attribute columns both work.
+  static Result<AnswerSet> FromTable(const storage::Table& table,
+                                     const std::string& value_column);
+
+  /// Builds directly from attribute-name / value-name tables and elements
+  /// (used by tests, generators, and the hardness constructions).
+  /// `value_names[a]` maps each attribute-a code to its display string;
+  /// element codes must be within range. Elements are re-sorted.
+  static Result<AnswerSet> FromRaw(
+      std::vector<std::string> attr_names,
+      std::vector<std::vector<std::string>> value_names,
+      std::vector<Element> elements);
+
+  /// Number of grouping attributes (m).
+  int num_attrs() const { return static_cast<int>(attr_names_.size()); }
+
+  /// Number of answer tuples (n).
+  int size() const { return static_cast<int>(elements_.size()); }
+
+  /// i-th answer in descending-value order (0-based; rank = i + 1).
+  const Element& element(int i) const {
+    return elements_[static_cast<size_t>(i)];
+  }
+  double value(int i) const { return elements_[static_cast<size_t>(i)].value; }
+
+  const std::vector<Element>& elements() const { return elements_; }
+  const std::vector<std::string>& attr_names() const { return attr_names_; }
+
+  /// Domain size of attribute a (number of distinct codes).
+  int32_t domain_size(int a) const {
+    return static_cast<int32_t>(value_names_[static_cast<size_t>(a)].size());
+  }
+
+  /// Display string for a code of attribute a.
+  const std::string& ValueName(int a, int32_t code) const;
+
+  /// Average value over all n elements — the value of the trivial solution
+  /// (*, *, ..., *), the paper's "Lower Bound" baseline.
+  double TrivialAverage() const { return trivial_average_; }
+
+  /// Average value of the top-L elements (an upper bound on any solution
+  /// covering exactly the top L).
+  double TopAverage(int l) const;
+
+  /// Renders the top and bottom `edge` ranked tuples (Figure 1a style).
+  std::string ToString(int edge = 8) const;
+
+ private:
+  std::vector<std::string> attr_names_;
+  std::vector<std::vector<std::string>> value_names_;  // per attr: code->name
+  std::vector<Element> elements_;                      // sorted desc by value
+  double trivial_average_ = 0.0;
+
+  void SortAndFinalize();
+};
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_ANSWER_SET_H_

@@ -1,0 +1,198 @@
+#include "core/brute_force.h"
+
+#include <limits>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace qagview::core {
+
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const ClusterUniverse& u, const Params& p, double budget)
+      : u_(u), p_(p), budget_(budget) {
+    n_ = u.num_clusters();
+    words_ = static_cast<size_t>((n_ + 63) / 64);
+    full_cover_ = p.L == 64 ? ~0ULL : ((1ULL << p.L) - 1);
+
+    // Per-candidate top-L coverage masks.
+    cover_mask_.resize(static_cast<size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      uint64_t mask = 0;
+      for (int32_t e : u.covered(i)) {
+        if (e >= p.L) break;  // ascending ids
+        mask |= 1ULL << e;
+      }
+      cover_mask_[static_cast<size_t>(i)] = mask;
+    }
+
+    // Pairwise compatibility: distance >= D and incomparable.
+    compat_.assign(static_cast<size_t>(n_) * words_, 0);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = i + 1; j < n_; ++j) {
+        const Cluster& a = u.cluster(i);
+        const Cluster& b = u.cluster(j);
+        if (Distance(a, b) >= p.D && !a.Covers(b) && !b.Covers(a)) {
+          SetBit(i, j);
+          SetBit(j, i);
+        }
+      }
+    }
+
+    element_refs_.assign(static_cast<size_t>(u.answer_set().size()), 0);
+  }
+
+  BruteForceResult Run() {
+    // Seed with the always-feasible trivial solution so a time-budget abort
+    // still returns something valid.
+    int trivial = u_.FindId(Cluster::Trivial(u_.answer_set().num_attrs()));
+    if (trivial >= 0) {
+      best_ids_ = {trivial};
+      best_avg_ = u_.Average(trivial);
+    }
+    std::vector<uint64_t> allowed(words_);
+    for (int i = 0; i < n_; ++i) {
+      allowed[static_cast<size_t>(i) / 64] |= 1ULL
+                                              << (static_cast<size_t>(i) % 64);
+    }
+    Dfs(allowed, /*cover=*/0, /*depth=*/0);
+    BruteForceResult out;
+    out.solution = MakeSolution(u_, best_ids_);
+    out.exact = !aborted_;
+    out.nodes = nodes_;
+    return out;
+  }
+
+ private:
+  void SetBit(int row, int col) {
+    compat_[static_cast<size_t>(row) * words_ +
+            static_cast<size_t>(col) / 64] |=
+        1ULL << (static_cast<size_t>(col) % 64);
+  }
+
+  void Push(int id) {
+    for (int32_t e : u_.covered(id)) {
+      if (element_refs_[static_cast<size_t>(e)]++ == 0) {
+        sum_ += u_.answer_set().value(e);
+        ++count_;
+      }
+    }
+    chosen_.push_back(id);
+  }
+
+  void Pop(int id) {
+    for (int32_t e : u_.covered(id)) {
+      if (--element_refs_[static_cast<size_t>(e)] == 0) {
+        sum_ -= u_.answer_set().value(e);
+        --count_;
+      }
+    }
+    chosen_.pop_back();
+  }
+
+  // Explores extensions of the current subset with candidates in `allowed`
+  // (all of which are > every chosen id and pairwise-compatible with all
+  // chosen clusters).
+  void Dfs(const std::vector<uint64_t>& allowed, uint64_t cover, int depth) {
+    if (aborted_) return;
+    if ((++nodes_ & 0xFFF) == 0 && timer_.ElapsedSeconds() > budget_) {
+      aborted_ = true;
+      return;
+    }
+    if (depth == p_.k) return;
+
+    // Coverage-completability pruning: the union of what the remaining
+    // candidates can cover must close the gap.
+    uint64_t reachable = cover;
+    for (size_t w = 0; w < words_ && reachable != full_cover_; ++w) {
+      uint64_t bits = allowed[w];
+      while (bits) {
+        int j = static_cast<int>(w * 64 + static_cast<size_t>(
+                                              __builtin_ctzll(bits)));
+        bits &= bits - 1;
+        reachable |= cover_mask_[static_cast<size_t>(j)];
+        if (reachable == full_cover_) break;
+      }
+    }
+    if (reachable != full_cover_) return;
+
+    std::vector<uint64_t> next(words_);
+    for (size_t w = 0; w < words_; ++w) {
+      uint64_t bits = allowed[w];
+      while (bits) {
+        size_t bit = static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        int j = static_cast<int>(w * 64 + bit);
+
+        Push(j);
+        uint64_t new_cover = cover | cover_mask_[static_cast<size_t>(j)];
+        if (new_cover == full_cover_ && count_ > 0) {
+          double avg = sum_ / count_;
+          if (avg > best_avg_) {
+            best_avg_ = avg;
+            best_ids_ = chosen_;
+          }
+        }
+        // Allowed set for the subtree: ids > j, compatible with j, and
+        // still compatible with everything chosen earlier.
+        const uint64_t* row = &compat_[static_cast<size_t>(j) * words_];
+        for (size_t w2 = 0; w2 < words_; ++w2) next[w2] = allowed[w2] & row[w2];
+        // Mask off ids <= j.
+        next[w] &= ~((bit == 63) ? ~0ULL : ((1ULL << (bit + 1)) - 1));
+        for (size_t w2 = 0; w2 < w; ++w2) next[w2] = 0;
+
+        Dfs(next, new_cover, depth + 1);
+        Pop(j);
+        if (aborted_) return;
+      }
+    }
+  }
+
+  const ClusterUniverse& u_;
+  const Params& p_;
+  double budget_;
+  int n_ = 0;
+  size_t words_ = 0;
+  uint64_t full_cover_ = 0;
+  std::vector<uint64_t> cover_mask_;
+  std::vector<uint64_t> compat_;
+
+  std::vector<int> element_refs_;
+  double sum_ = 0.0;
+  int count_ = 0;
+  std::vector<int> chosen_;
+
+  double best_avg_ = -std::numeric_limits<double>::infinity();
+  std::vector<int> best_ids_;
+  int64_t nodes_ = 0;
+  bool aborted_ = false;
+  WallTimer timer_;
+};
+
+}  // namespace
+
+Result<BruteForceResult> BruteForce::Run(const ClusterUniverse& universe,
+                                         const Params& params,
+                                         const BruteForceOptions& options) {
+  QAG_RETURN_IF_ERROR(ValidateParams(universe.answer_set(), params));
+  if (params.L > 64) {
+    return Status::InvalidArgument(
+        "brute force supports L <= 64 (top-L coverage bitmask)");
+  }
+  if (params.L > universe.top_l()) {
+    return Status::InvalidArgument(
+        "universe was built for a smaller L than requested");
+  }
+  Searcher searcher(universe, params, options.time_budget_seconds);
+  BruteForceResult result = searcher.Run();
+  if (result.solution.cluster_ids.empty()) {
+    return Status::Internal("brute force found no feasible solution");
+  }
+  QAG_RETURN_IF_ERROR(
+      CheckFeasible(universe, result.solution.cluster_ids, params));
+  return result;
+}
+
+}  // namespace qagview::core

@@ -1,0 +1,49 @@
+#ifndef QAGVIEW_CORE_BRUTE_FORCE_H_
+#define QAGVIEW_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/result.h"
+#include "core/solution.h"
+
+namespace qagview::core {
+
+struct BruteForceOptions {
+  /// Abort the search after this much wall time; the result is then marked
+  /// inexact (best found so far). Exhaustive search is exponential — this is
+  /// the guard that keeps the Figure-5 comparison bench bounded.
+  double time_budget_seconds = std::numeric_limits<double>::infinity();
+};
+
+struct BruteForceResult {
+  Solution solution;
+  /// True iff the search space was fully explored within the time budget.
+  bool exact = true;
+  /// Number of search nodes visited.
+  int64_t nodes = 0;
+};
+
+/// \brief Exact optimal solver for the Max-Avg problem (the paper's
+/// brute-force baseline, §7.1).
+///
+/// Enumerates feasible subsets of the cluster universe of size <= k by
+/// depth-first search over a pairwise-compatibility bitset graph
+/// (distance >= D and incomparability are binary constraints), pruning
+/// branches whose remaining candidates cannot complete top-L coverage.
+/// Every coverage-complete node is evaluated — supersets can improve
+/// Max-Avg by pulling in high-valued redundant elements, so the search
+/// does not stop at the first feasible subset.
+///
+/// Requires L <= 64 (coverage masks). Exponential in k; use only on the
+/// small instances of the Figure-5 experiment.
+class BruteForce {
+ public:
+  static Result<BruteForceResult> Run(const ClusterUniverse& universe,
+                                      const Params& params,
+                                      const BruteForceOptions& options = {});
+};
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,98 @@
+#include "core/cluster.h"
+
+#include "common/string_util.h"
+
+namespace qagview::core {
+
+int Cluster::level() const {
+  int stars = 0;
+  for (int32_t v : pattern_) stars += (v == kWildcard);
+  return stars;
+}
+
+bool Cluster::Covers(const Cluster& other) const {
+  QAG_DCHECK(num_attrs() == other.num_attrs());
+  for (size_t i = 0; i < pattern_.size(); ++i) {
+    if (pattern_[i] != kWildcard && pattern_[i] != other.pattern_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cluster::CoversElement(const std::vector<int32_t>& attrs) const {
+  QAG_DCHECK(pattern_.size() == attrs.size());
+  for (size_t i = 0; i < pattern_.size(); ++i) {
+    if (pattern_[i] != kWildcard && pattern_[i] != attrs[i]) return false;
+  }
+  return true;
+}
+
+Cluster Cluster::Lca(const Cluster& a, const Cluster& b) {
+  QAG_DCHECK(a.num_attrs() == b.num_attrs());
+  std::vector<int32_t> pattern(a.pattern_.size(), kWildcard);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (a.pattern_[i] != kWildcard && a.pattern_[i] == b.pattern_[i]) {
+      pattern[i] = a.pattern_[i];
+    }
+  }
+  return Cluster(std::move(pattern));
+}
+
+Cluster Cluster::Generalize(const std::vector<int32_t>& attrs,
+                            uint32_t mask) {
+  std::vector<int32_t> pattern(attrs);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (mask & (1u << i)) pattern[i] = kWildcard;
+  }
+  return Cluster(std::move(pattern));
+}
+
+std::string Cluster::ToString(const AnswerSet& s) const {
+  std::vector<std::string> parts;
+  parts.reserve(pattern_.size());
+  for (int i = 0; i < num_attrs(); ++i) {
+    parts.push_back(IsWildcard(i) ? "*" : s.ValueName(i, pattern_[
+                                              static_cast<size_t>(i)]));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+std::string Cluster::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(pattern_.size());
+  for (int32_t v : pattern_) {
+    parts.push_back(v == kWildcard ? "*" : std::to_string(v));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+int Distance(const Cluster& a, const Cluster& b) {
+  QAG_DCHECK(a.num_attrs() == b.num_attrs());
+  int d = 0;
+  for (int i = 0; i < a.num_attrs(); ++i) {
+    int32_t x = a[i];
+    int32_t y = b[i];
+    d += (x == kWildcard || y == kWildcard || x != y);
+  }
+  return d;
+}
+
+int ElementDistance(const std::vector<int32_t>& a,
+                    const std::vector<int32_t>& b) {
+  QAG_DCHECK(a.size() == b.size());
+  int d = 0;
+  for (size_t i = 0; i < a.size(); ++i) d += (a[i] != b[i]);
+  return d;
+}
+
+int DistanceToElement(const Cluster& c, const std::vector<int32_t>& attrs) {
+  QAG_DCHECK(static_cast<size_t>(c.num_attrs()) == attrs.size());
+  int d = 0;
+  for (int i = 0; i < c.num_attrs(); ++i) {
+    d += (c[i] == kWildcard || c[i] != attrs[static_cast<size_t>(i)]);
+  }
+  return d;
+}
+
+}  // namespace qagview::core

@@ -1,0 +1,97 @@
+#ifndef QAGVIEW_CORE_CLUSTER_H_
+#define QAGVIEW_CORE_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "core/answer_set.h"
+
+namespace qagview::core {
+
+/// The don't-care value in a cluster pattern (displayed as '*').
+inline constexpr int32_t kWildcard = -1;
+
+/// \brief A cluster: one pattern over the m grouping attributes, each
+/// position either a concrete attribute code or kWildcard (Section 3).
+///
+/// Clusters form a semilattice under the "covers" relation; the level of a
+/// cluster is its number of wildcards (level 0 = singleton patterns).
+class Cluster {
+ public:
+  Cluster() = default;
+  explicit Cluster(std::vector<int32_t> pattern)
+      : pattern_(std::move(pattern)) {}
+
+  /// The singleton cluster of an element (level 0).
+  static Cluster Singleton(const Element& e) { return Cluster(e.attrs); }
+
+  /// The trivial cluster (*, *, ..., *) covering everything.
+  static Cluster Trivial(int num_attrs) {
+    return Cluster(std::vector<int32_t>(static_cast<size_t>(num_attrs),
+                                        kWildcard));
+  }
+
+  int num_attrs() const { return static_cast<int>(pattern_.size()); }
+  int32_t operator[](int i) const { return pattern_[static_cast<size_t>(i)]; }
+  bool IsWildcard(int i) const {
+    return pattern_[static_cast<size_t>(i)] == kWildcard;
+  }
+  const std::vector<int32_t>& pattern() const { return pattern_; }
+
+  /// Number of wildcard positions (the cluster's level in the semilattice).
+  int level() const;
+
+  /// True iff this cluster covers `other`: every non-wildcard position
+  /// matches other's value (Section 3). Reflexive.
+  bool Covers(const Cluster& other) const;
+
+  /// True iff this cluster covers the element with the given codes.
+  bool CoversElement(const std::vector<int32_t>& attrs) const;
+
+  /// Least common ancestor in the semilattice: keeps positions where the two
+  /// patterns agree on a concrete value, wildcards everything else.
+  static Cluster Lca(const Cluster& a, const Cluster& b);
+
+  /// Replaces the positions selected by `mask` bits with wildcards; the
+  /// generalization masks of an element enumerate its 2^m ancestors.
+  static Cluster Generalize(const std::vector<int32_t>& attrs, uint32_t mask);
+
+  /// Renders as "(v1, *, v3, ...)" using the answer set's value names.
+  std::string ToString(const AnswerSet& s) const;
+
+  /// Renders codes directly: "(3, *, 0)".
+  std::string ToString() const;
+
+  bool operator==(const Cluster& other) const {
+    return pattern_ == other.pattern_;
+  }
+  bool operator!=(const Cluster& other) const { return !(*this == other); }
+
+ private:
+  std::vector<int32_t> pattern_;
+};
+
+struct ClusterHash {
+  size_t operator()(const Cluster& c) const {
+    return VectorHash<int32_t>()(c.pattern());
+  }
+};
+
+/// Distance between two clusters (Definition 3.1): the number of attributes
+/// where either side is a wildcard or the values differ. A metric on
+/// patterns; equals the maximum element-distance across their extents.
+int Distance(const Cluster& a, const Cluster& b);
+
+/// Distance between two elements: number of attributes whose values differ.
+int ElementDistance(const std::vector<int32_t>& a,
+                    const std::vector<int32_t>& b);
+
+/// Distance between a cluster and an element's singleton cluster.
+int DistanceToElement(const Cluster& c, const std::vector<int32_t>& attrs);
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_CLUSTER_H_

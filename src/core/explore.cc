@@ -1,0 +1,86 @@
+#include "core/explore.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace qagview::core {
+
+TwoLayerView BuildTwoLayerView(const ClusterUniverse& universe,
+                               const Solution& solution) {
+  TwoLayerView view;
+  view.solution_average = solution.average;
+  view.solution_count = solution.covered_count;
+  const AnswerSet& s = universe.answer_set();
+  for (int id : solution.cluster_ids) {
+    ClusterView cv;
+    cv.cluster_id = id;
+    cv.pattern = universe.cluster(id).ToString(s);
+    cv.average = universe.Average(id);
+    cv.count = universe.covered_count(id);
+    cv.top_count = universe.top_covered_count(id);
+    for (int32_t e : universe.covered(id)) cv.member_ranks.push_back(e + 1);
+    view.clusters.push_back(std::move(cv));
+  }
+  std::sort(view.clusters.begin(), view.clusters.end(),
+            [](const ClusterView& a, const ClusterView& b) {
+              if (a.average != b.average) return a.average > b.average;
+              return a.pattern < b.pattern;
+            });
+  return view;
+}
+
+std::string RenderSummary(const ClusterUniverse& universe,
+                          const Solution& solution) {
+  TwoLayerView view = BuildTwoLayerView(universe, solution);
+  const AnswerSet& s = universe.answer_set();
+  std::ostringstream out;
+  out << Join(s.attr_names(), "\t") << "\tavg val\t#tuples\n";
+  for (const ClusterView& cv : view.clusters) {
+    std::string row = cv.pattern.substr(1, cv.pattern.size() - 2);  // drop ()
+    // The pattern renders as "a, b, c"; reuse it tab-separated.
+    std::string cells;
+    for (const std::string& part : Split(row, ',')) {
+      if (!cells.empty()) cells += "\t";
+      cells += std::string(StripWhitespace(part));
+    }
+    out << cells << "\t" << FormatDouble(cv.average, 2) << "\t" << cv.count
+        << "\n";
+  }
+  out << "solution avg = " << FormatDouble(view.solution_average, 4)
+      << " over " << view.solution_count << " covered tuples\n";
+  return out.str();
+}
+
+std::string RenderExpanded(const ClusterUniverse& universe,
+                           const Solution& solution, int max_members) {
+  TwoLayerView view = BuildTwoLayerView(universe, solution);
+  const AnswerSet& s = universe.answer_set();
+  std::ostringstream out;
+  out << Join(s.attr_names(), "\t") << "\tval\trank\n";
+  for (const ClusterView& cv : view.clusters) {
+    out << "▼ " << cv.pattern << "\tavg " << FormatDouble(cv.average, 2)
+        << "\t(" << cv.count << " tuples, " << cv.top_count << " in top-"
+        << universe.top_l() << ")\n";
+    int shown = 0;
+    for (int rank : cv.member_ranks) {
+      if (max_members > 0 && shown >= max_members) {
+        out << "    ... (" << cv.member_ranks.size() - shown
+            << " more)\n";
+        break;
+      }
+      const Element& e = s.element(rank - 1);
+      out << "    ";
+      for (int a = 0; a < s.num_attrs(); ++a) {
+        if (a) out << "\t";
+        out << s.ValueName(a, e.attrs[static_cast<size_t>(a)]);
+      }
+      out << "\t" << FormatDouble(e.value, 2) << "\t" << rank << "\n";
+      ++shown;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace qagview::core

@@ -1,0 +1,47 @@
+#ifndef QAGVIEW_CORE_EXPLORE_H_
+#define QAGVIEW_CORE_EXPLORE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/solution.h"
+
+namespace qagview::core {
+
+/// One first-layer row of the two-layer output (Figure 1b): a cluster, its
+/// rendered pattern, and the statistics of the elements it covers.
+struct ClusterView {
+  int cluster_id = -1;
+  std::string pattern;            // "(1980, *, M, *)"
+  double average = 0.0;           // avg value of covered elements
+  int count = 0;                  // elements covered
+  int top_count = 0;              // of which in the top L
+  std::vector<int> member_ranks;  // 1-based ranks of covered elements
+};
+
+/// The two-layer view of a solution: clusters (sorted by average
+/// descending, as the paper displays them) plus the solution objective.
+struct TwoLayerView {
+  std::vector<ClusterView> clusters;
+  double solution_average = 0.0;
+  int solution_count = 0;
+};
+
+/// Builds the display structures for a solution.
+TwoLayerView BuildTwoLayerView(const ClusterUniverse& universe,
+                               const Solution& solution);
+
+/// Renders the collapsed first layer (Figure 1b): one row per cluster with
+/// its pattern and average value.
+std::string RenderSummary(const ClusterUniverse& universe,
+                          const Solution& solution);
+
+/// Renders the expanded view (Figure 1c): each cluster followed by the
+/// original result tuples it covers, with their global ranks. Clusters list
+/// at most `max_members` members each (0 = all).
+std::string RenderExpanded(const ClusterUniverse& universe,
+                           const Solution& solution, int max_members = 0);
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_EXPLORE_H_

@@ -1,0 +1,53 @@
+#ifndef QAGVIEW_CORE_FIXED_ORDER_H_
+#define QAGVIEW_CORE_FIXED_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/solution.h"
+
+namespace qagview::core {
+
+struct FixedOrderOptions {
+  /// §6.3 delta-judgment optimization.
+  bool use_delta_judgment = true;
+
+  /// Optional pre-processing of seed items before the top-L sweep (§5.2).
+  enum class Seeding {
+    kNone,    // plain Fixed-Order
+    kRandom,  // random-Fixed-Order: k random top-L elements first
+    kKMeans,  // k-means-Fixed-Order: k-modes cluster patterns first
+  };
+  Seeding seeding = Seeding::kNone;
+  uint64_t seed = 42;
+};
+
+/// \brief The Fixed-Order greedy algorithm (Algorithm 3).
+///
+/// Processes the top-L elements in descending-value order. Each element is
+/// skipped if already covered; added as a singleton if the size and
+/// distance constraints allow; otherwise greedily merged (LCA) into the
+/// existing cluster that maximizes the resulting solution average. All
+/// constraints hold after every step, so the result is always feasible.
+/// Considers O(L·k) merges total versus Bottom-Up's quadratic pair scans.
+class FixedOrder {
+ public:
+  static Result<Solution> Run(const ClusterUniverse& universe,
+                              const Params& params,
+                              const FixedOrderOptions& options = {});
+
+  /// The Fixed-Order sweep with an explicit size budget, returning the raw
+  /// cluster set. Used directly by Hybrid (budget = c·k) and by the
+  /// precomputation layer (budget = c·k_max with D = 0 so the output is
+  /// reusable across all D). `distance_d` may be 0 to disable the distance
+  /// constraint.
+  static Result<std::vector<int>> RunPhase(const ClusterUniverse& universe,
+                                           int budget, int top_l,
+                                           int distance_d,
+                                           const FixedOrderOptions& options);
+};
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_FIXED_ORDER_H_

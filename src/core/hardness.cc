@@ -1,0 +1,222 @@
+#include "core/hardness.h"
+
+#include "common/string_util.h"
+
+namespace qagview::core {
+
+namespace {
+
+// Collects all edges as (class pair, endpoints) for cover checking.
+bool EdgeCovered(const std::vector<Vertex>& cover, int cls_a, int ia,
+                 int cls_b, int ib) {
+  for (const Vertex& v : cover) {
+    if ((v.cls == cls_a && v.index == ia) ||
+        (v.cls == cls_b && v.index == ib)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsVertexCover(const TripartiteGraph& g,
+                   const std::vector<Vertex>& cover) {
+  for (const auto& [x, y] : g.xy) {
+    if (!EdgeCovered(cover, 0, x, 1, y)) return false;
+  }
+  for (const auto& [y, z] : g.yz) {
+    if (!EdgeCovered(cover, 1, y, 2, z)) return false;
+  }
+  for (const auto& [x, z] : g.xz) {
+    if (!EdgeCovered(cover, 0, x, 2, z)) return false;
+  }
+  return true;
+}
+
+int MinVertexCoverSize(const TripartiteGraph& g) {
+  int n = g.NumVertices();
+  QAG_CHECK(n <= 20) << "exhaustive vertex cover oracle limited to 20 nodes";
+  std::vector<Vertex> all;
+  for (int i = 0; i < g.nx; ++i) all.push_back({0, i});
+  for (int i = 0; i < g.ny; ++i) all.push_back({1, i});
+  for (int i = 0; i < g.nz; ++i) all.push_back({2, i});
+  int best = n;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    int bits = __builtin_popcount(mask);
+    if (bits >= best) continue;
+    std::vector<Vertex> cover;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) cover.push_back(all[static_cast<size_t>(i)]);
+    }
+    if (IsVertexCover(g, cover)) best = bits;
+  }
+  return best;
+}
+
+// Shared helper: a 3-attribute value-name table with named vertex values
+// plus an allocator for fresh values.
+struct DomainBuilder {
+  std::vector<std::vector<std::string>> names{3};
+
+  int32_t Vertex(int cls, int index, const char* prefix) {
+    names[static_cast<size_t>(cls)].push_back(StrCat(prefix, index));
+    return static_cast<int32_t>(names[static_cast<size_t>(cls)].size()) - 1;
+  }
+  int32_t Fresh(int cls, const std::string& label) {
+    names[static_cast<size_t>(cls)].push_back(label);
+    return static_cast<int32_t>(names[static_cast<size_t>(cls)].size()) - 1;
+  }
+};
+
+Result<DecisionInstance> BuildDecisionInstance(const TripartiteGraph& g,
+                                               int m_bound) {
+  if (g.NumEdges() == 0) {
+    return Status::InvalidArgument("graph has no edges");
+  }
+  DecisionInstance out;
+  DomainBuilder dom;
+  for (int i = 0; i < g.nx; ++i) out.x_codes.push_back(dom.Vertex(0, i, "x"));
+  for (int i = 0; i < g.ny; ++i) out.y_codes.push_back(dom.Vertex(1, i, "y"));
+  for (int i = 0; i < g.nz; ++i) out.z_codes.push_back(dom.Vertex(2, i, "z"));
+
+  std::vector<Element> elements;
+  int edge_id = 0;
+  for (const auto& [x, y] : g.xy) {
+    int32_t fresh = dom.Fresh(2, StrCat("Z_e", edge_id++));
+    elements.push_back({{out.x_codes[static_cast<size_t>(x)],
+                         out.y_codes[static_cast<size_t>(y)], fresh},
+                        1.0});
+  }
+  for (const auto& [y, z] : g.yz) {
+    int32_t fresh = dom.Fresh(0, StrCat("X_e", edge_id++));
+    elements.push_back({{fresh, out.y_codes[static_cast<size_t>(y)],
+                         out.z_codes[static_cast<size_t>(z)]},
+                        1.0});
+  }
+  for (const auto& [x, z] : g.xz) {
+    int32_t fresh = dom.Fresh(1, StrCat("Y_e", edge_id++));
+    elements.push_back({{out.x_codes[static_cast<size_t>(x)], fresh,
+                         out.z_codes[static_cast<size_t>(z)]},
+                        1.0});
+  }
+  QAG_ASSIGN_OR_RETURN(out.answers,
+                       AnswerSet::FromRaw({"AX", "AY", "AZ"},
+                                          std::move(dom.names),
+                                          std::move(elements)));
+  out.params.k = m_bound;
+  out.params.L = g.NumEdges();
+  out.params.D = 0;
+  return out;
+}
+
+Result<OptimizationInstance> BuildOptimizationInstance(
+    const TripartiteGraph& g, int m_bound, int redundancy_override) {
+  if (g.NumEdges() == 0) {
+    return Status::InvalidArgument("graph has no edges");
+  }
+  OptimizationInstance out;
+  DomainBuilder dom;
+  for (int i = 0; i < g.nx; ++i) out.x_codes.push_back(dom.Vertex(0, i, "x"));
+  for (int i = 0; i < g.ny; ++i) out.y_codes.push_back(dom.Vertex(1, i, "y"));
+  for (int i = 0; i < g.nz; ++i) out.z_codes.push_back(dom.Vertex(2, i, "z"));
+
+  int ne = g.NumEdges();
+  int nr = redundancy_override > 0 ? redundancy_override
+                                   : 2 * ne * g.NumVertices();
+  out.redundancy = nr;
+
+  std::vector<Element> elements;
+  int fresh_id = 0;
+
+  // Per edge: two unit-weight top tuples with fresh third-attribute values,
+  // and nr zero-weight padding tuples per fresh value (so promoting a fresh
+  // value to a selected cluster is never worthwhile).
+  auto add_edge = [&](int fresh_cls, int32_t a, int32_t b) {
+    for (int copy = 0; copy < 2; ++copy) {
+      int32_t fresh = dom.Fresh(fresh_cls, StrCat("e", fresh_id++));
+      std::vector<int32_t> attrs(3);
+      int pos = 0;
+      for (int cls = 0; cls < 3; ++cls) {
+        if (cls == fresh_cls) {
+          attrs[static_cast<size_t>(cls)] = fresh;
+        } else {
+          attrs[static_cast<size_t>(cls)] = pos++ == 0 ? a : b;
+        }
+      }
+      elements.push_back({attrs, 1.0});
+      for (int r = 0; r < nr; ++r) {
+        std::vector<int32_t> pad(3);
+        for (int cls = 0; cls < 3; ++cls) {
+          pad[static_cast<size_t>(cls)] =
+              cls == fresh_cls ? fresh
+                               : dom.Fresh(cls, StrCat("pad", fresh_id++));
+        }
+        elements.push_back({pad, 0.0});
+      }
+    }
+  };
+  for (const auto& [x, y] : g.xy) {
+    add_edge(2, out.x_codes[static_cast<size_t>(x)],
+             out.y_codes[static_cast<size_t>(y)]);
+  }
+  for (const auto& [y, z] : g.yz) {
+    add_edge(0, out.y_codes[static_cast<size_t>(y)],
+             out.z_codes[static_cast<size_t>(z)]);
+  }
+  for (const auto& [x, z] : g.xz) {
+    add_edge(1, out.x_codes[static_cast<size_t>(x)],
+             out.z_codes[static_cast<size_t>(z)]);
+  }
+
+  // Per vertex: one zero-weight redundant tuple with fresh companions, the
+  // price a vertex cluster pays for being selected.
+  for (int i = 0; i < g.nx; ++i) {
+    elements.push_back({{out.x_codes[static_cast<size_t>(i)],
+                         dom.Fresh(1, StrCat("g", fresh_id++)),
+                         dom.Fresh(2, StrCat("g", fresh_id++))},
+                        0.0});
+  }
+  for (int i = 0; i < g.ny; ++i) {
+    elements.push_back({{dom.Fresh(0, StrCat("g", fresh_id++)),
+                         out.y_codes[static_cast<size_t>(i)],
+                         dom.Fresh(2, StrCat("g", fresh_id++))},
+                        0.0});
+  }
+  for (int i = 0; i < g.nz; ++i) {
+    elements.push_back({{dom.Fresh(0, StrCat("g", fresh_id++)),
+                         dom.Fresh(1, StrCat("g", fresh_id++)),
+                         out.z_codes[static_cast<size_t>(i)]},
+                        0.0});
+  }
+
+  QAG_ASSIGN_OR_RETURN(out.answers,
+                       AnswerSet::FromRaw({"AX", "AY", "AZ"},
+                                          std::move(dom.names),
+                                          std::move(elements)));
+  out.params.k = m_bound;
+  out.params.L = 2 * ne;
+  out.params.D = 3;
+  out.cover_threshold =
+      2.0 * ne / (2.0 * ne + static_cast<double>(m_bound));
+  return out;
+}
+
+std::vector<Cluster> VertexCoverClusters(const std::vector<Vertex>& cover,
+                                         const std::vector<int32_t>& x_codes,
+                                         const std::vector<int32_t>& y_codes,
+                                         const std::vector<int32_t>& z_codes) {
+  std::vector<Cluster> out;
+  out.reserve(cover.size());
+  for (const Vertex& v : cover) {
+    std::vector<int32_t> pattern(3, kWildcard);
+    const std::vector<int32_t>& codes =
+        v.cls == 0 ? x_codes : (v.cls == 1 ? y_codes : z_codes);
+    pattern[static_cast<size_t>(v.cls)] =
+        codes[static_cast<size_t>(v.index)];
+    out.emplace_back(std::move(pattern));
+  }
+  return out;
+}
+
+}  // namespace qagview::core

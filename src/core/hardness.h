@@ -1,0 +1,89 @@
+#ifndef QAGVIEW_CORE_HARDNESS_H_
+#define QAGVIEW_CORE_HARDNESS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/answer_set.h"
+#include "core/cluster.h"
+#include "core/solution.h"
+
+namespace qagview::core {
+
+/// A tripartite graph with vertex classes X, Y, Z; edges connect vertices
+/// of different classes. Vertex cover on such graphs is NP-hard [25] and is
+/// the source problem of the paper's reductions (Appendix A.2).
+struct TripartiteGraph {
+  int nx = 0;
+  int ny = 0;
+  int nz = 0;
+  std::vector<std::pair<int, int>> xy;  // (x index, y index)
+  std::vector<std::pair<int, int>> yz;  // (y index, z index)
+  std::vector<std::pair<int, int>> xz;  // (x index, z index)
+
+  int NumEdges() const {
+    return static_cast<int>(xy.size() + yz.size() + xz.size());
+  }
+  int NumVertices() const { return nx + ny + nz; }
+};
+
+/// One vertex: which class (0=X, 1=Y, 2=Z) and its index within the class.
+struct Vertex {
+  int cls = 0;
+  int index = 0;
+  bool operator==(const Vertex& other) const {
+    return cls == other.cls && index == other.index;
+  }
+};
+
+/// Exhaustive minimum vertex cover (test oracle; graphs must be tiny).
+int MinVertexCoverSize(const TripartiteGraph& g);
+
+/// True iff `cover` touches every edge of g.
+bool IsVertexCover(const TripartiteGraph& g, const std::vector<Vertex>& cover);
+
+/// \brief The Theorem A.2 construction (decision version, D=0, L=n,
+/// uniform weights): each edge becomes one tuple over 3 attributes with a
+/// fresh value padding the third attribute, so that a non-trivial feasible
+/// solution with <= M clusters exists iff g has a vertex cover of size
+/// <= M.
+struct DecisionInstance {
+  AnswerSet answers;
+  Params params;  // k = M, L = #edges, D = 0
+  // Attribute-code of each vertex in its class's attribute (codes of the
+  // fresh per-edge values follow after these).
+  std::vector<int32_t> x_codes, y_codes, z_codes;
+};
+
+Result<DecisionInstance> BuildDecisionInstance(const TripartiteGraph& g,
+                                               int m_bound);
+
+/// \brief The Theorem A.1 construction (Max-Avg optimization, k >= L,
+/// D = 3): each edge becomes two unit-weight tuples; vertices and fresh
+/// values gain zero-weight redundant tuples, so that g has a vertex cover
+/// of size <= M iff the optimum value is >= 2·Ne / (2·Ne + M).
+struct OptimizationInstance {
+  AnswerSet answers;
+  Params params;  // k = M, L = 2·#edges, D = 3
+  std::vector<int32_t> x_codes, y_codes, z_codes;
+  double cover_threshold = 0.0;  // 2Ne / (2Ne + M)
+  /// Scale factor applied to the paper's Nr = 2·Ne·Nv padding count
+  /// (1 = faithful; smaller keeps test instances tiny).
+  int redundancy = 0;
+};
+
+Result<OptimizationInstance> BuildOptimizationInstance(
+    const TripartiteGraph& g, int m_bound, int redundancy_override = 0);
+
+/// The clusters {(v, *, *) | v in cover} etc. induced by a vertex cover —
+/// the (only-if) direction of both reductions. The code arrays come from
+/// the instance the clusters will be checked against.
+std::vector<Cluster> VertexCoverClusters(const std::vector<Vertex>& cover,
+                                         const std::vector<int32_t>& x_codes,
+                                         const std::vector<int32_t>& y_codes,
+                                         const std::vector<int32_t>& z_codes);
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_HARDNESS_H_

@@ -1,0 +1,262 @@
+#include "core/hierarchical_summarizer.h"
+
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace qagview::core {
+
+HierarchicalSummarizer::HierarchicalSummarizer(const AnswerSet* s,
+                                               HierarchySet hierarchies)
+    : s_(s), hierarchies_(std::move(hierarchies)) {
+  QAG_CHECK(s != nullptr);
+  QAG_CHECK(hierarchies_.num_attrs() == s->num_attrs())
+      << "one hierarchy per attribute required";
+  // Every attribute code must be bound to a leaf.
+  for (int a = 0; a < s->num_attrs(); ++a) {
+    for (int32_t code = 0; code < s->domain_size(a); ++code) {
+      QAG_CHECK(hierarchies_.hierarchy(a).LeafNode(code) >= 0)
+          << "attribute " << a << " code " << code << " has no leaf";
+    }
+  }
+}
+
+std::vector<int> HierarchicalSummarizer::Covered(
+    const HierarchicalCluster& c) const {
+  std::vector<int> out;
+  for (int e = 0; e < s_->size(); ++e) {
+    if (hierarchies_.Covers(c, hierarchies_.FromElement(s_->element(e).attrs))) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+HierarchicalSummarizer::Stats HierarchicalSummarizer::CoveredStats(
+    const HierarchicalCluster& c, std::vector<char>* covered_scratch) const {
+  Stats stats;
+  for (int e = 0; e < s_->size(); ++e) {
+    if ((*covered_scratch)[static_cast<size_t>(e)]) continue;
+    if (hierarchies_.Covers(c,
+                            hierarchies_.FromElement(s_->element(e).attrs))) {
+      stats.sum += s_->value(e);
+      ++stats.count;
+    }
+  }
+  return stats;
+}
+
+Status HierarchicalSummarizer::CheckFeasible(
+    const std::vector<HierarchicalCluster>& clusters,
+    const Params& params) const {
+  if (static_cast<int>(clusters.size()) > params.k) {
+    return Status::FailedPrecondition("size violation");
+  }
+  for (int e = 0; e < params.L; ++e) {
+    HierarchicalCluster leaf = hierarchies_.FromElement(s_->element(e).attrs);
+    bool covered = false;
+    for (const HierarchicalCluster& c : clusters) {
+      covered = covered || hierarchies_.Covers(c, leaf);
+    }
+    if (!covered) {
+      return Status::FailedPrecondition(
+          StrCat("coverage violation: top element ", e + 1));
+    }
+  }
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    for (size_t j = i + 1; j < clusters.size(); ++j) {
+      if (hierarchies_.Distance(clusters[i], clusters[j]) < params.D) {
+        return Status::FailedPrecondition("distance violation");
+      }
+      if (hierarchies_.Covers(clusters[i], clusters[j]) ||
+          hierarchies_.Covers(clusters[j], clusters[i])) {
+        return Status::FailedPrecondition("antichain violation");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<HierarchicalSolution> HierarchicalSummarizer::Run(
+    const Params& params) const {
+  QAG_RETURN_IF_ERROR(ValidateParams(*s_, params));
+
+  std::vector<HierarchicalCluster> clusters;
+  std::vector<char> covered(static_cast<size_t>(s_->size()), 0);
+  double covered_sum = 0.0;
+  int covered_count = 0;
+
+  auto commit = [&](const HierarchicalCluster& c) {
+    // Absorb coverage and drop subsumed clusters (incomparability).
+    for (int e = 0; e < s_->size(); ++e) {
+      if (covered[static_cast<size_t>(e)]) continue;
+      if (hierarchies_.Covers(c,
+                              hierarchies_.FromElement(s_->element(e).attrs))) {
+        covered[static_cast<size_t>(e)] = 1;
+        covered_sum += s_->value(e);
+        ++covered_count;
+      }
+    }
+    std::erase_if(clusters, [&](const HierarchicalCluster& other) {
+      return hierarchies_.Covers(c, other);
+    });
+    clusters.push_back(c);
+  };
+
+  for (int i = 0; i < params.L; ++i) {
+    if (covered[static_cast<size_t>(i)]) continue;
+    HierarchicalCluster leaf = hierarchies_.FromElement(s_->element(i).attrs);
+
+    // Candidate partners under the Fixed-Order policy.
+    std::vector<int> partners;
+    if (static_cast<int>(clusters.size()) < params.k) {
+      bool distance_ok = true;
+      for (size_t c = 0; c < clusters.size(); ++c) {
+        if (hierarchies_.Distance(clusters[c], leaf) < params.D) {
+          distance_ok = false;
+          partners.push_back(static_cast<int>(c));
+        }
+      }
+      if (distance_ok) {
+        commit(leaf);
+        continue;
+      }
+    } else {
+      for (size_t c = 0; c < clusters.size(); ++c) {
+        partners.push_back(static_cast<int>(c));
+      }
+    }
+
+    // Greedy merge: the per-attribute hierarchy LCA maximizing the
+    // tentative solution average.
+    double best_score = -std::numeric_limits<double>::infinity();
+    HierarchicalCluster best;
+    for (int c : partners) {
+      HierarchicalCluster merged =
+          hierarchies_.Lca(clusters[static_cast<size_t>(c)], leaf);
+      std::vector<char> scratch = covered;
+      Stats added = CoveredStats(merged, &scratch);
+      int total = covered_count + added.count;
+      double score = total == 0 ? 0.0 : (covered_sum + added.sum) / total;
+      if (score > best_score) {
+        best_score = score;
+        best = merged;
+      }
+    }
+    commit(best);
+  }
+
+  HierarchicalSolution solution;
+  solution.clusters = clusters;
+  solution.covered_sum = covered_sum;
+  solution.covered_count = covered_count;
+  solution.average =
+      covered_count == 0 ? 0.0 : covered_sum / covered_count;
+  QAG_RETURN_IF_ERROR(CheckFeasible(solution.clusters, params));
+  return solution;
+}
+
+Result<HierarchicalSolution> HierarchicalSummarizer::RunBottomUp(
+    const Params& params) const {
+  QAG_RETURN_IF_ERROR(ValidateParams(*s_, params));
+
+  std::vector<HierarchicalCluster> clusters;
+  std::vector<char> covered(static_cast<size_t>(s_->size()), 0);
+  double covered_sum = 0.0;
+  int covered_count = 0;
+
+  auto commit = [&](const HierarchicalCluster& c) {
+    for (int e = 0; e < s_->size(); ++e) {
+      if (covered[static_cast<size_t>(e)]) continue;
+      if (hierarchies_.Covers(
+              c, hierarchies_.FromElement(s_->element(e).attrs))) {
+        covered[static_cast<size_t>(e)] = 1;
+        covered_sum += s_->value(e);
+        ++covered_count;
+      }
+    }
+    std::erase_if(clusters, [&](const HierarchicalCluster& other) {
+      return hierarchies_.Covers(c, other);
+    });
+    clusters.push_back(c);
+  };
+
+  // Start: top-L leaf singletons (group-by answers are distinct tuples).
+  for (int i = 0; i < params.L; ++i) {
+    commit(hierarchies_.FromElement(s_->element(i).attrs));
+  }
+
+  // Greedily merges the best pair among `pairs`; returns false on empty.
+  auto merge_best = [&](const std::vector<std::pair<int, int>>& pairs) {
+    if (pairs.empty()) return false;
+    double best_score = -std::numeric_limits<double>::infinity();
+    HierarchicalCluster best;
+    for (const auto& [i, j] : pairs) {
+      HierarchicalCluster merged =
+          hierarchies_.Lca(clusters[static_cast<size_t>(i)],
+                           clusters[static_cast<size_t>(j)]);
+      std::vector<char> scratch = covered;
+      Stats added = CoveredStats(merged, &scratch);
+      int total = covered_count + added.count;
+      double score = total == 0 ? 0.0 : (covered_sum + added.sum) / total;
+      if (score > best_score) {
+        best_score = score;
+        best = merged;
+      }
+    }
+    commit(best);
+    return true;
+  };
+
+  // Phase 1: repair distance violations.
+  while (true) {
+    std::vector<std::pair<int, int>> close_pairs;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        if (hierarchies_.Distance(clusters[i], clusters[j]) < params.D) {
+          close_pairs.emplace_back(static_cast<int>(i),
+                                   static_cast<int>(j));
+        }
+      }
+    }
+    if (!merge_best(close_pairs)) break;
+  }
+
+  // Phase 2: shrink to k.
+  while (static_cast<int>(clusters.size()) > params.k) {
+    std::vector<std::pair<int, int>> all_pairs;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        all_pairs.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+    QAG_CHECK(merge_best(all_pairs));
+  }
+
+  HierarchicalSolution solution;
+  solution.clusters = clusters;
+  solution.covered_sum = covered_sum;
+  solution.covered_count = covered_count;
+  solution.average = covered_count == 0 ? 0.0 : covered_sum / covered_count;
+  QAG_RETURN_IF_ERROR(CheckFeasible(solution.clusters, params));
+  return solution;
+}
+
+std::string HierarchicalSummarizer::Render(
+    const HierarchicalSolution& solution) const {
+  std::ostringstream out;
+  for (const HierarchicalCluster& c : solution.clusters) {
+    std::vector<int> members = Covered(c);
+    double sum = 0.0;
+    for (int e : members) sum += s_->value(e);
+    out << hierarchies_.Render(c) << "\tavg "
+        << FormatDouble(members.empty() ? 0.0 : sum / members.size(), 2)
+        << "\t" << members.size() << " tuples\n";
+  }
+  out << "solution avg = " << FormatDouble(solution.average, 4) << " over "
+      << solution.covered_count << " covered tuples\n";
+  return out.str();
+}
+
+}  // namespace qagview::core

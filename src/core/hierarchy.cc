@@ -1,0 +1,394 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace qagview::core {
+
+int ConceptHierarchy::AddNode(const std::string& label, int parent) {
+  QAG_CHECK(!finalized_) << "hierarchy already finalized";
+  int id = num_nodes();
+  if (id == 0) {
+    QAG_CHECK(parent == -1) << "first node must be the root";
+  } else {
+    QAG_CHECK(parent >= 0 && parent < id)
+        << "parent must precede child (got " << parent << ")";
+  }
+  parent_.push_back(parent);
+  depth_.push_back(parent < 0 ? 0 : depth_[static_cast<size_t>(parent)] + 1);
+  labels_.push_back(label);
+  leaf_code_.push_back(-1);
+  return id;
+}
+
+Status ConceptHierarchy::BindLeaf(int node, int32_t code) {
+  if (node < 0 || node >= num_nodes()) {
+    return Status::OutOfRange("no such node");
+  }
+  if (code < 0) return Status::InvalidArgument("codes must be >= 0");
+  if (leaf_code_[static_cast<size_t>(node)] >= 0) {
+    return Status::AlreadyExists("node already bound to a code");
+  }
+  if (static_cast<size_t>(code) >= code_to_node_.size()) {
+    code_to_node_.resize(static_cast<size_t>(code) + 1, -1);
+  }
+  if (code_to_node_[static_cast<size_t>(code)] >= 0) {
+    return Status::AlreadyExists(StrCat("code ", code, " already bound"));
+  }
+  leaf_code_[static_cast<size_t>(node)] = code;
+  code_to_node_[static_cast<size_t>(code)] = node;
+  return Status::OK();
+}
+
+Status ConceptHierarchy::Finalize() {
+  if (num_nodes() == 0) return Status::FailedPrecondition("empty hierarchy");
+  // Leaves must actually be tree leaves.
+  std::vector<char> has_child(static_cast<size_t>(num_nodes()), 0);
+  for (int v = 1; v < num_nodes(); ++v) {
+    has_child[static_cast<size_t>(parent_[static_cast<size_t>(v)])] = 1;
+  }
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (is_leaf(v) && has_child[static_cast<size_t>(v)]) {
+      return Status::FailedPrecondition(
+          StrCat("bound node ", v, " has children"));
+    }
+  }
+  int levels = 1;
+  while ((1 << levels) < num_nodes()) ++levels;
+  up_.assign(static_cast<size_t>(levels) + 1,
+             std::vector<int>(static_cast<size_t>(num_nodes())));
+  for (int v = 0; v < num_nodes(); ++v) {
+    up_[0][static_cast<size_t>(v)] =
+        parent_[static_cast<size_t>(v)] < 0 ? 0 : parent_[
+            static_cast<size_t>(v)];
+  }
+  for (size_t j = 1; j < up_.size(); ++j) {
+    for (int v = 0; v < num_nodes(); ++v) {
+      up_[j][static_cast<size_t>(v)] =
+          up_[j - 1][static_cast<size_t>(up_[j - 1][static_cast<size_t>(v)])];
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+int ConceptHierarchy::LeafNode(int32_t code) const {
+  if (code < 0 || static_cast<size_t>(code) >= code_to_node_.size()) {
+    return -1;
+  }
+  return code_to_node_[static_cast<size_t>(code)];
+}
+
+int ConceptHierarchy::Lca(int a, int b) const {
+  QAG_CHECK(finalized_) << "call Finalize() first";
+  QAG_DCHECK(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes());
+  if (depth(a) < depth(b)) std::swap(a, b);
+  int diff = depth(a) - depth(b);
+  for (size_t j = 0; j < up_.size(); ++j) {
+    if (diff & (1 << j)) a = up_[j][static_cast<size_t>(a)];
+  }
+  if (a == b) return a;
+  for (size_t j = up_.size(); j-- > 0;) {
+    if (up_[j][static_cast<size_t>(a)] != up_[j][static_cast<size_t>(b)]) {
+      a = up_[j][static_cast<size_t>(a)];
+      b = up_[j][static_cast<size_t>(b)];
+    }
+  }
+  return up_[0][static_cast<size_t>(a)];
+}
+
+bool ConceptHierarchy::IsAncestor(int ancestor, int node) const {
+  return Lca(ancestor, node) == ancestor;
+}
+
+ConceptHierarchy ConceptHierarchy::Flat(int num_leaves) {
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<size_t>(num_leaves));
+  for (int i = 0; i < num_leaves; ++i) labels.push_back(StrCat("v", i));
+  return Flat(labels);
+}
+
+ConceptHierarchy ConceptHierarchy::Flat(
+    const std::vector<std::string>& leaf_labels) {
+  ConceptHierarchy h;
+  h.AddNode("*");
+  for (size_t i = 0; i < leaf_labels.size(); ++i) {
+    int node = h.AddNode(leaf_labels[i], h.root());
+    QAG_CHECK_OK(h.BindLeaf(node, static_cast<int32_t>(i)));
+  }
+  QAG_CHECK_OK(h.Finalize());
+  return h;
+}
+
+namespace {
+// Recursively builds the balanced range node over [lo, hi].
+void BuildRange(ConceptHierarchy* h, const std::vector<std::string>& labels,
+                int parent, int lo, int hi) {
+  if (lo == hi) {
+    int node = h->AddNode(labels[static_cast<size_t>(lo)], parent);
+    QAG_CHECK_OK(h->BindLeaf(node, lo));
+    return;
+  }
+  int node = h->AddNode(StrCat("[", labels[static_cast<size_t>(lo)], "..",
+                               labels[static_cast<size_t>(hi)], "]"),
+                        parent);
+  int mid = lo + (hi - lo) / 2;
+  BuildRange(h, labels, node, lo, mid);
+  BuildRange(h, labels, node, mid + 1, hi);
+}
+}  // namespace
+
+ConceptHierarchy ConceptHierarchy::BinaryRanges(
+    const std::vector<std::string>& leaf_labels) {
+  QAG_CHECK(!leaf_labels.empty());
+  ConceptHierarchy h;
+  h.AddNode("*");
+  if (leaf_labels.size() == 1) {
+    int node = h.AddNode(leaf_labels[0], h.root());
+    QAG_CHECK_OK(h.BindLeaf(node, 0));
+  } else {
+    int mid = (static_cast<int>(leaf_labels.size()) - 1) / 2;
+    BuildRange(&h, leaf_labels, h.root(), 0, mid);
+    BuildRange(&h, leaf_labels, h.root(), mid + 1,
+               static_cast<int>(leaf_labels.size()) - 1);
+  }
+  QAG_CHECK_OK(h.Finalize());
+  return h;
+}
+
+namespace {
+
+// Partitions n items with the given weights into `groups` contiguous
+// nonempty groups, cutting when the running prefix reaches the global
+// targets total·(g+1)/groups. Returns the item count of each group.
+std::vector<int> BalancedPartition(const std::vector<double>& weights,
+                                   int groups) {
+  const int n = static_cast<int>(weights.size());
+  QAG_DCHECK(groups >= 1 && groups <= n);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  std::vector<int> counts;
+  counts.reserve(static_cast<size_t>(groups));
+  int i = 0;
+  double cum = 0.0;
+  for (int g = 0; g < groups; ++g) {
+    if (g == groups - 1) {
+      counts.push_back(n - i);
+      break;
+    }
+    int max_take = n - i - (groups - g - 1);  // leave >= 1 per later group
+    double target = total * (g + 1) / groups;
+    int taken = 0;
+    while (taken < max_take && (taken == 0 || cum < target)) {
+      cum += weights[static_cast<size_t>(i)];
+      ++i;
+      ++taken;
+    }
+    counts.push_back(taken);
+  }
+  return counts;
+}
+
+}  // namespace
+
+Result<ConceptHierarchy> ConceptHierarchy::WeightedRanges(
+    const std::vector<std::string>& leaf_labels,
+    const std::vector<int32_t>& leaf_codes,
+    const std::vector<double>& weights, int fanout) {
+  const int n = static_cast<int>(leaf_labels.size());
+  if (n == 0) return Status::InvalidArgument("no leaves");
+  if (static_cast<int>(leaf_codes.size()) != n) {
+    return Status::InvalidArgument("leaf_codes size mismatch");
+  }
+  if (!weights.empty() && static_cast<int>(weights.size()) != n) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+  if (fanout < 2) return Status::InvalidArgument("fanout must be >= 2");
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("weights must be >= 0");
+  }
+
+  // Level structure over leaf-index ranges, bottom-up. levels[0] = leaves;
+  // each higher level groups ~fanout consecutive nodes balanced by weight.
+  struct LevelNode {
+    int lo = 0;
+    int hi = 0;
+    double weight = 0.0;
+    std::vector<int> children;  // indices into the level below
+  };
+  std::vector<std::vector<LevelNode>> levels(1);
+  for (int i = 0; i < n; ++i) {
+    levels[0].push_back(
+        {i, i, weights.empty() ? 1.0 : weights[static_cast<size_t>(i)], {}});
+  }
+  while (static_cast<int>(levels.back().size()) > 1) {
+    const std::vector<LevelNode>& below = levels.back();
+    int count = static_cast<int>(below.size());
+    int groups = (count + fanout - 1) / fanout;
+    std::vector<double> node_weights;
+    node_weights.reserve(static_cast<size_t>(count));
+    for (const LevelNode& node : below) node_weights.push_back(node.weight);
+    std::vector<int> counts = BalancedPartition(node_weights, groups);
+
+    std::vector<LevelNode> above;
+    above.reserve(static_cast<size_t>(groups));
+    int i = 0;
+    for (int take : counts) {
+      LevelNode parent;
+      parent.lo = below[static_cast<size_t>(i)].lo;
+      parent.hi = below[static_cast<size_t>(i + take - 1)].hi;
+      for (int c = 0; c < take; ++c) {
+        parent.weight += below[static_cast<size_t>(i + c)].weight;
+        parent.children.push_back(i + c);
+      }
+      i += take;
+      above.push_back(std::move(parent));
+    }
+    levels.push_back(std::move(above));
+  }
+
+  // Materialize top-down; the (single) top node is the root '*'.
+  ConceptHierarchy h;
+  std::vector<std::vector<int>> ids(levels.size());
+  int top = static_cast<int>(levels.size()) - 1;
+  ids[static_cast<size_t>(top)].push_back(h.AddNode("*"));
+  for (int level = top; level >= 1; --level) {
+    ids[static_cast<size_t>(level - 1)].assign(
+        levels[static_cast<size_t>(level - 1)].size(), -1);
+    for (size_t p = 0; p < levels[static_cast<size_t>(level)].size(); ++p) {
+      const LevelNode& parent = levels[static_cast<size_t>(level)][p];
+      int parent_id = ids[static_cast<size_t>(level)][p];
+      for (int child : parent.children) {
+        const LevelNode& node =
+            levels[static_cast<size_t>(level - 1)][static_cast<size_t>(child)];
+        int id;
+        if (level - 1 == 0) {
+          id = h.AddNode(leaf_labels[static_cast<size_t>(node.lo)], parent_id);
+          QAG_RETURN_IF_ERROR(
+              h.BindLeaf(id, leaf_codes[static_cast<size_t>(node.lo)]));
+        } else {
+          id = h.AddNode(
+              StrCat("[", leaf_labels[static_cast<size_t>(node.lo)], "..",
+                     leaf_labels[static_cast<size_t>(node.hi)], "]"),
+              parent_id);
+        }
+        ids[static_cast<size_t>(level - 1)][static_cast<size_t>(child)] = id;
+      }
+    }
+  }
+  // Degenerate single-leaf domain: hang the leaf under the root.
+  if (n == 1 && h.num_nodes() == 1) {
+    int id = h.AddNode(leaf_labels[0], h.root());
+    QAG_RETURN_IF_ERROR(h.BindLeaf(id, leaf_codes[0]));
+  }
+  QAG_RETURN_IF_ERROR(h.Finalize());
+  return h;
+}
+
+Result<ConceptHierarchy> AutoHierarchyForAttribute(
+    const AnswerSet& s, int attr, const AutoHierarchyOptions& options) {
+  if (attr < 0 || attr >= s.num_attrs()) {
+    return Status::InvalidArgument(StrCat("no attribute ", attr));
+  }
+  const int domain = s.domain_size(attr);
+  if (domain == 0) {
+    return Status::InvalidArgument("attribute has an empty domain");
+  }
+
+  // Order leaves numerically when every value name parses as a number
+  // (ages, years, buckets); otherwise lexicographically.
+  std::vector<int32_t> codes(static_cast<size_t>(domain));
+  std::vector<double> numeric(static_cast<size_t>(domain));
+  bool all_numeric = true;
+  for (int32_t c = 0; c < domain; ++c) {
+    codes[static_cast<size_t>(c)] = c;
+    auto parsed = ParseDouble(s.ValueName(attr, c));
+    if (parsed.ok()) {
+      numeric[static_cast<size_t>(c)] = *parsed;
+    } else {
+      all_numeric = false;
+    }
+  }
+  std::stable_sort(codes.begin(), codes.end(), [&](int32_t a, int32_t b) {
+    if (all_numeric) {
+      return numeric[static_cast<size_t>(a)] < numeric[static_cast<size_t>(b)];
+    }
+    return s.ValueName(attr, a) < s.ValueName(attr, b);
+  });
+
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<size_t>(domain));
+  for (int32_t c : codes) labels.push_back(s.ValueName(attr, c));
+
+  std::vector<double> weights;
+  if (options.weight_by_frequency) {
+    std::vector<double> by_code(static_cast<size_t>(domain), 0.0);
+    for (const Element& e : s.elements()) {
+      by_code[static_cast<size_t>(e.attrs[static_cast<size_t>(attr)])] += 1.0;
+    }
+    weights.reserve(static_cast<size_t>(domain));
+    for (int32_t c : codes) weights.push_back(by_code[static_cast<size_t>(c)]);
+  }
+  return ConceptHierarchy::WeightedRanges(labels, codes, weights,
+                                          options.fanout);
+}
+
+HierarchicalCluster HierarchySet::FromElement(
+    const std::vector<int32_t>& attrs) const {
+  QAG_DCHECK(static_cast<int>(attrs.size()) == num_attrs());
+  HierarchicalCluster out;
+  out.nodes.reserve(attrs.size());
+  for (int a = 0; a < num_attrs(); ++a) {
+    int node = hierarchy(a).LeafNode(attrs[static_cast<size_t>(a)]);
+    QAG_CHECK(node >= 0) << "attribute code without a bound leaf";
+    out.nodes.push_back(node);
+  }
+  return out;
+}
+
+bool HierarchySet::Covers(const HierarchicalCluster& a,
+                          const HierarchicalCluster& b) const {
+  for (int i = 0; i < num_attrs(); ++i) {
+    if (!hierarchy(i).IsAncestor(a.nodes[static_cast<size_t>(i)],
+                                 b.nodes[static_cast<size_t>(i)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HierarchicalCluster HierarchySet::Lca(const HierarchicalCluster& a,
+                                      const HierarchicalCluster& b) const {
+  HierarchicalCluster out;
+  out.nodes.reserve(static_cast<size_t>(num_attrs()));
+  for (int i = 0; i < num_attrs(); ++i) {
+    out.nodes.push_back(hierarchy(i).Lca(a.nodes[static_cast<size_t>(i)],
+                                         b.nodes[static_cast<size_t>(i)]));
+  }
+  return out;
+}
+
+int HierarchySet::Distance(const HierarchicalCluster& a,
+                           const HierarchicalCluster& b) const {
+  int d = 0;
+  for (int i = 0; i < num_attrs(); ++i) {
+    int na = a.nodes[static_cast<size_t>(i)];
+    int nb = b.nodes[static_cast<size_t>(i)];
+    bool same_leaf = na == nb && hierarchy(i).is_leaf(na);
+    d += !same_leaf;
+  }
+  return d;
+}
+
+std::string HierarchySet::Render(const HierarchicalCluster& c) const {
+  std::vector<std::string> parts;
+  parts.reserve(c.nodes.size());
+  for (int i = 0; i < num_attrs(); ++i) {
+    parts.push_back(hierarchy(i).label(c.nodes[static_cast<size_t>(i)]));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace qagview::core

@@ -1,0 +1,157 @@
+#ifndef QAGVIEW_CORE_HIERARCHY_H_
+#define QAGVIEW_CORE_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/answer_set.h"
+
+namespace qagview::core {
+
+/// \brief A concept hierarchy over one attribute's domain (Appendix A.6):
+/// a rooted tree whose leaves are the attribute's values and whose internal
+/// nodes are ranges/categories (e.g. age [20,40), date 1996-Q1).
+///
+/// Generalization replaces a value not with '*' but with an ancestor node;
+/// the root plays the role of '*'. LCA queries are O(log n) via binary
+/// lifting [18].
+class ConceptHierarchy {
+ public:
+  ConceptHierarchy() = default;
+
+  /// Adds the root (exactly one, first) or a child node. Returns node id.
+  int AddNode(const std::string& label, int parent = -1);
+
+  /// Declares node as the leaf representing attribute code `code`.
+  /// Codes must be bound injectively.
+  Status BindLeaf(int node, int32_t code);
+
+  /// Builds the lifting tables; must be called before Lca/IsAncestor.
+  Status Finalize();
+
+  int num_nodes() const { return static_cast<int>(parent_.size()); }
+  int root() const { return 0; }
+  int parent(int node) const { return parent_[static_cast<size_t>(node)]; }
+  int depth(int node) const { return depth_[static_cast<size_t>(node)]; }
+  const std::string& label(int node) const {
+    return labels_[static_cast<size_t>(node)];
+  }
+  bool is_leaf(int node) const {
+    return leaf_code_[static_cast<size_t>(node)] >= 0;
+  }
+  int32_t leaf_code(int node) const {
+    return leaf_code_[static_cast<size_t>(node)];
+  }
+
+  /// Node of an attribute code (the inverse of BindLeaf); -1 if unbound.
+  int LeafNode(int32_t code) const;
+
+  /// Lowest common ancestor of two nodes, O(log n).
+  int Lca(int a, int b) const;
+
+  /// True iff `ancestor` is on the root path of `node` (inclusive).
+  bool IsAncestor(int ancestor, int node) const;
+
+  /// Builds a balanced binary range hierarchy over ordered leaf labels
+  /// (codes 0..n-1 in order); internal nodes are labeled "[lo..hi]" using
+  /// the boundary leaf labels — e.g. the age/date trees of Figures 11/12.
+  static ConceptHierarchy BinaryRanges(
+      const std::vector<std::string>& leaf_labels);
+
+  /// Degenerate hierarchy: a root over n flat leaves — equivalent to the
+  /// plain '*' semantics. Leaves are labeled "v0", "v1", ...
+  static ConceptHierarchy Flat(int num_leaves);
+
+  /// Flat hierarchy with the given leaf labels (code i = leaf i).
+  static ConceptHierarchy Flat(const std::vector<std::string>& leaf_labels);
+
+  /// Automatically builds a fanout-ary range hierarchy over leaves given in
+  /// display order (Appendix A.6 lists automatic construction as an
+  /// orthogonal future direction). leaf_codes[i] is the attribute code
+  /// bound to leaf i. When `weights` is non-empty (one weight per leaf),
+  /// group boundaries balance total weight — equi-depth ranges — instead of
+  /// leaf counts. Internal nodes are labeled "[first..last]".
+  static Result<ConceptHierarchy> WeightedRanges(
+      const std::vector<std::string>& leaf_labels,
+      const std::vector<int32_t>& leaf_codes,
+      const std::vector<double>& weights, int fanout);
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> depth_;
+  std::vector<std::string> labels_;
+  std::vector<int32_t> leaf_code_;       // -1 for internal nodes
+  std::vector<int> code_to_node_;
+  std::vector<std::vector<int>> up_;     // binary lifting: up_[j][v]
+  bool finalized_ = false;
+};
+
+/// Options for AutoHierarchyForAttribute.
+struct AutoHierarchyOptions {
+  /// Children per internal range node (>= 2).
+  int fanout = 2;
+  /// Balance range boundaries by value frequency in the answer set
+  /// (equi-depth) instead of by distinct-value count (equi-width).
+  bool weight_by_frequency = false;
+};
+
+/// Derives a concept hierarchy for one attribute of an answer set — the
+/// automatic construction Appendix A.6 leaves as future work. Leaves are
+/// the attribute's active-domain values, ordered numerically when every
+/// value name parses as a number (else lexicographically), so the generated
+/// ranges read naturally for ages, years, and buckets.
+Result<ConceptHierarchy> AutoHierarchyForAttribute(
+    const AnswerSet& s, int attr,
+    const AutoHierarchyOptions& options = AutoHierarchyOptions());
+
+/// \brief Hierarchical generalization of Cluster: per attribute, a node in
+/// that attribute's concept hierarchy (root = '*', leaf = concrete value).
+struct HierarchicalCluster {
+  std::vector<int> nodes;
+
+  bool operator==(const HierarchicalCluster& other) const {
+    return nodes == other.nodes;
+  }
+};
+
+/// \brief The per-attribute hierarchies of an answer set plus the
+/// generalized cluster operations (cover / LCA / distance) of Appendix A.6.
+class HierarchySet {
+ public:
+  explicit HierarchySet(std::vector<ConceptHierarchy> per_attr)
+      : per_attr_(std::move(per_attr)) {}
+
+  int num_attrs() const { return static_cast<int>(per_attr_.size()); }
+  const ConceptHierarchy& hierarchy(int a) const {
+    return per_attr_[static_cast<size_t>(a)];
+  }
+
+  /// The singleton hierarchical cluster of an element (all leaves).
+  HierarchicalCluster FromElement(const std::vector<int32_t>& attrs) const;
+
+  /// a covers b iff per attribute, a's node is an ancestor of b's node.
+  bool Covers(const HierarchicalCluster& a,
+              const HierarchicalCluster& b) const;
+
+  /// Per-attribute LCA — the least generalization covering both.
+  HierarchicalCluster Lca(const HierarchicalCluster& a,
+                          const HierarchicalCluster& b) const;
+
+  /// Generalized Definition 3.1: an attribute contributes to the distance
+  /// unless both sides hold the same *leaf* node (an internal node, like
+  /// '*', always counts).
+  int Distance(const HierarchicalCluster& a,
+               const HierarchicalCluster& b) const;
+
+  /// "(age[20..40), 1995, *)" style rendering.
+  std::string Render(const HierarchicalCluster& c) const;
+
+ private:
+  std::vector<ConceptHierarchy> per_attr_;
+};
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_HIERARCHY_H_

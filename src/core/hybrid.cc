@@ -1,0 +1,24 @@
+#include "core/hybrid.h"
+
+namespace qagview::core {
+
+Result<Solution> Hybrid::Run(const ClusterUniverse& universe,
+                             const Params& params,
+                             const HybridOptions& options) {
+  QAG_RETURN_IF_ERROR(ValidateParams(universe.answer_set(), params));
+  if (options.c < 2) {
+    return Status::InvalidArgument("Hybrid needs c >= 2");
+  }
+  FixedOrderOptions fo;
+  fo.use_delta_judgment = options.use_delta_judgment;
+  QAG_ASSIGN_OR_RETURN(
+      std::vector<int> initial,
+      FixedOrder::RunPhase(universe, options.c * params.k, params.L, params.D,
+                           fo));
+  BottomUpOptions bu;
+  bu.use_delta_judgment = options.use_delta_judgment;
+  bu.merge_rule = options.merge_rule;
+  return BottomUp::RunFrom(universe, params, initial, bu);
+}
+
+}  // namespace qagview::core

@@ -1,0 +1,37 @@
+#ifndef QAGVIEW_CORE_HYBRID_H_
+#define QAGVIEW_CORE_HYBRID_H_
+
+#include "common/result.h"
+#include "core/bottom_up.h"
+#include "core/fixed_order.h"
+#include "core/solution.h"
+
+namespace qagview::core {
+
+struct HybridOptions {
+  /// Size multiplier of the Fixed-Order phase: it runs with budget c·k
+  /// before Bottom-Up merges back down to k (§5.3). Must be > 1 to leave
+  /// the Bottom-Up phase room to work.
+  int c = 3;
+  bool use_delta_judgment = true;
+  /// Merge rule used in the Bottom-Up phase (objective variants).
+  BottomUpOptions::MergeRule merge_rule =
+      BottomUpOptions::MergeRule::kSolutionAverage;
+};
+
+/// \brief The Hybrid greedy algorithm (§5.3).
+///
+/// Phase 1 is Fixed-Order with the enlarged budget c·k (fast, linear in L);
+/// phase 2 is the Bottom-Up merge process shrinking the c·k clusters to k
+/// (quality-oriented, quadratic only in c·k). Hybrid inherits Bottom-Up's
+/// incremental structure, which the precomputation layer exploits.
+class Hybrid {
+ public:
+  static Result<Solution> Run(const ClusterUniverse& universe,
+                              const Params& params,
+                              const HybridOptions& options = {});
+};
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_HYBRID_H_

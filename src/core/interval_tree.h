@@ -1,0 +1,150 @@
+#ifndef QAGVIEW_CORE_INTERVAL_TREE_H_
+#define QAGVIEW_CORE_INTERVAL_TREE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qagview::core {
+
+/// \brief Static centered interval tree over closed integer intervals
+/// [lo, hi] with payloads; supports O(log n + |answer|) stabbing queries.
+///
+/// This is the retrieval structure of §6.2: the solution store keeps, per
+/// distance value D, one tree whose intervals are the k-ranges in which
+/// each cluster belongs to the solution (Proposition 6.1 guarantees those
+/// ranges are contiguous).
+template <typename Payload>
+class IntervalTree {
+ public:
+  struct Entry {
+    int lo;
+    int hi;
+    Payload payload;
+  };
+
+  IntervalTree() = default;
+
+  explicit IntervalTree(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {
+    std::vector<int> idx;
+    idx.reserve(entries_.size());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      QAG_DCHECK(entries_[i].lo <= entries_[i].hi);
+      idx.push_back(static_cast<int>(i));
+    }
+    if (!idx.empty()) root_ = BuildNode(std::move(idx));
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// All stored intervals, in construction order (serialization and tests).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Invokes `fn(const Entry&)` for every interval containing `point`.
+  template <typename Fn>
+  void Stab(int point, Fn&& fn) const {
+    StabNode(root_, point, fn);
+  }
+
+  /// Collects the payloads of every interval containing `point`.
+  std::vector<Payload> Collect(int point) const {
+    std::vector<Payload> out;
+    Stab(point, [&out](const Entry& e) { out.push_back(e.payload); });
+    return out;
+  }
+
+ private:
+  struct Node {
+    int center = 0;
+    std::vector<int> by_lo;  // overlapping entries, ascending lo
+    std::vector<int> by_hi;  // same entries, descending hi
+    int left = -1;
+    int right = -1;
+  };
+
+  int BuildNode(std::vector<int> idx) {
+    // Median of interval midpoints keeps the tree balanced enough.
+    std::vector<int> mids;
+    mids.reserve(idx.size());
+    for (int i : idx) {
+      mids.push_back(entries_[static_cast<size_t>(i)].lo +
+                     (entries_[static_cast<size_t>(i)].hi -
+                      entries_[static_cast<size_t>(i)].lo) /
+                         2);
+    }
+    std::nth_element(mids.begin(), mids.begin() + mids.size() / 2,
+                     mids.end());
+    int center = mids[mids.size() / 2];
+
+    Node node;
+    node.center = center;
+    std::vector<int> left_idx;
+    std::vector<int> right_idx;
+    for (int i : idx) {
+      const Entry& e = entries_[static_cast<size_t>(i)];
+      if (e.hi < center) {
+        left_idx.push_back(i);
+      } else if (e.lo > center) {
+        right_idx.push_back(i);
+      } else {
+        node.by_lo.push_back(i);
+      }
+    }
+    node.by_hi = node.by_lo;
+    std::sort(node.by_lo.begin(), node.by_lo.end(), [this](int a, int b) {
+      return entries_[static_cast<size_t>(a)].lo <
+             entries_[static_cast<size_t>(b)].lo;
+    });
+    std::sort(node.by_hi.begin(), node.by_hi.end(), [this](int a, int b) {
+      return entries_[static_cast<size_t>(a)].hi >
+             entries_[static_cast<size_t>(b)].hi;
+    });
+
+    int node_index = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    // Degenerate splits cannot happen: strictly-left/right children exclude
+    // everything overlapping the center, and at least one entry overlaps it.
+    if (!left_idx.empty()) {
+      int child = BuildNode(std::move(left_idx));
+      nodes_[static_cast<size_t>(node_index)].left = child;
+    }
+    if (!right_idx.empty()) {
+      int child = BuildNode(std::move(right_idx));
+      nodes_[static_cast<size_t>(node_index)].right = child;
+    }
+    return node_index;
+  }
+
+  template <typename Fn>
+  void StabNode(int node_index, int point, Fn&& fn) const {
+    if (node_index < 0) return;
+    const Node& node = nodes_[static_cast<size_t>(node_index)];
+    if (point < node.center) {
+      for (int i : node.by_lo) {
+        const Entry& e = entries_[static_cast<size_t>(i)];
+        if (e.lo > point) break;
+        fn(e);
+      }
+      StabNode(node.left, point, fn);
+    } else if (point > node.center) {
+      for (int i : node.by_hi) {
+        const Entry& e = entries_[static_cast<size_t>(i)];
+        if (e.hi < point) break;
+        fn(e);
+      }
+      StabNode(node.right, point, fn);
+    } else {
+      for (int i : node.by_lo) fn(entries_[static_cast<size_t>(i)]);
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_INTERVAL_TREE_H_

@@ -1,0 +1,106 @@
+#include "core/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "core/cluster.h"
+
+namespace qagview::core {
+
+KModesResult KModes(const std::vector<std::vector<int32_t>>& points, int k,
+                    uint64_t seed, int max_iters) {
+  KModesResult result;
+  int n = static_cast<int>(points.size());
+  QAG_CHECK(n > 0 && k > 0);
+  k = std::min(k, n);
+  size_t m = points[0].size();
+
+  // Random distinct seeds.
+  Rng rng(seed);
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&order);
+  result.centroids.clear();
+  for (int c = 0; c < k; ++c) {
+    result.centroids.push_back(points[static_cast<size_t>(order[
+        static_cast<size_t>(c)])]);
+  }
+
+  result.assignment.assign(static_cast<size_t>(n), -1);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    // Assignment step.
+    for (int i = 0; i < n; ++i) {
+      int best = -1;
+      int best_d = std::numeric_limits<int>::max();
+      for (size_t c = 0; c < result.centroids.size(); ++c) {
+        int d = ElementDistance(points[static_cast<size_t>(i)],
+                                result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[static_cast<size_t>(i)] != best) {
+        result.assignment[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    // Update step: per-attribute mode of each cluster's members.
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      for (size_t a = 0; a < m; ++a) {
+        std::unordered_map<int32_t, int> counts;
+        for (int i = 0; i < n; ++i) {
+          if (result.assignment[static_cast<size_t>(i)] ==
+              static_cast<int>(c)) {
+            ++counts[points[static_cast<size_t>(i)][a]];
+          }
+        }
+        if (counts.empty()) continue;  // empty cluster: keep old centroid
+        int32_t mode = result.centroids[c][a];
+        int best_count = -1;
+        for (const auto& [value, count] : counts) {
+          if (count > best_count ||
+              (count == best_count && value < mode)) {
+            best_count = count;
+            mode = value;
+          }
+        }
+        result.centroids[c][a] = mode;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<int32_t>> KModesSeedPatterns(const AnswerSet& s,
+                                                     int top_l, int k,
+                                                     uint64_t seed) {
+  std::vector<std::vector<int32_t>> points;
+  points.reserve(static_cast<size_t>(top_l));
+  for (int i = 0; i < top_l; ++i) points.push_back(s.element(i).attrs);
+  KModesResult clusters = KModes(points, k, seed);
+
+  // Minimum covering pattern per cluster = LCA of its members.
+  std::vector<std::vector<int32_t>> patterns;
+  for (size_t c = 0; c < clusters.centroids.size(); ++c) {
+    Cluster lca;
+    bool first = true;
+    for (int i = 0; i < top_l; ++i) {
+      if (clusters.assignment[static_cast<size_t>(i)] != static_cast<int>(c)) {
+        continue;
+      }
+      Cluster singleton(points[static_cast<size_t>(i)]);
+      lca = first ? singleton : Cluster::Lca(lca, singleton);
+      first = false;
+    }
+    if (!first) patterns.push_back(lca.pattern());
+  }
+  return patterns;
+}
+
+}  // namespace qagview::core

@@ -1,0 +1,38 @@
+#ifndef QAGVIEW_CORE_KMEANS_H_
+#define QAGVIEW_CORE_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/answer_set.h"
+
+namespace qagview::core {
+
+/// \brief k-modes clustering of categorical code vectors (the categorical
+/// analogue of k-means [20, 21] the paper uses to seed the
+/// k-means-Fixed-Order variant and as a related-work comparison point).
+///
+/// Distance is the attribute-mismatch count (ElementDistance); centroids
+/// are per-attribute modes. Random seeding; runs until assignment fixpoint
+/// or `max_iters`.
+struct KModesResult {
+  /// cluster index per input point.
+  std::vector<int> assignment;
+  /// centroid code vectors (may be fewer than k if clusters empty out).
+  std::vector<std::vector<int32_t>> centroids;
+  int iterations = 0;
+};
+
+KModesResult KModes(const std::vector<std::vector<int32_t>>& points, int k,
+                    uint64_t seed, int max_iters = 50);
+
+/// Convenience: clusters the top-L elements of an answer set and returns
+/// the minimum pattern covering each resulting cluster (the LCA of its
+/// members) — the seed patterns of the k-means-Fixed-Order variant (§5.2).
+std::vector<std::vector<int32_t>> KModesSeedPatterns(const AnswerSet& s,
+                                                     int top_l, int k,
+                                                     uint64_t seed);
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_KMEANS_H_

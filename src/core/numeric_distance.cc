@@ -1,0 +1,92 @@
+#include "core/numeric_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "core/semilattice.h"
+
+namespace qagview::core {
+
+NumericDistanceModel NumericDistanceModel::FromAnswerSet(const AnswerSet& s) {
+  NumericDistanceModel model;
+  const int m = s.num_attrs();
+  model.numeric_.assign(static_cast<size_t>(m), 0);
+  model.scale_.resize(static_cast<size_t>(m));
+  model.spread_.assign(static_cast<size_t>(m), 0.0);
+  for (int a = 0; a < m; ++a) {
+    const int domain = s.domain_size(a);
+    std::vector<double> values(static_cast<size_t>(domain));
+    bool all_numeric = domain > 0;
+    for (int32_t code = 0; code < domain && all_numeric; ++code) {
+      auto parsed = ParseDouble(s.ValueName(a, code));
+      if (parsed.ok()) {
+        values[static_cast<size_t>(code)] = *parsed;
+      } else {
+        all_numeric = false;
+      }
+    }
+    if (!all_numeric) continue;
+    auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    double spread = *hi - *lo;
+    if (spread <= 0.0) continue;  // constant column: keep categorical
+    model.numeric_[static_cast<size_t>(a)] = 1;
+    model.scale_[static_cast<size_t>(a)] = std::move(values);
+    model.spread_[static_cast<size_t>(a)] = spread;
+  }
+  return model;
+}
+
+NumericDistanceModel NumericDistanceModel::Categorical(int num_attrs) {
+  NumericDistanceModel model;
+  model.numeric_.assign(static_cast<size_t>(num_attrs), 0);
+  model.scale_.resize(static_cast<size_t>(num_attrs));
+  model.spread_.assign(static_cast<size_t>(num_attrs), 0.0);
+  return model;
+}
+
+double NumericDistanceModel::AttributeGap(int a, int32_t code_a,
+                                          int32_t code_b) const {
+  // A wildcard's extent is the full domain: the max-over-extents rule
+  // makes it the maximal gap, exactly as '*' always counts in Def 3.1.
+  if (code_a == kWildcard || code_b == kWildcard) return 1.0;
+  if (code_a == code_b) return 0.0;
+  if (!is_numeric(a)) return 1.0;
+  const std::vector<double>& scale = scale_[static_cast<size_t>(a)];
+  return std::abs(scale[static_cast<size_t>(code_a)] -
+                  scale[static_cast<size_t>(code_b)]) /
+         spread_[static_cast<size_t>(a)];
+}
+
+double NumericDistanceModel::Distance(const Cluster& a, const Cluster& b,
+                                      double p) const {
+  QAG_CHECK(a.num_attrs() == num_attrs() && b.num_attrs() == num_attrs());
+  QAG_CHECK(p == kInfinity || p >= 1.0) << "Lp needs p >= 1";
+  double max_gap = 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < num_attrs(); ++i) {
+    double gap = AttributeGap(i, a[i], b[i]);
+    max_gap = std::max(max_gap, gap);
+    if (p != kInfinity) sum += std::pow(gap, p);
+  }
+  if (p == kInfinity) return max_gap;
+  return std::pow(sum, 1.0 / p);
+}
+
+double NumericDistanceModel::MinPairwiseDistance(
+    const ClusterUniverse& universe, const Solution& solution,
+    double p) const {
+  double min_distance = std::numeric_limits<double>::infinity();
+  const auto& ids = solution.cluster_ids;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      min_distance = std::min(
+          min_distance,
+          Distance(universe.cluster(ids[i]), universe.cluster(ids[j]), p));
+    }
+  }
+  return min_distance;
+}
+
+}  // namespace qagview::core

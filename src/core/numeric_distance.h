@@ -1,0 +1,70 @@
+#ifndef QAGVIEW_CORE_NUMERIC_DISTANCE_H_
+#define QAGVIEW_CORE_NUMERIC_DISTANCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/answer_set.h"
+#include "core/cluster.h"
+#include "core/solution.h"
+
+namespace qagview::core {
+
+/// \brief Numeric (Lp-norm) distance functions over clusters — the §9
+/// future-work direction "for numeric attributes one can consider other
+/// distance functions (e.g., Lp norms)".
+///
+/// Construction mirrors Definition 3.1's rationale: the paper defines the
+/// cluster distance as *the maximum possible distance between any two
+/// elements the clusters may contain*. We keep exactly that rule but
+/// replace the per-attribute element contribution (0/1: same value or not)
+/// with a normalized numeric gap |x − y| / (max − min) for attributes that
+/// carry a numeric scale. A wildcard's extent is the whole domain, so it
+/// contributes the maximal gap 1 — therefore the Proposition-4.2
+/// monotonicity argument survives verbatim (replacing a cluster with an
+/// ancestor only widens extents and can only increase distances), and with
+/// p = Hamming semantics (every non-identical gap counted as 1) the
+/// function reduces to the paper's metric.
+class NumericDistanceModel {
+ public:
+  /// Derives per-attribute scales from the answer set: attributes whose
+  /// value names all parse as numbers get a numeric scale (normalized by
+  /// the active-domain spread); the rest keep categorical 0/1 semantics.
+  static NumericDistanceModel FromAnswerSet(const AnswerSet& s);
+
+  /// Categorical-only model (every attribute 0/1) — reproduces Def 3.1.
+  static NumericDistanceModel Categorical(int num_attrs);
+
+  int num_attrs() const { return static_cast<int>(numeric_.size()); }
+  bool is_numeric(int a) const { return numeric_[static_cast<size_t>(a)]; }
+
+  /// Per-attribute gap in [0, 1] between the extents of two pattern
+  /// positions (kWildcard allowed): the maximum over the two extents, i.e.
+  /// 1 if either side is a wildcard or (categorical) the values differ,
+  /// else the normalized numeric gap (0 for identical values).
+  double AttributeGap(int a, int32_t code_a, int32_t code_b) const;
+
+  /// Lp distance between two clusters: (Σ_a gap_a^p)^(1/p). p >= 1;
+  /// p = kInfinity gives the max norm.
+  double Distance(const Cluster& a, const Cluster& b, double p) const;
+
+  static constexpr double kInfinity = -1.0;  // sentinel for the max norm
+
+  /// Minimum pairwise Lp distance within a solution — the numeric
+  /// diversity analogue of the Definition-4.1 distance constraint, for
+  /// post-hoc diversity analysis of solutions produced under the
+  /// categorical metric.
+  double MinPairwiseDistance(const ClusterUniverse& universe,
+                             const Solution& solution, double p) const;
+
+ private:
+  std::vector<char> numeric_;
+  /// numeric attrs: value of each code on the numeric scale; empty for
+  /// categorical attrs.
+  std::vector<std::vector<double>> scale_;
+  std::vector<double> spread_;  // max - min per numeric attr (>= 0)
+};
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_NUMERIC_DISTANCE_H_

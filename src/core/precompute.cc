@@ -1,0 +1,133 @@
+#include "core/precompute.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/timer.h"
+#include "core/fixed_order.h"
+#include "core/greedy_state.h"
+
+namespace qagview::core {
+
+namespace {
+
+// One Bottom-Up replay for a fixed D, recording the solution state after
+// the distance phase and after every size-phase merge.
+SolutionStore::Trace ReplayForD(const ClusterUniverse& universe,
+                                const std::vector<int>& initial, int d,
+                                int k_min, bool use_delta) {
+  GreedyState state(&universe, use_delta);
+  for (int id : initial) state.AddCluster(id);
+
+  auto best_merge = [&](const std::vector<std::pair<int, int>>& pairs) {
+    double best_score = -std::numeric_limits<double>::infinity();
+    int best_lca = -1;
+    for (const auto& [i, j] : pairs) {
+      int lca =
+          universe.LcaId(state.clusters()[static_cast<size_t>(i)],
+                         state.clusters()[static_cast<size_t>(j)]);
+      double score = state.TentativeAverage(lca);
+      if (score > best_score) {
+        best_score = score;
+        best_lca = lca;
+      }
+    }
+    return best_lca;
+  };
+
+  // Phase 1: enforce the distance constraint (mandatory for every k).
+  while (true) {
+    std::vector<std::pair<int, int>> pairs;
+    int n = state.size();
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (Distance(
+                universe.cluster(state.clusters()[static_cast<size_t>(i)]),
+                universe.cluster(state.clusters()[static_cast<size_t>(j)])) <
+            d) {
+          pairs.emplace_back(i, j);
+        }
+      }
+    }
+    if (pairs.empty()) break;
+    state.AddCluster(best_merge(pairs));
+  }
+
+  SolutionStore::Trace trace;
+  trace.d = d;
+  trace.states.push_back(state.clusters());
+  trace.values.push_back(state.Average());
+
+  // Phase 2: merge down, recording each state on the way to k_min.
+  while (state.size() > std::max(k_min, 1)) {
+    std::vector<std::pair<int, int>> pairs;
+    int n = state.size();
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+    }
+    state.AddCluster(best_merge(pairs));
+    trace.states.push_back(state.clusters());
+    trace.values.push_back(state.Average());
+  }
+  return trace;
+}
+
+}  // namespace
+
+Result<SolutionStore> Precompute::Run(const ClusterUniverse& universe,
+                                      int top_l,
+                                      const PrecomputeOptions& options,
+                                      PrecomputeStats* stats) {
+  if (top_l < 1 || top_l > universe.top_l()) {
+    return Status::InvalidArgument("top_l out of range for this universe");
+  }
+  if (options.k_min < 1) {
+    return Status::InvalidArgument("k_min must be >= 1");
+  }
+  int m = universe.answer_set().num_attrs();
+
+  std::vector<int> d_values = options.d_values;
+  if (d_values.empty()) {
+    for (int d = 1; d <= m; ++d) d_values.push_back(d);
+  }
+  for (int d : d_values) {
+    if (d < 0 || d > m) {
+      return Status::InvalidArgument("D values must lie in [0, m]");
+    }
+  }
+
+  int k_max = options.k_max;
+  if (k_max <= 0) k_max = std::max(options.k_min, 20);
+  if (k_max < options.k_min) {
+    return Status::InvalidArgument("k_max must be >= k_min");
+  }
+
+  // Fixed-Order phase: once, distance-free, with the largest budget.
+  WallTimer timer;
+  FixedOrderOptions fo;
+  fo.use_delta_judgment = options.use_delta_judgment;
+  QAG_ASSIGN_OR_RETURN(
+      std::vector<int> initial,
+      FixedOrder::RunPhase(universe, std::max(2, options.c) * k_max, top_l,
+                           /*distance_d=*/0, fo));
+  double fixed_order_ms = timer.ElapsedMillis();
+
+  // Bottom-Up replays, one per D.
+  timer.Restart();
+  std::vector<SolutionStore::Trace> traces;
+  traces.reserve(d_values.size());
+  for (int d : d_values) {
+    traces.push_back(ReplayForD(universe, initial, d, options.k_min,
+                                options.use_delta_judgment));
+  }
+  double bottom_up_ms = timer.ElapsedMillis();
+
+  if (stats != nullptr) {
+    stats->fixed_order_ms = fixed_order_ms;
+    stats->bottom_up_ms = bottom_up_ms;
+    stats->initial_clusters = static_cast<int>(initial.size());
+  }
+  return SolutionStore(&universe, top_l, k_max, std::move(traces));
+}
+
+}  // namespace qagview::core

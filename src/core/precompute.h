@@ -1,0 +1,52 @@
+#ifndef QAGVIEW_CORE_PRECOMPUTE_H_
+#define QAGVIEW_CORE_PRECOMPUTE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/solution_store.h"
+
+namespace qagview::core {
+
+struct PrecomputeOptions {
+  /// k range of interest (grid x-axis of Figure 2). k_max <= 0 derives a
+  /// default from the Fixed-Order phase output size.
+  int k_min = 2;
+  int k_max = 0;
+  /// D values to precompute (one Bottom-Up replay each). Empty derives
+  /// 1..m.
+  std::vector<int> d_values;
+  /// Fixed-Order phase budget multiplier (runs once with c·k_max, D=0).
+  int c = 3;
+  bool use_delta_judgment = true;
+};
+
+/// Wall-clock breakdown of one precompute run (Figures 7c-7f bars).
+struct PrecomputeStats {
+  double fixed_order_ms = 0.0;
+  double bottom_up_ms = 0.0;
+  int initial_clusters = 0;
+  double total_ms() const { return fixed_order_ms + bottom_up_ms; }
+};
+
+/// \brief Incremental computation of solutions for all (k, D) combinations
+/// at a fixed L (§6.2, Figure 4a).
+///
+/// Exploits the two-level incremental structure of Hybrid: the Fixed-Order
+/// phase is D-independent when run without a distance constraint, so it
+/// runs once; its output cluster set is then replayed through the Bottom-Up
+/// merge process once per D, and because every round merges clusters, the
+/// states visited on the way down are exactly the solutions for every k
+/// from c·k_max down to k_min. The traces feed the interval-tree
+/// SolutionStore.
+class Precompute {
+ public:
+  static Result<SolutionStore> Run(const ClusterUniverse& universe, int top_l,
+                                   const PrecomputeOptions& options =
+                                       PrecomputeOptions(),
+                                   PrecomputeStats* stats = nullptr);
+};
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_PRECOMPUTE_H_

@@ -1,0 +1,213 @@
+#include "core/semilattice.h"
+
+#include <algorithm>
+
+#include "common/flat_map.h"
+#include "common/string_util.h"
+
+namespace qagview::core {
+
+bool ClusterUniverse::CanPack(const AnswerSet& s) {
+  if (s.num_attrs() > 8) return false;
+  for (int a = 0; a < s.num_attrs(); ++a) {
+    if (s.domain_size(a) > 254) return false;  // code+1 must fit a byte
+  }
+  return true;
+}
+
+uint64_t ClusterUniverse::PackPattern(const std::vector<int32_t>& pattern) {
+  uint64_t key = 0;
+  for (size_t a = 0; a < pattern.size(); ++a) {
+    uint64_t lane =
+        pattern[a] == kWildcard ? 0 : static_cast<uint64_t>(pattern[a]) + 1;
+    key |= lane << (8 * a);
+  }
+  return key;
+}
+
+Result<ClusterUniverse> ClusterUniverse::Build(const AnswerSet* s, int top_l,
+                                               const Options& options) {
+  QAG_CHECK(s != nullptr);
+  int m = s->num_attrs();
+  if (m > options.max_attrs || m > 30) {
+    return Status::InvalidArgument(
+        StrCat("refusing to enumerate 2^", m,
+               " generalizations per element; reduce the number of "
+               "group-by attributes (max ", options.max_attrs, ")"));
+  }
+  if (top_l < 1 || top_l > s->size()) {
+    return Status::InvalidArgument(
+        StrCat("L must be in [1, n=", s->size(), "], got ", top_l));
+  }
+
+  ClusterUniverse u;
+  u.answer_set_ = s;
+  u.top_l_ = top_l;
+  u.packed_ = CanPack(*s);
+
+  const uint32_t num_masks = 1u << m;
+  std::vector<int32_t> scratch(static_cast<size_t>(m));
+  u.singleton_ids_.resize(static_cast<size_t>(top_l));
+
+  if (u.packed_) {
+    // Per-mask lane masks: 0xFF in every wildcarded byte lane, so
+    // "generalize element under mask" is one AND-NOT.
+    std::vector<uint64_t> lane_mask(num_masks, 0);
+    for (uint32_t mask = 0; mask < num_masks; ++mask) {
+      uint64_t lanes = 0;
+      for (int a = 0; a < m; ++a) {
+        if (mask & (1u << a)) lanes |= 0xFFULL << (8 * a);
+      }
+      lane_mask[mask] = lanes;
+    }
+
+    u.packed_ids_.Reset(static_cast<size_t>(top_l) * num_masks);
+    for (int i = 0; i < top_l; ++i) {
+      const std::vector<int32_t>& attrs = s->element(i).attrs;
+      uint64_t base = PackPattern(attrs);
+      for (uint32_t mask = 0; mask < num_masks; ++mask) {
+        uint64_t key = base & ~lane_mask[mask];
+        auto [id, inserted] = u.packed_ids_.FindOrInsert(
+            key, static_cast<int32_t>(u.clusters_.size()));
+        if (inserted) {
+          for (int a = 0; a < m; ++a) {
+            scratch[static_cast<size_t>(a)] =
+                (mask & (1u << a)) ? kWildcard
+                                   : attrs[static_cast<size_t>(a)];
+          }
+          u.clusters_.emplace_back(scratch);
+        }
+        if (mask == 0) u.singleton_ids_[static_cast<size_t>(i)] = id;
+      }
+    }
+
+    const int num_clusters = static_cast<int>(u.clusters_.size());
+    u.covered_.resize(static_cast<size_t>(num_clusters));
+    u.covered_sum_.assign(static_cast<size_t>(num_clusters), 0.0);
+    u.top_covered_count_.assign(static_cast<size_t>(num_clusters), 0);
+
+    if (options.naive_mapping) {
+      for (int id = 0; id < num_clusters; ++id) {
+        const Cluster& c = u.clusters_[static_cast<size_t>(id)];
+        for (int e = 0; e < s->size(); ++e) {
+          if (c.CoversElement(s->element(e).attrs)) {
+            u.covered_[static_cast<size_t>(id)].push_back(e);
+            u.covered_sum_[static_cast<size_t>(id)] += s->value(e);
+            if (e < top_l) ++u.top_covered_count_[static_cast<size_t>(id)];
+          }
+        }
+      }
+    } else {
+      for (int e = 0; e < s->size(); ++e) {
+        uint64_t base = PackPattern(s->element(e).attrs);
+        double value = s->value(e);
+        for (uint32_t mask = 0; mask < num_masks; ++mask) {
+          int id = u.packed_ids_.FindOr(base & ~lane_mask[mask], -1);
+          if (id < 0) continue;
+          u.covered_[static_cast<size_t>(id)].push_back(e);
+          u.covered_sum_[static_cast<size_t>(id)] += value;
+          if (e < top_l) ++u.top_covered_count_[static_cast<size_t>(id)];
+        }
+      }
+    }
+    return u;
+  }
+
+  // --- Fallback: vector-keyed index (m > 8 or large domains). ---
+  u.ids_.reserve(static_cast<size_t>(top_l) * num_masks);
+  for (int i = 0; i < top_l; ++i) {
+    const std::vector<int32_t>& attrs = s->element(i).attrs;
+    for (uint32_t mask = 0; mask < num_masks; ++mask) {
+      for (int a = 0; a < m; ++a) {
+        scratch[static_cast<size_t>(a)] =
+            (mask & (1u << a)) ? kWildcard : attrs[static_cast<size_t>(a)];
+      }
+      auto [it, inserted] =
+          u.ids_.emplace(scratch, static_cast<int>(u.clusters_.size()));
+      if (inserted) u.clusters_.emplace_back(scratch);
+      if (mask == 0) u.singleton_ids_[static_cast<size_t>(i)] = it->second;
+    }
+  }
+
+  const int num_clusters = static_cast<int>(u.clusters_.size());
+  u.covered_.resize(static_cast<size_t>(num_clusters));
+  u.covered_sum_.assign(static_cast<size_t>(num_clusters), 0.0);
+  u.top_covered_count_.assign(static_cast<size_t>(num_clusters), 0);
+
+  if (options.naive_mapping) {
+    // Ablation: each cluster scans every element.
+    for (int id = 0; id < num_clusters; ++id) {
+      const Cluster& c = u.clusters_[static_cast<size_t>(id)];
+      for (int e = 0; e < s->size(); ++e) {
+        if (c.CoversElement(s->element(e).attrs)) {
+          u.covered_[static_cast<size_t>(id)].push_back(e);
+          u.covered_sum_[static_cast<size_t>(id)] += s->value(e);
+          if (e < top_l) ++u.top_covered_count_[static_cast<size_t>(id)];
+        }
+      }
+    }
+  } else {
+    // Optimized: each element probes the hash index with its own masks.
+    // A cluster covers element e iff it equals one generalization of e,
+    // so every (cluster, element) pair is found exactly once.
+    for (int e = 0; e < s->size(); ++e) {
+      const std::vector<int32_t>& attrs = s->element(e).attrs;
+      for (uint32_t mask = 0; mask < num_masks; ++mask) {
+        for (int a = 0; a < m; ++a) {
+          scratch[static_cast<size_t>(a)] =
+              (mask & (1u << a)) ? kWildcard : attrs[static_cast<size_t>(a)];
+        }
+        auto it = u.ids_.find(scratch);
+        if (it == u.ids_.end()) continue;
+        int id = it->second;
+        u.covered_[static_cast<size_t>(id)].push_back(e);
+        u.covered_sum_[static_cast<size_t>(id)] += s->value(e);
+        if (e < top_l) ++u.top_covered_count_[static_cast<size_t>(id)];
+      }
+    }
+  }
+  return u;
+}
+
+int ClusterUniverse::FindId(const Cluster& c) const {
+  if (packed_) {
+    return packed_ids_.FindOr(PackPattern(c.pattern()), -1);
+  }
+  auto it = ids_.find(c.pattern());
+  return it == ids_.end() ? -1 : it->second;
+}
+
+int ClusterUniverse::LcaId(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+                 static_cast<uint32_t>(b);
+  auto it = lca_cache_.find(key);
+  if (it != lca_cache_.end()) return it->second;
+  Cluster lca = Cluster::Lca(cluster(a), cluster(b));
+  int id = FindId(lca);
+  QAG_CHECK(id >= 0) << "LCA closure violated for " << cluster(a).ToString()
+                     << " and " << cluster(b).ToString();
+  lca_cache_.emplace(key, id);
+  return id;
+}
+
+std::vector<int> ClusterUniverse::LevelStartIds(int level) const {
+  QAG_CHECK(level >= 0 && level <= answer_set_->num_attrs());
+  int m = answer_set_->num_attrs();
+  uint32_t mask = 0;
+  for (int a = 0; a < level; ++a) mask |= 1u << (m - 1 - a);
+  std::vector<int> out;
+  std::vector<char> seen(static_cast<size_t>(num_clusters()), 0);
+  for (int i = 0; i < top_l_; ++i) {
+    Cluster c = Cluster::Generalize(answer_set_->element(i).attrs, mask);
+    int id = FindId(c);
+    QAG_CHECK(id >= 0);
+    if (!seen[static_cast<size_t>(id)]) {
+      seen[static_cast<size_t>(id)] = 1;
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace qagview::core

@@ -1,0 +1,121 @@
+#ifndef QAGVIEW_CORE_SEMILATTICE_H_
+#define QAGVIEW_CORE_SEMILATTICE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/result.h"
+#include "core/answer_set.h"
+#include "core/cluster.h"
+
+namespace qagview::core {
+
+/// \brief The materialized, relevant fragment of the cluster semilattice for
+/// one (answer set, L) pair, with cluster -> covered-element mappings.
+///
+/// This encapsulates the paper's two initialization-time optimizations
+/// (§6.3 "Cluster generation and mapping to tuples"):
+///
+///  * Cluster generation: instead of the full product lattice
+///    prod_i (D_i ∪ {*}), only clusters that cover at least one top-L
+///    element are generated — exactly the 2^m generalizations of each
+///    top-L element, deduplicated. This set is closed under LCA of
+///    top-L-covering clusters, so every cluster any algorithm can form
+///    (merges always produce LCAs of covering clusters) has an id here.
+///
+///  * Mapping to tuples: each of the n elements probes the generated-cluster
+///    hash index with its own 2^m generalization masks ("tuples generate
+///    matching expressions for their target clusters"), instead of each
+///    cluster scanning all n elements. Options::naive_mapping selects the
+///    per-cluster scan for the Figure-8a ablation.
+///
+/// All cluster ids used by algorithms/solutions index into this universe.
+struct UniverseOptions {
+  /// Ablation switch: per-cluster scans over all n elements.
+  bool naive_mapping = false;
+  /// Hard guard against 2^m explosion.
+  int max_attrs = 24;
+};
+
+class ClusterUniverse {
+ public:
+  using Options = UniverseOptions;
+
+  /// Builds the universe for the top `top_l` elements of `s`. The answer
+  /// set must outlive the universe.
+  static Result<ClusterUniverse> Build(const AnswerSet* s, int top_l,
+                                       const Options& options = Options());
+
+  const AnswerSet& answer_set() const { return *answer_set_; }
+  int top_l() const { return top_l_; }
+
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+  const Cluster& cluster(int id) const {
+    return clusters_[static_cast<size_t>(id)];
+  }
+
+  /// Elements of S covered by the cluster, ascending by element id (i.e.,
+  /// descending by value; the top-L members form a prefix).
+  const std::vector<int32_t>& covered(int id) const {
+    return covered_[static_cast<size_t>(id)];
+  }
+  int covered_count(int id) const {
+    return static_cast<int>(covered_[static_cast<size_t>(id)].size());
+  }
+  double covered_sum(int id) const {
+    return covered_sum_[static_cast<size_t>(id)];
+  }
+  /// Average value of the covered elements (avg(C) in the paper).
+  double Average(int id) const {
+    return covered_sum(id) / covered_count(id);
+  }
+  /// How many of the top-L elements the cluster covers.
+  int top_covered_count(int id) const {
+    return top_covered_count_[static_cast<size_t>(id)];
+  }
+
+  /// Id lookup by pattern; -1 if the pattern is not in the universe.
+  int FindId(const Cluster& c) const;
+
+  /// Id of the singleton cluster of top-L element i (0 <= i < L).
+  int singleton_id(int i) const {
+    return singleton_ids_[static_cast<size_t>(i)];
+  }
+
+  /// Id of LCA(cluster(a), cluster(b)); always present by closure. Memoized.
+  int LcaId(int a, int b) const;
+
+  /// Ids of the level-(level) generalizations of each top-L element
+  /// obtained by wildcarding its trailing `level` attributes (deduplicated).
+  /// Used by the Bottom-Up "start at level D-1" variant.
+  std::vector<int> LevelStartIds(int level) const;
+
+ private:
+  ClusterUniverse() = default;
+
+  /// Packed-key fast path: with m <= 8 attributes whose domains fit a byte,
+  /// a pattern packs into one uint64 (code+1 per byte lane, wildcard = 0),
+  /// so index probes avoid vector hashing/allocation entirely and a
+  /// generalization mask applies as a single AND. Larger schemas fall back
+  /// to the vector-keyed index.
+  static bool CanPack(const AnswerSet& s);
+  static uint64_t PackPattern(const std::vector<int32_t>& pattern);
+
+  const AnswerSet* answer_set_ = nullptr;
+  int top_l_ = 0;
+  bool packed_ = false;
+  std::vector<Cluster> clusters_;
+  std::unordered_map<std::vector<int32_t>, int, VectorHash<int32_t>> ids_;
+  FlatMap64 packed_ids_;
+  std::vector<std::vector<int32_t>> covered_;
+  std::vector<double> covered_sum_;
+  std::vector<int> top_covered_count_;
+  std::vector<int> singleton_ids_;
+  mutable std::unordered_map<uint64_t, int> lca_cache_;
+};
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_SEMILATTICE_H_

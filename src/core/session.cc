@@ -1,0 +1,101 @@
+#include "core/session.h"
+
+#include "common/string_util.h"
+#include "core/solution_store_io.h"
+
+namespace qagview::core {
+
+Result<std::unique_ptr<Session>> Session::Create(AnswerSet answers) {
+  return std::unique_ptr<Session>(
+      new Session(std::make_unique<AnswerSet>(std::move(answers))));
+}
+
+Result<std::unique_ptr<Session>> Session::FromTable(
+    const storage::Table& table, const std::string& value_column) {
+  QAG_ASSIGN_OR_RETURN(AnswerSet answers,
+                       AnswerSet::FromTable(table, value_column));
+  return Create(std::move(answers));
+}
+
+Result<const ClusterUniverse*> Session::UniverseFor(int top_l) {
+  if (top_l < 1 || top_l > answers_->size()) {
+    return Status::InvalidArgument("L out of range for this session");
+  }
+  // Widest cached universe with top_l' >= top_l serves the request (its
+  // cluster set is a superset and all algorithms accept params.L <= top_l').
+  auto it = universes_.lower_bound(top_l);
+  if (it != universes_.end()) {
+    ++universe_hits_;
+    return it->second.get();
+  }
+  ++universe_misses_;
+  QAG_ASSIGN_OR_RETURN(ClusterUniverse u,
+                       ClusterUniverse::Build(answers_.get(), top_l));
+  auto owned = std::make_unique<ClusterUniverse>(std::move(u));
+  const ClusterUniverse* ptr = owned.get();
+  universes_.emplace(top_l, std::move(owned));
+  return ptr;
+}
+
+Result<Solution> Session::Summarize(const Params& params,
+                                    const HybridOptions& options) {
+  QAG_RETURN_IF_ERROR(ValidateParams(*answers_, params));
+  QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe,
+                       UniverseFor(params.L));
+  return Hybrid::Run(*universe, params, options);
+}
+
+Result<const SolutionStore*> Session::Guidance(
+    int top_l, const PrecomputeOptions& options) {
+  auto it = stores_.find(top_l);
+  if (it != stores_.end()) return it->second.get();
+  QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe, UniverseFor(top_l));
+  QAG_ASSIGN_OR_RETURN(SolutionStore store,
+                       Precompute::Run(*universe, top_l, options));
+  auto owned = std::make_unique<SolutionStore>(std::move(store));
+  const SolutionStore* ptr = owned.get();
+  stores_.emplace(top_l, std::move(owned));
+  return ptr;
+}
+
+Result<Solution> Session::Retrieve(int top_l, int d, int k) {
+  auto it = stores_.find(top_l);
+  if (it == stores_.end()) {
+    return Status::FailedPrecondition(
+        "no guidance precomputed for this L; call Guidance() first");
+  }
+  return it->second->Retrieve(d, k);
+}
+
+Status Session::SaveGuidance(int top_l, const std::string& path) const {
+  auto it = stores_.find(top_l);
+  if (it == stores_.end()) {
+    return Status::FailedPrecondition(
+        "no guidance precomputed for this L; call Guidance() first");
+  }
+  return SaveSolutionStore(*it->second, path);
+}
+
+Status Session::LoadGuidance(int top_l, const std::string& path) {
+  QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe, UniverseFor(top_l));
+  QAG_ASSIGN_OR_RETURN(SolutionStore store,
+                       LoadSolutionStore(universe, path));
+  if (store.l() != top_l) {
+    return Status::InvalidArgument(
+        StrCat("file holds a grid for L=", store.l(), ", requested L=",
+               top_l));
+  }
+  stores_[top_l] = std::make_unique<SolutionStore>(std::move(store));
+  return Status::OK();
+}
+
+Session::CacheStats Session::cache_stats() const {
+  CacheStats stats;
+  stats.universes = static_cast<int>(universes_.size());
+  stats.stores = static_cast<int>(stores_.size());
+  stats.universe_hits = universe_hits_;
+  stats.universe_misses = universe_misses_;
+  return stats;
+}
+
+}  // namespace qagview::core

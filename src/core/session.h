@@ -1,0 +1,88 @@
+#ifndef QAGVIEW_CORE_SESSION_H_
+#define QAGVIEW_CORE_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/hybrid.h"
+#include "core/precompute.h"
+#include "core/solution_store.h"
+#include "storage/table.h"
+
+namespace qagview::core {
+
+/// \brief One interactive exploration session — the server-side state of
+/// the Appendix A.3 architecture.
+///
+/// The paper's prototype keeps a cache between requests: a new aggregate
+/// query fully rebuilds it, while parameter-only changes (k, L, D) reuse
+/// cached structures. Session implements that policy:
+///
+///  * the answer set is fixed per session (new query => new session);
+///  * cluster universes are cached per L, and a request for L' <= L reuses
+///    the widest cached universe (its cluster set is a superset);
+///  * precomputed solution stores (the §6.2 grids) are cached per L;
+///  * Summarize / Retrieve requests then run at interactive speed.
+class Session {
+ public:
+  /// Creates a session over a materialized answer set.
+  static Result<std::unique_ptr<Session>> Create(AnswerSet answers);
+
+  /// Creates a session from an aggregate-query result table.
+  static Result<std::unique_ptr<Session>> FromTable(
+      const storage::Table& table, const std::string& value_column);
+
+  const AnswerSet& answers() const { return *answers_; }
+
+  /// One-off summarization (Hybrid) under the given parameters; builds or
+  /// reuses the universe for params.L.
+  Result<Solution> Summarize(const Params& params,
+                             const HybridOptions& options = HybridOptions());
+
+  /// Ensures the (k, D) grid for `top_l` is precomputed and returns the
+  /// store (owned by the session).
+  Result<const SolutionStore*> Guidance(
+      int top_l, const PrecomputeOptions& options = PrecomputeOptions());
+
+  /// Retrieves a precomputed solution; requires a prior Guidance(top_l).
+  Result<Solution> Retrieve(int top_l, int d, int k);
+
+  /// Persists the precomputed grid for `top_l` to a file; requires a prior
+  /// Guidance(top_l). The paper's prototype keeps these grids in
+  /// PostgreSQL; this is the file-backed equivalent.
+  Status SaveGuidance(int top_l, const std::string& path) const;
+
+  /// Loads a grid saved by SaveGuidance into this session's cache, skipping
+  /// the precompute cost. Fails if the file was built from a different
+  /// answer set or a larger L than this session can serve.
+  Status LoadGuidance(int top_l, const std::string& path);
+
+  /// The universe serving requests at coverage level `top_l` (cached).
+  Result<const ClusterUniverse*> UniverseFor(int top_l);
+
+  struct CacheStats {
+    int universes = 0;
+    int stores = 0;
+    int64_t universe_hits = 0;
+    int64_t universe_misses = 0;
+  };
+  CacheStats cache_stats() const;
+
+ private:
+  explicit Session(std::unique_ptr<AnswerSet> answers)
+      : answers_(std::move(answers)) {}
+
+  std::unique_ptr<AnswerSet> answers_;
+  // Keyed by the top_l the universe was built for.
+  std::map<int, std::unique_ptr<ClusterUniverse>> universes_;
+  // Keyed by top_l.
+  std::map<int, std::unique_ptr<SolutionStore>> stores_;
+  int64_t universe_hits_ = 0;
+  int64_t universe_misses_ = 0;
+};
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_SESSION_H_

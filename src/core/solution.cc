@@ -1,0 +1,91 @@
+#include "core/solution.h"
+
+#include "common/string_util.h"
+
+namespace qagview::core {
+
+std::string Params::ToString() const {
+  return StrCat("k=", k, ", L=", L, ", D=", D);
+}
+
+Status ValidateParams(const AnswerSet& s, const Params& params) {
+  if (params.k < 1) {
+    return Status::InvalidArgument(StrCat("k must be >= 1, got ", params.k));
+  }
+  if (params.L < 1 || params.L > s.size()) {
+    return Status::InvalidArgument(
+        StrCat("L must be in [1, n=", s.size(), "], got ", params.L));
+  }
+  if (params.D < 0 || params.D > s.num_attrs()) {
+    return Status::InvalidArgument(
+        StrCat("D must be in [0, m=", s.num_attrs(), "], got ", params.D));
+  }
+  return Status::OK();
+}
+
+Solution MakeSolution(const ClusterUniverse& universe, std::vector<int> ids) {
+  Solution out;
+  out.cluster_ids = std::move(ids);
+  std::vector<char> covered(static_cast<size_t>(universe.answer_set().size()),
+                            0);
+  double min_value = 0.0;
+  for (int id : out.cluster_ids) {
+    for (int32_t e : universe.covered(id)) {
+      if (!covered[static_cast<size_t>(e)]) {
+        covered[static_cast<size_t>(e)] = 1;
+        double v = universe.answer_set().value(e);
+        out.covered_sum += v;
+        if (out.covered_count == 0 || v < min_value) min_value = v;
+        ++out.covered_count;
+      }
+    }
+  }
+  out.average =
+      out.covered_count == 0 ? 0.0 : out.covered_sum / out.covered_count;
+  out.covered_min = min_value;
+  return out;
+}
+
+Status CheckFeasible(const ClusterUniverse& universe,
+                     const std::vector<int>& ids, const Params& params) {
+  // (1) Size.
+  if (static_cast<int>(ids.size()) > params.k) {
+    return Status::FailedPrecondition(
+        StrCat("size violation: ", ids.size(), " clusters > k=", params.k));
+  }
+  // (2) Coverage of the top-L elements.
+  std::vector<char> top_covered(static_cast<size_t>(params.L), 0);
+  for (int id : ids) {
+    for (int32_t e : universe.covered(id)) {
+      if (e >= params.L) break;  // covered lists are ascending
+      top_covered[static_cast<size_t>(e)] = 1;
+    }
+  }
+  for (int i = 0; i < params.L; ++i) {
+    if (!top_covered[static_cast<size_t>(i)]) {
+      return Status::FailedPrecondition(
+          StrCat("coverage violation: top element ", i + 1, " not covered"));
+    }
+  }
+  // (3) Pairwise distance and (4) antichain.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      const Cluster& a = universe.cluster(ids[i]);
+      const Cluster& b = universe.cluster(ids[j]);
+      int d = Distance(a, b);
+      if (d < params.D) {
+        return Status::FailedPrecondition(
+            StrCat("distance violation: d(", a.ToString(), ", ",
+                   b.ToString(), ")=", d, " < D=", params.D));
+      }
+      if (a.Covers(b) || b.Covers(a)) {
+        return Status::FailedPrecondition(
+            StrCat("antichain violation: ", a.ToString(), " and ",
+                   b.ToString(), " are comparable"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qagview::core

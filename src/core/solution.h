@@ -1,0 +1,54 @@
+#ifndef QAGVIEW_CORE_SOLUTION_H_
+#define QAGVIEW_CORE_SOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/semilattice.h"
+
+namespace qagview::core {
+
+/// The user-supplied constraints of Definition 4.1.
+struct Params {
+  /// Size constraint: at most k clusters.
+  int k = 4;
+  /// Coverage constraint: the top-L elements must be covered.
+  int L = 8;
+  /// Distance constraint: pairwise cluster distance >= D.
+  int D = 2;
+
+  std::string ToString() const;
+};
+
+/// Validates parameter ranges against an answer set (k >= 1, 1 <= L <= n,
+/// 0 <= D <= m).
+Status ValidateParams(const AnswerSet& s, const Params& params);
+
+/// \brief One summarization output: the chosen clusters plus the Max-Avg
+/// objective statistics over the union of their covered elements.
+struct Solution {
+  std::vector<int> cluster_ids;  // ids into the ClusterUniverse
+  double covered_sum = 0.0;
+  int covered_count = 0;
+  /// avg(O): the Max-Avg objective (Definition 4.1).
+  double average = 0.0;
+  /// min value among covered elements (the §9 Max-Min objective); 0 when
+  /// the solution covers nothing.
+  double covered_min = 0.0;
+
+  int size() const { return static_cast<int>(cluster_ids.size()); }
+};
+
+/// Builds a Solution from cluster ids, computing the covered-union stats.
+Solution MakeSolution(const ClusterUniverse& universe, std::vector<int> ids);
+
+/// Checks all four feasibility conditions of Definition 4.1:
+/// size <= k, top-L coverage, pairwise distance >= D, antichain.
+/// Returns OK or a status naming the violated condition.
+Status CheckFeasible(const ClusterUniverse& universe,
+                     const std::vector<int>& ids, const Params& params);
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_SOLUTION_H_

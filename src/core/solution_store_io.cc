@@ -1,0 +1,183 @@
+#include "core/solution_store_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/cluster.h"
+
+namespace qagview::core {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+/// Shortest round-trip representation of a double.
+std::string RoundTripDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  return buffer;
+}
+
+struct LineReader {
+  std::istringstream in;
+  int line_number = 0;
+
+  explicit LineReader(const std::string& text) : in(text) {}
+
+  Result<std::string> Next() {
+    std::string line;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (!line.empty()) return line;
+    }
+    return Status::InvalidArgument("unexpected end of solution-store data");
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrCat("solution store line ", line_number, ": ", message));
+  }
+};
+
+}  // namespace
+
+std::string SerializeSolutionStore(const SolutionStore& store) {
+  std::string out;
+  std::vector<int> d_values = store.d_values();
+  out += StrCat("qagview-store ", kFormatVersion, " ", store.l(), " ",
+                store.k_max(), " ", store.num_attrs(), " ", d_values.size(),
+                "\n");
+  for (int d : d_values) {
+    auto size_values = store.SizeValues(d);
+    auto intervals = store.Intervals(d);
+    QAG_CHECK_OK(size_values.status());
+    QAG_CHECK_OK(intervals.status());
+    out += StrCat("d ", d, " states ", size_values->size(), " intervals ",
+                  intervals->size(), "\n");
+    for (const auto& [size, value] : *size_values) {
+      out += StrCat("s ", size, " ", RoundTripDouble(value), "\n");
+    }
+    for (const SolutionStore::IntervalRecord& record : *intervals) {
+      out += StrCat("i ", record.lo, " ", record.hi);
+      for (int32_t code : store.ClusterPattern(record.cluster_id)) {
+        out += code == kWildcard ? " *" : StrCat(" ", code);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<SolutionStore> DeserializeSolutionStore(const ClusterUniverse* universe,
+                                               const std::string& text) {
+  if (universe == nullptr) {
+    return Status::InvalidArgument("universe must not be null");
+  }
+  LineReader reader(text);
+
+  QAG_ASSIGN_OR_RETURN(std::string header, reader.Next());
+  std::vector<std::string> head = Split(header, ' ');
+  if (head.size() != 6 || head[0] != "qagview-store") {
+    return reader.Error("bad header (expected 'qagview-store <version> ...')");
+  }
+  QAG_ASSIGN_OR_RETURN(int64_t version, ParseInt64(head[1]));
+  if (version != kFormatVersion) {
+    return reader.Error(StrCat("unsupported format version ", version));
+  }
+  QAG_ASSIGN_OR_RETURN(int64_t l, ParseInt64(head[2]));
+  QAG_ASSIGN_OR_RETURN(int64_t k_max, ParseInt64(head[3]));
+  QAG_ASSIGN_OR_RETURN(int64_t num_attrs, ParseInt64(head[4]));
+  QAG_ASSIGN_OR_RETURN(int64_t num_d, ParseInt64(head[5]));
+  const int m = universe->answer_set().num_attrs();
+  if (num_attrs != m) {
+    return reader.Error(StrCat("store has ", num_attrs,
+                               " attributes but the universe has ", m));
+  }
+  if (l > universe->top_l()) {
+    return reader.Error(
+        StrCat("store was built for L=", l, " but the universe only covers ",
+               universe->top_l()));
+  }
+
+  std::vector<SolutionStore::PartsPerD> parts;
+  for (int64_t block = 0; block < num_d; ++block) {
+    QAG_ASSIGN_OR_RETURN(std::string d_line, reader.Next());
+    std::vector<std::string> fields = Split(d_line, ' ');
+    if (fields.size() != 6 || fields[0] != "d" || fields[2] != "states" ||
+        fields[4] != "intervals") {
+      return reader.Error("bad per-D header");
+    }
+    SolutionStore::PartsPerD part;
+    QAG_ASSIGN_OR_RETURN(int64_t d, ParseInt64(fields[1]));
+    QAG_ASSIGN_OR_RETURN(int64_t num_states, ParseInt64(fields[3]));
+    QAG_ASSIGN_OR_RETURN(int64_t num_intervals, ParseInt64(fields[5]));
+    part.d = static_cast<int>(d);
+
+    for (int64_t r = 0; r < num_states; ++r) {
+      QAG_ASSIGN_OR_RETURN(std::string line, reader.Next());
+      std::vector<std::string> sv = Split(line, ' ');
+      if (sv.size() != 3 || sv[0] != "s") return reader.Error("bad state row");
+      QAG_ASSIGN_OR_RETURN(int64_t size, ParseInt64(sv[1]));
+      QAG_ASSIGN_OR_RETURN(double value, ParseDouble(sv[2]));
+      part.size_value.emplace_back(static_cast<int>(size), value);
+    }
+
+    for (int64_t r = 0; r < num_intervals; ++r) {
+      QAG_ASSIGN_OR_RETURN(std::string line, reader.Next());
+      std::vector<std::string> fields2 = Split(line, ' ');
+      if (static_cast<int>(fields2.size()) != 3 + m || fields2[0] != "i") {
+        return reader.Error(
+            StrCat("bad interval row (expected ", 3 + m, " fields)"));
+      }
+      SolutionStore::IntervalRecord record;
+      QAG_ASSIGN_OR_RETURN(int64_t lo, ParseInt64(fields2[1]));
+      QAG_ASSIGN_OR_RETURN(int64_t hi, ParseInt64(fields2[2]));
+      record.lo = static_cast<int>(lo);
+      record.hi = static_cast<int>(hi);
+      std::vector<int32_t> pattern(static_cast<size_t>(m));
+      for (int a = 0; a < m; ++a) {
+        const std::string& field = fields2[static_cast<size_t>(3 + a)];
+        if (field == "*") {
+          pattern[static_cast<size_t>(a)] = kWildcard;
+        } else {
+          QAG_ASSIGN_OR_RETURN(int64_t code, ParseInt64(field));
+          pattern[static_cast<size_t>(a)] = static_cast<int32_t>(code);
+        }
+      }
+      record.cluster_id = universe->FindId(Cluster(std::move(pattern)));
+      if (record.cluster_id < 0) {
+        return reader.Error(
+            "pattern not present in the universe (store built from a "
+            "different answer set or L?)");
+      }
+      part.intervals.push_back(record);
+    }
+    parts.push_back(std::move(part));
+  }
+  return SolutionStore::FromParts(universe, static_cast<int>(l),
+                                  static_cast<int>(k_max), std::move(parts));
+}
+
+Status SaveSolutionStore(const SolutionStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::NotFound(StrCat("cannot open ", path, " for writing"));
+  }
+  out << SerializeSolutionStore(store);
+  out.flush();
+  if (!out) return Status::Internal(StrCat("write to ", path, " failed"));
+  return Status::OK();
+}
+
+Result<SolutionStore> LoadSolutionStore(const ClusterUniverse* universe,
+                                        const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open ", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeSolutionStore(universe, buffer.str());
+}
+
+}  // namespace qagview::core

@@ -1,0 +1,45 @@
+#ifndef QAGVIEW_CORE_SOLUTION_STORE_IO_H_
+#define QAGVIEW_CORE_SOLUTION_STORE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/solution_store.h"
+
+namespace qagview::core {
+
+/// \brief Persistence for precomputed solution stores (§6.2).
+///
+/// The paper's prototype keeps precomputed (k, D) grids in memory and in
+/// PostgreSQL so later requests retrieve at interactive speed; this module
+/// is the equivalent for our in-process substrate: a store serializes to a
+/// compact line-based text format and reloads against a freshly built
+/// ClusterUniverse in a later process.
+///
+/// Clusters are serialized as attribute-code *patterns*, not universe ids:
+/// ids depend on universe construction order, while patterns are stable
+/// under rebuilds from the same answer set. Loading resolves each pattern
+/// through ClusterUniverse::FindId and fails cleanly when the store does
+/// not match the universe (different query, different L, edited file).
+///
+/// Format (version 1):
+///   qagview-store 1 <L> <k_max> <num_attrs> <num_d>
+///   d <D> states <S> intervals <I>
+///   s <size> <value>                   (x S)
+///   i <lo> <hi> <c1> <c2> ... <cm>     (x I; wildcard rendered as '*')
+std::string SerializeSolutionStore(const SolutionStore& store);
+
+/// Parses `text` and rebuilds the store against `universe` (which must
+/// outlive the result). The universe must have been built from the same
+/// answer set with top_l >= the store's L.
+Result<SolutionStore> DeserializeSolutionStore(const ClusterUniverse* universe,
+                                               const std::string& text);
+
+/// File convenience wrappers.
+Status SaveSolutionStore(const SolutionStore& store, const std::string& path);
+Result<SolutionStore> LoadSolutionStore(const ClusterUniverse* universe,
+                                        const std::string& path);
+
+}  // namespace qagview::core
+
+#endif  // QAGVIEW_CORE_SOLUTION_STORE_IO_H_

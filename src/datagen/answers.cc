@@ -1,0 +1,94 @@
+#include "datagen/answers.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/cluster.h"
+
+namespace qagview::datagen {
+
+core::AnswerSet MakeSyntheticAnswers(const SyntheticAnswerOptions& options) {
+  QAG_CHECK(options.n >= 1 && options.m >= 1 && options.domain >= 2);
+  Rng rng(options.seed);
+
+  // Planted patterns: fix about half the attributes to concrete values.
+  struct Planted {
+    std::vector<int32_t> pattern;  // kWildcard or value
+    double boost;
+  };
+  std::vector<Planted> planted;
+  for (int p = 0; p < options.planted_patterns; ++p) {
+    Planted pl;
+    pl.pattern.assign(static_cast<size_t>(options.m), core::kWildcard);
+    int fixed = std::max(1, options.m / 2 +
+                                static_cast<int>(rng.Uniform(-1, 1)));
+    for (int f = 0; f < fixed; ++f) {
+      int a = static_cast<int>(rng.Index(options.m));
+      pl.pattern[static_cast<size_t>(a)] =
+          static_cast<int32_t>(rng.Zipf(options.domain, 0.5));
+    }
+    pl.boost = rng.UniformReal(0.3, 1.2);
+    planted.push_back(std::move(pl));
+  }
+
+  std::vector<std::string> attr_names;
+  std::vector<std::vector<std::string>> value_names(
+      static_cast<size_t>(options.m));
+  for (int a = 0; a < options.m; ++a) {
+    attr_names.push_back(StrCat("a", a));
+    for (int v = 0; v < options.domain; ++v) {
+      value_names[static_cast<size_t>(a)].push_back(StrCat("v", v));
+    }
+  }
+
+  std::unordered_set<std::vector<int32_t>, VectorHash<int32_t>> seen;
+  std::vector<core::Element> elements;
+  elements.reserve(static_cast<size_t>(options.n));
+  int64_t attempts = 0;
+  while (static_cast<int>(elements.size()) < options.n) {
+    QAG_CHECK(++attempts < 100LL * options.n)
+        << "domain too small to draw " << options.n << " distinct tuples";
+    std::vector<int32_t> attrs(static_cast<size_t>(options.m));
+    for (int a = 0; a < options.m; ++a) {
+      attrs[static_cast<size_t>(a)] =
+          static_cast<int32_t>(rng.Zipf(options.domain, 0.6));
+    }
+    if (!seen.insert(attrs).second) continue;
+
+    double value = 2.8;
+    for (const Planted& pl : planted) {
+      bool match = true;
+      for (int a = 0; a < options.m && match; ++a) {
+        match = pl.pattern[static_cast<size_t>(a)] == core::kWildcard ||
+                pl.pattern[static_cast<size_t>(a)] ==
+                    attrs[static_cast<size_t>(a)];
+      }
+      if (match) value += pl.boost;
+      // Partial matches leak a fraction of the boost: low-value tuples can
+      // share parts of top patterns (the "(20s, M)" effect of §1).
+      int agree = 0;
+      int fixed = 0;
+      for (int a = 0; a < options.m; ++a) {
+        if (pl.pattern[static_cast<size_t>(a)] == core::kWildcard) continue;
+        ++fixed;
+        agree += pl.pattern[static_cast<size_t>(a)] ==
+                 attrs[static_cast<size_t>(a)];
+      }
+      if (!match && fixed > 0 && agree * 2 >= fixed) {
+        value += pl.boost * 0.15;
+      }
+    }
+    value += rng.Gaussian(0.0, options.noise);
+    elements.push_back({std::move(attrs), value});
+  }
+
+  auto result = core::AnswerSet::FromRaw(
+      std::move(attr_names), std::move(value_names), std::move(elements));
+  QAG_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+}  // namespace qagview::datagen

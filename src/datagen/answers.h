@@ -1,0 +1,38 @@
+#ifndef QAGVIEW_DATAGEN_ANSWERS_H_
+#define QAGVIEW_DATAGEN_ANSWERS_H_
+
+#include <cstdint>
+
+#include "core/answer_set.h"
+
+namespace qagview::datagen {
+
+/// Parameters for direct synthesis of an aggregate-query answer set.
+struct SyntheticAnswerOptions {
+  /// Number of answer tuples (the paper's N — the query *output* size).
+  int n = 2087;
+  /// Number of group-by attributes (m).
+  int m = 8;
+  /// Domain size per attribute.
+  int domain = 9;
+  /// Number of planted high-value partial patterns.
+  int planted_patterns = 6;
+  /// Gaussian noise on values.
+  double noise = 0.25;
+  uint64_t seed = 1;
+};
+
+/// \brief Synthesizes an aggregate answer set directly, bypassing the SQL
+/// layer, with exact control of N and m (the knobs of the §7 experiments).
+///
+/// Values are built from planted partial patterns (random conjunctions over
+/// ~half the attributes with positive boosts) plus noise, so the top of the
+/// ranking shares attribute patterns — the structure the summarization
+/// algorithms exploit — while low-value tuples partially share them too
+/// (making naive "cluster the top L" summaries misleading, per §1).
+core::AnswerSet MakeSyntheticAnswers(const SyntheticAnswerOptions& options =
+                                         SyntheticAnswerOptions());
+
+}  // namespace qagview::datagen
+
+#endif  // QAGVIEW_DATAGEN_ANSWERS_H_

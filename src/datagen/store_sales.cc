@@ -1,0 +1,122 @@
+#include "datagen/store_sales.h"
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace qagview::datagen {
+
+namespace {
+const char* const kStates[] = {"TN", "GA", "SC", "NC", "AL",
+                               "KY", "VA", "FL", "MS", "TX"};
+const char* const kCategories[] = {"Books", "Music",    "Home",  "Sports",
+                                   "Shoes", "Children", "Women", "Men",
+                                   "Jewelry", "Electronics"};
+const char* const kAgeGroups[] = {"10s", "20s", "30s", "40s", "50s", "60s"};
+const char* const kIncomeBands[] = {"low", "lower_mid", "upper_mid", "high"};
+const char* const kBuyPotential[] = {"0-500", "501-1000", "1001-5000",
+                                     "5001-10000", ">10000"};
+const char* const kChannels[] = {"walkin", "event", "promo"};
+}  // namespace
+
+StoreSalesGenerator::StoreSalesGenerator(const StoreSalesOptions& options)
+    : options_(options) {}
+
+storage::Table StoreSalesGenerator::Generate() const {
+  Rng rng(options_.seed);
+
+  std::vector<storage::Field> fields = {
+      {"sold_year", storage::ValueType::kInt64},
+      {"sold_month", storage::ValueType::kInt64},
+      {"sold_weekday", storage::ValueType::kInt64},
+      {"store_id", storage::ValueType::kInt64},
+      {"store_state", storage::ValueType::kString},
+      {"item_category", storage::ValueType::kString},
+      {"item_class", storage::ValueType::kInt64},
+      {"item_brand", storage::ValueType::kInt64},
+      {"customer_agegrp", storage::ValueType::kString},
+      {"customer_gender", storage::ValueType::kString},
+      {"customer_state", storage::ValueType::kString},
+      {"customer_income_band", storage::ValueType::kString},
+      {"promo_id", storage::ValueType::kInt64},
+      {"household_buy_potential", storage::ValueType::kString},
+      {"quantity", storage::ValueType::kInt64},
+      {"wholesale_bucket", storage::ValueType::kInt64},
+      {"list_bucket", storage::ValueType::kInt64},
+      {"sales_bucket", storage::ValueType::kInt64},
+      {"discount_bucket", storage::ValueType::kInt64},
+      {"coupon_used", storage::ValueType::kInt64},
+      {"channel", storage::ValueType::kString},
+      {"ticket_size_bucket", storage::ValueType::kInt64},
+      {"net_profit", storage::ValueType::kDouble},
+  };
+  storage::Table table{storage::Schema(std::move(fields))};
+
+  std::vector<storage::Value> row(static_cast<size_t>(table.num_columns()));
+  for (int64_t i = 0; i < options_.num_rows; ++i) {
+    int year = 1998 + static_cast<int>(rng.Index(6));
+    int month = 1 + static_cast<int>(rng.Index(12));
+    int weekday = static_cast<int>(rng.Index(7));
+    int store = 1 + static_cast<int>(rng.Zipf(12, 0.5));
+    int store_state = static_cast<int>(rng.Zipf(10, 0.8));
+    int category = static_cast<int>(rng.Zipf(10, 0.6));
+    int item_class = 1 + static_cast<int>(rng.Index(20));
+    int brand = 1 + static_cast<int>(rng.Zipf(50, 0.9));
+    int agegrp = static_cast<int>(rng.Zipf(6, 0.4));
+    int gender = static_cast<int>(rng.Index(2));
+    int cust_state = static_cast<int>(rng.Zipf(10, 0.7));
+    int income = static_cast<int>(rng.Index(4));
+    int promo = static_cast<int>(rng.Zipf(30, 1.2));
+    int potential = static_cast<int>(rng.Index(5));
+    int quantity = 1 + static_cast<int>(rng.Zipf(100, 1.1));
+    int wholesale = static_cast<int>(rng.Index(10));
+    int list = wholesale + static_cast<int>(rng.Index(4));
+    int sales = std::max(0, list - static_cast<int>(rng.Index(4)));
+    int discount = static_cast<int>(rng.Index(5));
+    int coupon = rng.Bernoulli(0.15) ? 1 : 0;
+    int channel = static_cast<int>(rng.Zipf(3, 0.8));
+    int ticket = static_cast<int>(rng.Index(8));
+
+    // Net profit: margin structure plus planted patterns — electronics in
+    // December via promos is lucrative; heavy discounting in low-income
+    // bands loses money. Matches TPC-DS's negative-profit tail.
+    double profit = (sales - wholesale) * 2.5 * quantity * 0.1;
+    if (category == 9 && month == 12) profit += 40.0;
+    if (category == 8 && income == 3) profit += 25.0;  // jewelry, high income
+    if (promo <= 2 && channel == 2) profit += 15.0;
+    if (discount >= 3) profit -= 25.0;
+    if (discount >= 3 && income == 0) profit -= 20.0;
+    if (coupon == 1) profit -= 8.0;
+    profit += rng.Gaussian(0.0, 20.0);
+
+    size_t c = 0;
+    row[c++] = storage::Value::Int(year);
+    row[c++] = storage::Value::Int(month);
+    row[c++] = storage::Value::Int(weekday);
+    row[c++] = storage::Value::Int(store);
+    row[c++] = storage::Value::Str(kStates[store_state]);
+    row[c++] = storage::Value::Str(kCategories[category]);
+    row[c++] = storage::Value::Int(item_class);
+    row[c++] = storage::Value::Int(brand);
+    row[c++] = storage::Value::Str(kAgeGroups[agegrp]);
+    row[c++] = storage::Value::Str(gender == 0 ? "M" : "F");
+    row[c++] = storage::Value::Str(kStates[cust_state]);
+    row[c++] = storage::Value::Str(kIncomeBands[income]);
+    row[c++] = storage::Value::Int(promo);
+    row[c++] = storage::Value::Str(kBuyPotential[potential]);
+    row[c++] = storage::Value::Int(quantity);
+    row[c++] = storage::Value::Int(wholesale);
+    row[c++] = storage::Value::Int(list);
+    row[c++] = storage::Value::Int(sales);
+    row[c++] = storage::Value::Int(discount);
+    row[c++] = storage::Value::Int(coupon);
+    row[c++] = storage::Value::Str(kChannels[channel]);
+    row[c++] = storage::Value::Int(ticket);
+    row[c++] = storage::Value::Real(profit);
+    QAG_CHECK_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace qagview::datagen

@@ -1,0 +1,39 @@
+#ifndef QAGVIEW_DATAGEN_STORE_SALES_H_
+#define QAGVIEW_DATAGEN_STORE_SALES_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace qagview::datagen {
+
+struct StoreSalesOptions {
+  int64_t num_rows = 100000;  // paper used 2,880,404 at scale factor 1
+  uint64_t seed = 7;
+};
+
+/// \brief Synthetic stand-in for the TPC-DS `store_sales` fact table used
+/// in the paper's scalability experiment (§7.4): 23 attributes, with
+/// `net_profit` as the aggregate value (which, as in TPC-DS, can be
+/// negative).
+///
+/// Columns (23): sold_year, sold_month, sold_weekday, store_id,
+/// store_state, item_category, item_class, item_brand, customer_agegrp,
+/// customer_gender, customer_state, customer_income_band, promo_id,
+/// household_buy_potential, quantity, wholesale_bucket, list_bucket,
+/// sales_bucket, discount_bucket, coupon_used, channel, ticket_size_bucket,
+/// net_profit.
+class StoreSalesGenerator {
+ public:
+  explicit StoreSalesGenerator(const StoreSalesOptions& options =
+                                   StoreSalesOptions());
+
+  storage::Table Generate() const;
+
+ private:
+  StoreSalesOptions options_;
+};
+
+}  // namespace qagview::datagen
+
+#endif  // QAGVIEW_DATAGEN_STORE_SALES_H_

@@ -1,0 +1,50 @@
+#ifndef QAGVIEW_SQL_AGGREGATE_H_
+#define QAGVIEW_SQL_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace qagview::sql {
+
+enum class AggKind { kCount, kCountStar, kSum, kAvg, kMin, kMax };
+
+/// Maps a lower-cased function name ("avg", ...) to its kind.
+/// `star` selects count(*) over count(expr).
+Result<AggKind> AggKindFromName(const std::string& name, bool star);
+
+const char* AggKindToString(AggKind kind);
+
+/// \brief Streaming aggregate accumulator (SQL NULL semantics: NULL inputs
+/// are skipped by every aggregate except count(*)).
+class Aggregator {
+ public:
+  explicit Aggregator(AggKind kind) : kind_(kind) {}
+
+  /// Folds one input row's argument value in.
+  void Add(const storage::Value& v);
+
+  /// Folds one row into count(*) (no argument).
+  void AddRow();
+
+  /// Final value: count -> INT64, sum/avg -> DOUBLE, min/max -> input type.
+  /// Empty input: count -> 0, others -> NULL.
+  storage::Value Finish() const;
+
+  void Reset();
+
+  AggKind kind() const { return kind_; }
+
+ private:
+  AggKind kind_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  bool has_extreme_ = false;
+  storage::Value extreme_;  // current min or max
+};
+
+}  // namespace qagview::sql
+
+#endif  // QAGVIEW_SQL_AGGREGATE_H_

@@ -1,0 +1,322 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "sql/aggregate.h"
+#include "sql/expr.h"
+#include "sql/parser.h"
+
+namespace qagview::sql {
+
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+void Catalog::Register(const std::string& name, const Table* table) {
+  tables_[ToLower(name)] = table;
+}
+
+const Table* Catalog::Find(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+// Infers a column type from materialized cells (INT64 if all ints,
+// DOUBLE if all numerics, else STRING; all-NULL columns default to INT64).
+ValueType InferType(const std::vector<std::vector<Value>>& rows, size_t col) {
+  bool any = false;
+  bool all_int = true;
+  bool all_num = true;
+  for (const auto& row : rows) {
+    const Value& v = row[col];
+    if (v.is_null()) continue;
+    any = true;
+    if (v.type() == ValueType::kString) return ValueType::kString;
+    if (v.type() == ValueType::kDouble) all_int = false;
+    if (v.type() != ValueType::kInt64 && v.type() != ValueType::kDouble) {
+      all_num = false;
+    }
+  }
+  if (!any) return ValueType::kInt64;
+  if (all_int) return ValueType::kInt64;
+  if (all_num) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+// Builds an output table from materialized rows, inferring column types.
+Result<Table> MaterializeTable(const std::vector<std::string>& names,
+                               std::vector<std::vector<Value>> rows) {
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (size_t c = 0; c < names.size(); ++c) {
+    fields.push_back({names[c], InferType(rows, c)});
+  }
+  Table out{Schema(std::move(fields))};
+  for (auto& row : rows) {
+    // Coerce ints feeding double columns (AppendRow accepts that directly).
+    QAG_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Status ApplyOrderAndLimit(const SelectStatement& stmt,
+                          const std::vector<std::string>& names,
+                          std::vector<std::vector<Value>>* rows) {
+  if (!stmt.order_by.empty()) {
+    std::vector<std::pair<size_t, bool>> keys;  // column index, descending
+    for (const OrderByItem& item : stmt.order_by) {
+      size_t idx = names.size();
+      for (size_t c = 0; c < names.size(); ++c) {
+        if (EqualsIgnoreCase(names[c], item.column)) {
+          idx = c;
+          break;
+        }
+      }
+      if (idx == names.size()) {
+        return Status::InvalidArgument(
+            "ORDER BY column is not in the select list: " + item.column);
+      }
+      keys.emplace_back(idx, item.descending);
+    }
+    std::stable_sort(rows->begin(), rows->end(),
+                     [&keys](const std::vector<Value>& a,
+                             const std::vector<Value>& b) {
+                       for (const auto& [idx, desc] : keys) {
+                         int c = a[idx].Compare(b[idx]);
+                         if (c != 0) return desc ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  if (stmt.limit >= 0 &&
+      static_cast<int64_t>(rows->size()) > stmt.limit) {
+    rows->resize(static_cast<size_t>(stmt.limit));
+  }
+  return Status::OK();
+}
+
+// Evaluates the WHERE clause and returns the surviving row indices.
+Result<std::vector<int64_t>> FilterRows(const SelectStatement& stmt,
+                                        const Table& table) {
+  std::vector<int64_t> rows;
+  if (stmt.where == nullptr) {
+    rows.reserve(static_cast<size_t>(table.num_rows()));
+    for (int64_t r = 0; r < table.num_rows(); ++r) rows.push_back(r);
+    return rows;
+  }
+  if (stmt.where->ContainsCall()) {
+    return Status::InvalidArgument("aggregates are not allowed in WHERE");
+  }
+  QAG_ASSIGN_OR_RETURN(CompiledExpr where,
+                       CompiledExpr::Compile(*stmt.where, table.schema()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    Value v = where.Eval(table, r);
+    if (!v.is_null() && v.IsTruthy()) rows.push_back(r);
+  }
+  return rows;
+}
+
+// Plain (non-grouped, aggregate-free) SELECT.
+Result<Table> ExecuteProjection(const SelectStatement& stmt,
+                                const Table& table,
+                                const std::vector<int64_t>& rows) {
+  std::vector<CompiledExpr> exprs;
+  std::vector<std::string> names;
+  for (const SelectItem& item : stmt.items) {
+    QAG_ASSIGN_OR_RETURN(CompiledExpr e,
+                         CompiledExpr::Compile(*item.expr, table.schema()));
+    exprs.push_back(std::move(e));
+    names.push_back(item.OutputName());
+  }
+  std::vector<std::vector<Value>> cells;
+  cells.reserve(rows.size());
+  for (int64_t r : rows) {
+    std::vector<Value> row;
+    row.reserve(exprs.size());
+    for (const CompiledExpr& e : exprs) row.push_back(e.Eval(table, r));
+    cells.push_back(std::move(row));
+  }
+  QAG_RETURN_IF_ERROR(ApplyOrderAndLimit(stmt, names, &cells));
+  return MaterializeTable(names, std::move(cells));
+}
+
+struct GroupState {
+  std::vector<Aggregator> aggs;
+};
+
+}  // namespace
+
+Result<Table> ExecuteSelect(const SelectStatement& stmt,
+                            const Catalog& catalog) {
+  const Table* table = catalog.Find(stmt.table_name);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + stmt.table_name);
+  }
+  if (stmt.items.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+
+  QAG_ASSIGN_OR_RETURN(std::vector<int64_t> rows, FilterRows(stmt, *table));
+
+  // Detect aggregation.
+  bool has_calls = stmt.having != nullptr && stmt.having->ContainsCall();
+  for (const SelectItem& item : stmt.items) {
+    has_calls = has_calls || item.expr->ContainsCall();
+  }
+  if (stmt.group_by.empty() && !has_calls) {
+    if (stmt.having != nullptr) {
+      return Status::InvalidArgument("HAVING requires GROUP BY or aggregates");
+    }
+    return ExecuteProjection(stmt, *table, rows);
+  }
+
+  // --- Aggregate path. ---
+  // Resolve grouping columns.
+  std::vector<int> group_cols;
+  for (const std::string& name : stmt.group_by) {
+    QAG_ASSIGN_OR_RETURN(int idx, table->schema().GetFieldIndex(name));
+    group_cols.push_back(idx);
+  }
+
+  // Collect unique aggregate calls from the select list and HAVING.
+  std::vector<const Expr*> calls;
+  for (const SelectItem& item : stmt.items) {
+    CollectCalls(*item.expr, &calls);
+  }
+  if (stmt.having) CollectCalls(*stmt.having, &calls);
+
+  std::vector<const Expr*> unique_calls;
+  std::vector<std::string> call_keys;
+  {
+    std::unordered_set<std::string> seen;
+    for (const Expr* call : calls) {
+      for (const auto& arg : call->args) {
+        if (arg->ContainsCall()) {
+          return Status::InvalidArgument(
+              "nested aggregate calls are not supported: " + call->ToString());
+        }
+      }
+      std::string key = call->ToString();
+      if (seen.insert(key).second) {
+        unique_calls.push_back(call);
+        call_keys.push_back(std::move(key));
+      }
+    }
+  }
+
+  // Prepare per-call kinds and argument expressions.
+  std::vector<AggKind> kinds;
+  std::vector<std::optional<CompiledExpr>> arg_exprs;
+  for (const Expr* call : unique_calls) {
+    QAG_ASSIGN_OR_RETURN(AggKind kind,
+                         AggKindFromName(call->function, call->star_arg));
+    if (kind != AggKind::kCountStar && call->args.size() != 1) {
+      return Status::InvalidArgument(
+          StrCat("aggregate ", call->function, " takes exactly one argument"));
+    }
+    kinds.push_back(kind);
+    if (kind == AggKind::kCountStar) {
+      arg_exprs.emplace_back(std::nullopt);
+    } else {
+      QAG_ASSIGN_OR_RETURN(
+          CompiledExpr e,
+          CompiledExpr::Compile(*call->args[0], table->schema()));
+      arg_exprs.emplace_back(std::move(e));
+    }
+  }
+
+  // Group rows and accumulate.
+  std::unordered_map<std::vector<Value>, GroupState, ValueVectorHash,
+                     ValueVectorEq>
+      groups;
+  std::vector<std::vector<Value>> group_order;  // first-seen order
+  for (int64_t r : rows) {
+    std::vector<Value> key;
+    key.reserve(group_cols.size());
+    for (int c : group_cols) key.push_back(table->Get(r, c));
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      for (AggKind kind : kinds) it->second.aggs.emplace_back(kind);
+      group_order.push_back(key);
+    }
+    for (size_t a = 0; a < kinds.size(); ++a) {
+      if (kinds[a] == AggKind::kCountStar) {
+        it->second.aggs[a].AddRow();
+      } else {
+        it->second.aggs[a].Add(arg_exprs[a]->Eval(*table, r));
+      }
+    }
+  }
+
+  // Build the intermediate "group env" table: group-by columns (original
+  // names/types) + one column per unique aggregate call, named by its
+  // canonical text. Select items and HAVING are evaluated against it after
+  // rewriting calls into column refs.
+  std::vector<std::string> env_names;
+  for (int c : group_cols) env_names.push_back(table->schema().field(c).name);
+  for (const std::string& key : call_keys) env_names.push_back(key);
+
+  std::vector<std::vector<Value>> env_rows;
+  env_rows.reserve(group_order.size());
+  for (const auto& key : group_order) {
+    const GroupState& state = groups[key];
+    std::vector<Value> row = key;
+    for (const Aggregator& agg : state.aggs) row.push_back(agg.Finish());
+    env_rows.push_back(std::move(row));
+  }
+  QAG_ASSIGN_OR_RETURN(Table env_table,
+                       MaterializeTable(env_names, std::move(env_rows)));
+
+  // Compile rewritten select items / HAVING against the env table.
+  std::vector<CompiledExpr> out_exprs;
+  std::vector<std::string> out_names;
+  for (const SelectItem& item : stmt.items) {
+    std::unique_ptr<Expr> rewritten = RewriteCallsToColumns(*item.expr);
+    auto compiled = CompiledExpr::Compile(*rewritten, env_table.schema());
+    if (!compiled.ok()) {
+      // A bare column that is neither grouped nor aggregated.
+      return Status::InvalidArgument(
+          StrCat("select item ", item.expr->ToString(),
+                 " must be a grouping column or an aggregate (",
+                 compiled.status().message(), ")"));
+    }
+    out_exprs.push_back(std::move(compiled).value());
+    out_names.push_back(item.OutputName());
+  }
+  std::optional<CompiledExpr> having;
+  if (stmt.having) {
+    std::unique_ptr<Expr> rewritten = RewriteCallsToColumns(*stmt.having);
+    QAG_ASSIGN_OR_RETURN(CompiledExpr e,
+                         CompiledExpr::Compile(*rewritten, env_table.schema()));
+    having = std::move(e);
+  }
+
+  std::vector<std::vector<Value>> out_rows;
+  for (int64_t g = 0; g < env_table.num_rows(); ++g) {
+    if (having) {
+      Value keep = having->Eval(env_table, g);
+      if (keep.is_null() || !keep.IsTruthy()) continue;
+    }
+    std::vector<Value> row;
+    row.reserve(out_exprs.size());
+    for (const CompiledExpr& e : out_exprs) row.push_back(e.Eval(env_table, g));
+    out_rows.push_back(std::move(row));
+  }
+
+  QAG_RETURN_IF_ERROR(ApplyOrderAndLimit(stmt, out_names, &out_rows));
+  return MaterializeTable(out_names, std::move(out_rows));
+}
+
+Result<Table> ExecuteSql(const std::string& sql, const Catalog& catalog) {
+  QAG_ASSIGN_OR_RETURN(SelectStatement stmt, Parser::ParseSelect(sql));
+  return ExecuteSelect(stmt, catalog);
+}
+
+}  // namespace qagview::sql

@@ -1,0 +1,43 @@
+#ifndef QAGVIEW_SQL_EXECUTOR_H_
+#define QAGVIEW_SQL_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace qagview::sql {
+
+/// \brief Name → table registry the executor resolves FROM clauses against.
+///
+/// The catalog does not own tables; registered tables must outlive it.
+class Catalog {
+ public:
+  /// Registers (or replaces) a table under a case-insensitive name.
+  void Register(const std::string& name, const storage::Table* table);
+
+  /// Looks a table up; nullptr if absent.
+  const storage::Table* Find(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, const storage::Table*> tables_;
+};
+
+/// \brief Executes a parsed SELECT against the catalog.
+///
+/// Supports the paper's aggregate template — WHERE filter, GROUP BY over any
+/// columns, aggregates (count/count(*)/sum/avg/min/max) in the select list
+/// and HAVING, expressions over aggregates and grouping columns, ORDER BY
+/// output columns, LIMIT — plus plain (non-grouped) projections.
+Result<storage::Table> ExecuteSelect(const SelectStatement& stmt,
+                                     const Catalog& catalog);
+
+/// Parses and executes `sql` in one step.
+Result<storage::Table> ExecuteSql(const std::string& sql,
+                                  const Catalog& catalog);
+
+}  // namespace qagview::sql
+
+#endif  // QAGVIEW_SQL_EXECUTOR_H_

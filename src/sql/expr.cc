@@ -1,0 +1,224 @@
+#include "sql/expr.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace qagview::sql {
+
+using storage::Value;
+using storage::ValueType;
+
+Result<CompiledExpr> CompiledExpr::Compile(const Expr& expr,
+                                           const storage::Schema& schema) {
+  CompiledExpr compiled;
+  QAG_ASSIGN_OR_RETURN(compiled.root_, compiled.CompileNode(expr, schema));
+  return compiled;
+}
+
+Result<int> CompiledExpr::CompileNode(const Expr& expr,
+                                      const storage::Schema& schema) {
+  Node node;
+  node.kind = expr.kind;
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      node.literal = expr.literal;
+      break;
+    case ExprKind::kColumnRef: {
+      QAG_ASSIGN_OR_RETURN(node.column_index,
+                           schema.GetFieldIndex(expr.column));
+      break;
+    }
+    case ExprKind::kUnary: {
+      node.unary_op = expr.unary_op;
+      QAG_ASSIGN_OR_RETURN(node.left, CompileNode(*expr.left, schema));
+      break;
+    }
+    case ExprKind::kBinary: {
+      node.binary_op = expr.binary_op;
+      QAG_ASSIGN_OR_RETURN(node.left, CompileNode(*expr.left, schema));
+      QAG_ASSIGN_OR_RETURN(node.right, CompileNode(*expr.right, schema));
+      break;
+    }
+    case ExprKind::kCall:
+      return Status::InvalidArgument(
+          StrCat("aggregate call ", expr.ToString(),
+                 " is not allowed in a scalar context"));
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Value CompiledExpr::Eval(const storage::Table& table, int64_t row) const {
+  return EvalNode(root_, table, row);
+}
+
+namespace {
+
+// Three-valued logic: -1 = NULL/unknown, 0 = false, 1 = true.
+int Truth(const Value& v) {
+  if (v.is_null()) return -1;
+  return v.IsTruthy() ? 1 : 0;
+}
+
+Value TruthToValue(int t) {
+  if (t < 0) return Value::Null();
+  return Value::Int(t);
+}
+
+}  // namespace
+
+Value CompiledExpr::EvalNode(int index, const storage::Table& table,
+                             int64_t row) const {
+  const Node& node = nodes_[static_cast<size_t>(index)];
+  switch (node.kind) {
+    case ExprKind::kLiteral:
+      return node.literal;
+    case ExprKind::kColumnRef:
+      return table.Get(row, node.column_index);
+    case ExprKind::kUnary: {
+      Value operand = EvalNode(node.left, table, row);
+      if (node.unary_op == UnaryOp::kNegate) {
+        if (operand.is_null()) return Value::Null();
+        if (operand.type() == ValueType::kInt64) {
+          return Value::Int(-operand.as_int());
+        }
+        return Value::Real(-operand.ToDouble());
+      }
+      // NOT with three-valued logic.
+      int t = Truth(operand);
+      return t < 0 ? Value::Null() : Value::Int(1 - t);
+    }
+    case ExprKind::kBinary: {
+      // AND/OR need short-circuit-aware three-valued logic.
+      if (node.binary_op == BinaryOp::kAnd || node.binary_op == BinaryOp::kOr) {
+        int a = Truth(EvalNode(node.left, table, row));
+        if (node.binary_op == BinaryOp::kAnd && a == 0) return Value::Int(0);
+        if (node.binary_op == BinaryOp::kOr && a == 1) return Value::Int(1);
+        int b = Truth(EvalNode(node.right, table, row));
+        if (node.binary_op == BinaryOp::kAnd) {
+          if (b == 0) return Value::Int(0);
+          return TruthToValue((a < 0 || b < 0) ? -1 : 1);
+        }
+        if (b == 1) return Value::Int(1);
+        return TruthToValue((a < 0 || b < 0) ? -1 : 0);
+      }
+
+      Value lhs = EvalNode(node.left, table, row);
+      Value rhs = EvalNode(node.right, table, row);
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+
+      switch (node.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul: {
+          if (lhs.type() == ValueType::kInt64 &&
+              rhs.type() == ValueType::kInt64) {
+            int64_t a = lhs.as_int();
+            int64_t b = rhs.as_int();
+            switch (node.binary_op) {
+              case BinaryOp::kAdd: return Value::Int(a + b);
+              case BinaryOp::kSub: return Value::Int(a - b);
+              default: return Value::Int(a * b);
+            }
+          }
+          double a = lhs.ToDouble();
+          double b = rhs.ToDouble();
+          switch (node.binary_op) {
+            case BinaryOp::kAdd: return Value::Real(a + b);
+            case BinaryOp::kSub: return Value::Real(a - b);
+            default: return Value::Real(a * b);
+          }
+        }
+        case BinaryOp::kDiv: {
+          double b = rhs.ToDouble();
+          if (b == 0.0) return Value::Null();  // SQL: division by zero
+          return Value::Real(lhs.ToDouble() / b);
+        }
+        case BinaryOp::kMod: {
+          if (lhs.type() == ValueType::kInt64 &&
+              rhs.type() == ValueType::kInt64) {
+            int64_t b = rhs.as_int();
+            if (b == 0) return Value::Null();
+            return Value::Int(lhs.as_int() % b);
+          }
+          double b = rhs.ToDouble();
+          if (b == 0.0) return Value::Null();
+          return Value::Real(std::fmod(lhs.ToDouble(), b));
+        }
+        case BinaryOp::kEq: return Value::Bool(lhs.Compare(rhs) == 0);
+        case BinaryOp::kNe: return Value::Bool(lhs.Compare(rhs) != 0);
+        case BinaryOp::kLt: return Value::Bool(lhs.Compare(rhs) < 0);
+        case BinaryOp::kLe: return Value::Bool(lhs.Compare(rhs) <= 0);
+        case BinaryOp::kGt: return Value::Bool(lhs.Compare(rhs) > 0);
+        case BinaryOp::kGe: return Value::Bool(lhs.Compare(rhs) >= 0);
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          break;  // handled above
+      }
+      QAG_LOG(Fatal) << "unreachable binary op";
+      return Value::Null();
+    }
+    case ExprKind::kCall:
+      QAG_LOG(Fatal) << "call node survived compilation";
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+std::unique_ptr<Expr> RewriteCallsToColumns(const Expr& expr) {
+  if (expr.kind == ExprKind::kCall) {
+    return Expr::Column(expr.ToString());
+  }
+  auto copy = expr.Clone();
+  if (expr.left) copy->left = RewriteCallsToColumns(*expr.left);
+  if (expr.right) copy->right = RewriteCallsToColumns(*expr.right);
+  copy->args.clear();
+  for (const auto& a : expr.args) {
+    copy->args.push_back(RewriteCallsToColumns(*a));
+  }
+  return copy;
+}
+
+void CollectCalls(const Expr& expr, std::vector<const Expr*>* calls) {
+  if (expr.kind == ExprKind::kCall) {
+    calls->push_back(&expr);
+    return;  // nested calls are rejected by the executor
+  }
+  if (expr.left) CollectCalls(*expr.left, calls);
+  if (expr.right) CollectCalls(*expr.right, calls);
+  for (const auto& a : expr.args) CollectCalls(*a, calls);
+}
+
+size_t HashValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+      return std::hash<int64_t>()(v.as_int());
+    case ValueType::kDouble:
+      return std::hash<double>()(v.as_double());
+    case ValueType::kString:
+      return std::hash<std::string>()(v.as_string());
+  }
+  return 0;
+}
+
+size_t ValueVectorHash::operator()(
+    const std::vector<storage::Value>& key) const {
+  size_t seed = key.size();
+  for (const Value& v : key) HashCombine(&seed, HashValue(v));
+  return seed;
+}
+
+bool ValueVectorEq::operator()(const std::vector<storage::Value>& a,
+                               const std::vector<storage::Value>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace qagview::sql

@@ -1,0 +1,211 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace qagview::sql {
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kIdent:
+      return text;
+    case TokenType::kInt:
+      return std::to_string(int_value);
+    case TokenType::kReal:
+      return StrCat(real_value);
+    case TokenType::kString:
+      return StrCat("'", text, "'");
+    default:
+      return TokenTypeToString(type);
+  }
+}
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd: return "<end>";
+    case TokenType::kIdent: return "<ident>";
+    case TokenType::kInt: return "<int>";
+    case TokenType::kReal: return "<real>";
+    case TokenType::kString: return "<string>";
+    case TokenType::kComma: return ",";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kStar: return "*";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPercent: return "%";
+    case TokenType::kEq: return "=";
+    case TokenType::kNe: return "!=";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string input) : input_(std::move(input)) {}
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    if (std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    } else if (Peek() == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    QAG_ASSIGN_OR_RETURN(Token t, Next());
+    bool done = t.type == TokenType::kEnd;
+    tokens.push_back(std::move(t));
+    if (done) break;
+  }
+  return tokens;
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token t;
+  t.offset = pos_;
+  if (AtEnd()) {
+    t.type = TokenType::kEnd;
+    return t;
+  }
+  char c = Peek();
+
+  // Identifier / keyword.
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      ++pos_;
+    }
+    t.type = TokenType::kIdent;
+    t.text = input_.substr(start, pos_ - start);
+    return t;
+  }
+
+  // Numeric literal.
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    size_t start = pos_;
+    bool is_real = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      is_real = true;
+      ++pos_;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_real = true;
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Status::ParseError(
+            StrCat("malformed exponent at offset ", pos_));
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    std::string text = input_.substr(start, pos_ - start);
+    if (is_real) {
+      QAG_ASSIGN_OR_RETURN(t.real_value, ParseDouble(text));
+      t.type = TokenType::kReal;
+    } else {
+      QAG_ASSIGN_OR_RETURN(t.int_value, ParseInt64(text));
+      t.type = TokenType::kInt;
+    }
+    return t;
+  }
+
+  // String literal.
+  if (c == '\'') {
+    ++pos_;
+    std::string body;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError(
+            StrCat("unterminated string starting at offset ", t.offset));
+      }
+      char d = Peek();
+      ++pos_;
+      if (d == '\'') {
+        if (Peek() == '\'') {  // '' escape
+          body.push_back('\'');
+          ++pos_;
+        } else {
+          break;
+        }
+      } else {
+        body.push_back(d);
+      }
+    }
+    t.type = TokenType::kString;
+    t.text = std::move(body);
+    return t;
+  }
+
+  // Operators and punctuation.
+  ++pos_;
+  switch (c) {
+    case ',': t.type = TokenType::kComma; return t;
+    case '(': t.type = TokenType::kLParen; return t;
+    case ')': t.type = TokenType::kRParen; return t;
+    case '*': t.type = TokenType::kStar; return t;
+    case '+': t.type = TokenType::kPlus; return t;
+    case '-': t.type = TokenType::kMinus; return t;
+    case '/': t.type = TokenType::kSlash; return t;
+    case '%': t.type = TokenType::kPercent; return t;
+    case '=':
+      if (Peek() == '=') ++pos_;
+      t.type = TokenType::kEq;
+      return t;
+    case '!':
+      if (Peek() == '=') {
+        ++pos_;
+        t.type = TokenType::kNe;
+        return t;
+      }
+      return Status::ParseError(StrCat("unexpected '!' at offset ", t.offset));
+    case '<':
+      if (Peek() == '=') {
+        ++pos_;
+        t.type = TokenType::kLe;
+      } else if (Peek() == '>') {
+        ++pos_;
+        t.type = TokenType::kNe;
+      } else {
+        t.type = TokenType::kLt;
+      }
+      return t;
+    case '>':
+      if (Peek() == '=') {
+        ++pos_;
+        t.type = TokenType::kGe;
+      } else {
+        t.type = TokenType::kGt;
+      }
+      return t;
+    default:
+      return Status::ParseError(
+          StrCat("unexpected character '", std::string(1, c), "' at offset ",
+                 t.offset));
+  }
+}
+
+}  // namespace qagview::sql

@@ -1,0 +1,36 @@
+#ifndef QAGVIEW_SQL_LEXER_H_
+#define QAGVIEW_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace qagview::sql {
+
+/// \brief Tokenizes the SQL dialect accepted by qagview::sql.
+///
+/// Identifiers are case-insensitive (keywords are recognized by the parser).
+/// String literals use single quotes with '' as the escape. `--` starts a
+/// line comment.
+class Lexer {
+ public:
+  explicit Lexer(std::string input);
+
+  /// Tokenizes the whole input; the final token is kEnd.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> Next();
+  char Peek(size_t ahead = 0) const;
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  void SkipWhitespaceAndComments();
+
+  std::string input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace qagview::sql
+
+#endif  // QAGVIEW_SQL_LEXER_H_

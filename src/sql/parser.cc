@@ -1,0 +1,266 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace qagview::sql {
+
+namespace {
+// Keywords that terminate an expression / select item.
+bool IsClauseKeyword(const std::string& word) {
+  static const char* kKeywords[] = {"from", "where",  "group", "having",
+                                    "order", "limit", "as",    "asc",
+                                    "desc",  "by",    "and",   "or",
+                                    "not",   "select"};
+  std::string lower = ToLower(word);
+  for (const char* kw : kKeywords) {
+    if (lower == kw) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool Parser::Match(TokenType type) {
+  if (!Check(type)) return false;
+  ++pos_;
+  return true;
+}
+
+bool Parser::CheckKeyword(const char* kw) const {
+  return Peek().type == TokenType::kIdent && EqualsIgnoreCase(Peek().text, kw);
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (!CheckKeyword(kw)) return false;
+  ++pos_;
+  return true;
+}
+
+Status Parser::Expect(TokenType type, const char* what) {
+  if (Match(type)) return Status::OK();
+  return ErrorHere(StrCat("expected ", what));
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (MatchKeyword(kw)) return Status::OK();
+  return ErrorHere(StrCat("expected keyword ", kw));
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  return Status::ParseError(StrCat(message, ", got '", Peek().ToString(),
+                                   "' at offset ", Peek().offset));
+}
+
+Result<SelectStatement> Parser::ParseSelect(const std::string& sql) {
+  QAG_ASSIGN_OR_RETURN(auto tokens, Lexer(sql).Tokenize());
+  Parser parser(std::move(tokens));
+  QAG_ASSIGN_OR_RETURN(SelectStatement stmt, parser.Select());
+  if (!parser.Check(TokenType::kEnd)) {
+    return parser.ErrorHere("unexpected trailing input");
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseExpression(const std::string& sql) {
+  QAG_ASSIGN_OR_RETURN(auto tokens, Lexer(sql).Tokenize());
+  Parser parser(std::move(tokens));
+  QAG_ASSIGN_OR_RETURN(auto expr, parser.Expression());
+  if (!parser.Check(TokenType::kEnd)) {
+    return parser.ErrorHere("unexpected trailing input");
+  }
+  return expr;
+}
+
+Result<SelectStatement> Parser::Select() {
+  SelectStatement stmt;
+  QAG_RETURN_IF_ERROR(ExpectKeyword("select"));
+
+  // Select list.
+  while (true) {
+    SelectItem item;
+    QAG_ASSIGN_OR_RETURN(item.expr, Expression());
+    if (MatchKeyword("as")) {
+      if (!Check(TokenType::kIdent)) return ErrorHere("expected alias");
+      item.alias = Advance().text;
+    } else if (Check(TokenType::kIdent) && !IsClauseKeyword(Peek().text)) {
+      // Implicit alias: SELECT avg(x) val
+      item.alias = Advance().text;
+    }
+    stmt.items.push_back(std::move(item));
+    if (!Match(TokenType::kComma)) break;
+  }
+
+  QAG_RETURN_IF_ERROR(ExpectKeyword("from"));
+  if (!Check(TokenType::kIdent)) return ErrorHere("expected table name");
+  stmt.table_name = Advance().text;
+
+  if (MatchKeyword("where")) {
+    QAG_ASSIGN_OR_RETURN(stmt.where, Expression());
+  }
+
+  if (MatchKeyword("group")) {
+    QAG_RETURN_IF_ERROR(ExpectKeyword("by"));
+    while (true) {
+      if (!Check(TokenType::kIdent)) return ErrorHere("expected column name");
+      stmt.group_by.push_back(Advance().text);
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+
+  if (MatchKeyword("having")) {
+    QAG_ASSIGN_OR_RETURN(stmt.having, Expression());
+  }
+
+  if (MatchKeyword("order")) {
+    QAG_RETURN_IF_ERROR(ExpectKeyword("by"));
+    while (true) {
+      if (!Check(TokenType::kIdent)) return ErrorHere("expected column name");
+      OrderByItem item;
+      item.column = Advance().text;
+      if (MatchKeyword("desc")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("asc");
+      }
+      stmt.order_by.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+
+  if (MatchKeyword("limit")) {
+    if (!Check(TokenType::kInt)) return ErrorHere("expected integer limit");
+    stmt.limit = Advance().int_value;
+    if (stmt.limit < 0) return Status::ParseError("LIMIT must be >= 0");
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<Expr>> Parser::Expression() { return OrExpr(); }
+
+Result<std::unique_ptr<Expr>> Parser::OrExpr() {
+  QAG_ASSIGN_OR_RETURN(auto lhs, AndExpr());
+  while (MatchKeyword("or")) {
+    QAG_ASSIGN_OR_RETURN(auto rhs, AndExpr());
+    lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> Parser::AndExpr() {
+  QAG_ASSIGN_OR_RETURN(auto lhs, NotExpr());
+  while (MatchKeyword("and")) {
+    QAG_ASSIGN_OR_RETURN(auto rhs, NotExpr());
+    lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> Parser::NotExpr() {
+  if (MatchKeyword("not")) {
+    QAG_ASSIGN_OR_RETURN(auto operand, NotExpr());
+    return Expr::Unary(UnaryOp::kNot, std::move(operand));
+  }
+  return Comparison();
+}
+
+Result<std::unique_ptr<Expr>> Parser::Comparison() {
+  QAG_ASSIGN_OR_RETURN(auto lhs, Additive());
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq: op = BinaryOp::kEq; break;
+    case TokenType::kNe: op = BinaryOp::kNe; break;
+    case TokenType::kLt: op = BinaryOp::kLt; break;
+    case TokenType::kLe: op = BinaryOp::kLe; break;
+    case TokenType::kGt: op = BinaryOp::kGt; break;
+    case TokenType::kGe: op = BinaryOp::kGe; break;
+    default:
+      return lhs;
+  }
+  Advance();
+  QAG_ASSIGN_OR_RETURN(auto rhs, Additive());
+  return Expr::Binary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<std::unique_ptr<Expr>> Parser::Additive() {
+  QAG_ASSIGN_OR_RETURN(auto lhs, Multiplicative());
+  while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+    BinaryOp op =
+        Advance().type == TokenType::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+    QAG_ASSIGN_OR_RETURN(auto rhs, Multiplicative());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> Parser::Multiplicative() {
+  QAG_ASSIGN_OR_RETURN(auto lhs, UnaryExpr());
+  while (Check(TokenType::kStar) || Check(TokenType::kSlash) ||
+         Check(TokenType::kPercent)) {
+    TokenType t = Advance().type;
+    BinaryOp op = t == TokenType::kStar
+                      ? BinaryOp::kMul
+                      : (t == TokenType::kSlash ? BinaryOp::kDiv
+                                                : BinaryOp::kMod);
+    QAG_ASSIGN_OR_RETURN(auto rhs, UnaryExpr());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<std::unique_ptr<Expr>> Parser::UnaryExpr() {
+  if (Match(TokenType::kMinus)) {
+    QAG_ASSIGN_OR_RETURN(auto operand, UnaryExpr());
+    return Expr::Unary(UnaryOp::kNegate, std::move(operand));
+  }
+  if (Match(TokenType::kPlus)) return UnaryExpr();
+  return Primary();
+}
+
+Result<std::unique_ptr<Expr>> Parser::Primary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kInt: {
+      int64_t v = Advance().int_value;
+      return Expr::Literal(storage::Value::Int(v));
+    }
+    case TokenType::kReal: {
+      double v = Advance().real_value;
+      return Expr::Literal(storage::Value::Real(v));
+    }
+    case TokenType::kString: {
+      std::string v = Advance().text;
+      return Expr::Literal(storage::Value::Str(std::move(v)));
+    }
+    case TokenType::kLParen: {
+      Advance();
+      QAG_ASSIGN_OR_RETURN(auto inner, Expression());
+      QAG_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      return inner;
+    }
+    case TokenType::kIdent: {
+      std::string name = Advance().text;
+      if (Match(TokenType::kLParen)) {
+        // Function call.
+        if (Match(TokenType::kStar)) {
+          QAG_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+          return Expr::Call(name, {}, /*star=*/true);
+        }
+        std::vector<std::unique_ptr<Expr>> args;
+        if (!Check(TokenType::kRParen)) {
+          while (true) {
+            QAG_ASSIGN_OR_RETURN(auto arg, Expression());
+            args.push_back(std::move(arg));
+            if (!Match(TokenType::kComma)) break;
+          }
+        }
+        QAG_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        return Expr::Call(name, std::move(args));
+      }
+      return Expr::Column(std::move(name));
+    }
+    default:
+      return ErrorHere("expected expression");
+  }
+}
+
+}  // namespace qagview::sql

@@ -1,0 +1,64 @@
+#ifndef QAGVIEW_SQL_PARSER_H_
+#define QAGVIEW_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace qagview::sql {
+
+/// \brief Recursive-descent parser for the qagview SQL dialect.
+///
+/// Supported statement form (the paper's aggregate-query template plus plain
+/// projections):
+///
+///   SELECT item [, item]* FROM table
+///     [WHERE expr] [GROUP BY col [, col]*] [HAVING expr]
+///     [ORDER BY col [ASC|DESC] [, ...]] [LIMIT n]
+///
+/// with arithmetic, comparisons, AND/OR/NOT, parentheses, aggregate calls
+/// (count/sum/avg/min/max, including count(*)), and int/real/string
+/// literals.
+class Parser {
+ public:
+  /// Parses a full SELECT statement; fails on trailing input.
+  static Result<SelectStatement> ParseSelect(const std::string& sql);
+
+  /// Parses a standalone expression (used by tests and tools).
+  static Result<std::unique_ptr<Expr>> ParseExpression(const std::string& sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool Match(TokenType type);
+  bool MatchKeyword(const char* kw);
+  bool CheckKeyword(const char* kw) const;
+  Status Expect(TokenType type, const char* what);
+  Status ExpectKeyword(const char* kw);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<SelectStatement> Select();
+  Result<std::unique_ptr<Expr>> Expression();
+  Result<std::unique_ptr<Expr>> OrExpr();
+  Result<std::unique_ptr<Expr>> AndExpr();
+  Result<std::unique_ptr<Expr>> NotExpr();
+  Result<std::unique_ptr<Expr>> Comparison();
+  Result<std::unique_ptr<Expr>> Additive();
+  Result<std::unique_ptr<Expr>> Multiplicative();
+  Result<std::unique_ptr<Expr>> UnaryExpr();
+  Result<std::unique_ptr<Expr>> Primary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace qagview::sql
+
+#endif  // QAGVIEW_SQL_PARSER_H_

@@ -1,0 +1,46 @@
+#ifndef QAGVIEW_SQL_TOKEN_H_
+#define QAGVIEW_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qagview::sql {
+
+enum class TokenType {
+  kEnd,
+  kIdent,      // bare identifier or keyword
+  kInt,        // integer literal
+  kReal,       // floating literal
+  kString,     // 'quoted string'
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,         // = or ==
+  kNe,         // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // identifier / string body
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  size_t offset = 0;
+
+  std::string ToString() const;
+};
+
+const char* TokenTypeToString(TokenType type);
+
+}  // namespace qagview::sql
+
+#endif  // QAGVIEW_SQL_TOKEN_H_

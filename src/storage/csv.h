@@ -1,0 +1,39 @@
+#ifndef QAGVIEW_STORAGE_CSV_H_
+#define QAGVIEW_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace qagview::storage {
+
+struct CsvOptions {
+  char separator = ',';
+  /// First row holds column names; when false, columns are named c0, c1, ...
+  bool has_header = true;
+};
+
+/// \brief Parses CSV text into a Table, inferring column types.
+///
+/// Type inference scans all rows: a column is INT64 if every non-empty cell
+/// parses as an integer, DOUBLE if every non-empty cell parses as a number,
+/// STRING otherwise. Empty cells become NULL.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes a table as CSV (header + rows). NULLs are written as empty
+/// cells; cells containing the separator, quotes, or newlines are quoted.
+std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace qagview::storage
+
+#endif  // QAGVIEW_STORAGE_CSV_H_

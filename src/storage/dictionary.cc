@@ -1,0 +1,20 @@
+#include "storage/dictionary.h"
+
+namespace qagview::storage {
+
+int32_t Dictionary::Intern(std::string_view s) {
+  auto it = codes_.find(std::string(s));
+  if (it != codes_.end()) return it->second;
+  int32_t code = size();
+  strings_.emplace_back(s);
+  codes_.emplace(strings_.back(), code);
+  return code;
+}
+
+std::optional<int32_t> Dictionary::Find(std::string_view s) const {
+  auto it = codes_.find(std::string(s));
+  if (it == codes_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace qagview::storage

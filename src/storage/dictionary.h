@@ -1,0 +1,46 @@
+#ifndef QAGVIEW_STORAGE_DICTIONARY_H_
+#define QAGVIEW_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qagview::storage {
+
+/// \brief Interns strings to dense int32 codes.
+///
+/// This implements the paper's "hash values for fields" optimization (§6.3):
+/// all categorical attribute values are mapped to integer codes once at
+/// ingest, so the summarization core compares/hashes int32 instead of text,
+/// and codes are mapped back to strings only for display.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the existing code for `s`, or assigns the next code.
+  int32_t Intern(std::string_view s);
+
+  /// Returns the code for `s` if already interned.
+  std::optional<int32_t> Find(std::string_view s) const;
+
+  /// Maps a code back to its string. Requires a valid code.
+  const std::string& GetString(int32_t code) const {
+    QAG_DCHECK(code >= 0 && code < size());
+    return strings_[static_cast<size_t>(code)];
+  }
+
+  int32_t size() const { return static_cast<int32_t>(strings_.size()); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int32_t> codes_;
+};
+
+}  // namespace qagview::storage
+
+#endif  // QAGVIEW_STORAGE_DICTIONARY_H_

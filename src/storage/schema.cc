@@ -1,0 +1,33 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace qagview::storage {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (int i = 0; i < static_cast<int>(fields_.size()); ++i) {
+    index_.emplace(ToLower(fields_[i].name), i);
+  }
+}
+
+int Schema::FindField(const std::string& name) const {
+  auto it = index_.find(ToLower(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<int> Schema::GetFieldIndex(const std::string& name) const {
+  int i = FindField(name);
+  if (i < 0) return Status::NotFound("no such column: " + name);
+  return i;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    parts.push_back(StrCat(f.name, ":", ValueTypeToString(f.type)));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace qagview::storage

@@ -1,0 +1,51 @@
+#ifndef QAGVIEW_STORAGE_SCHEMA_H_
+#define QAGVIEW_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace qagview::storage {
+
+/// One column declaration: name + physical type.
+struct Field {
+  std::string name;
+  ValueType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered list of fields with case-insensitive name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with the given (case-insensitive) name, or -1.
+  int FindField(const std::string& name) const;
+
+  /// Index of the field, or an error naming the missing column.
+  Result<int> GetFieldIndex(const std::string& name) const;
+
+  /// "name:TYPE, name:TYPE, ..."
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;  // lower-cased name -> index
+};
+
+}  // namespace qagview::storage
+
+#endif  // QAGVIEW_STORAGE_SCHEMA_H_

@@ -1,0 +1,57 @@
+#ifndef QAGVIEW_STORAGE_TABLE_H_
+#define QAGVIEW_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace qagview::storage {
+
+/// \brief An in-memory columnar table: a Schema plus one Column per field.
+///
+/// This is the relational substrate standing in for the paper's PostgreSQL
+/// backend: data generators and the CSV reader produce Tables; the SQL layer
+/// executes aggregate queries over them; query results are again Tables.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  // Tables own sizable column data; pass by pointer/reference instead.
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return schema_.num_fields(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  const Column& column(int i) const { return *columns_[static_cast<size_t>(i)]; }
+  Column* mutable_column(int i) { return columns_[static_cast<size_t>(i)].get(); }
+
+  /// Appends one row; `values.size()` must equal the number of columns and
+  /// each value must match its column type.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Boxed cell access.
+  Value Get(int64_t row, int col) const { return column(col).Get(row); }
+
+  /// One row as boxed values.
+  std::vector<Value> GetRow(int64_t row) const;
+
+  /// Pretty-prints up to `max_rows` rows as an aligned text table.
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace qagview::storage
+
+#endif  // QAGVIEW_STORAGE_TABLE_H_

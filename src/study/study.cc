@@ -1,0 +1,179 @@
+#include "study/study.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace qagview::study {
+
+namespace {
+
+Stat MakeStat(const std::vector<double>& samples) {
+  Stat stat;
+  if (samples.empty()) return stat;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  stat.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double v : samples) sq += (v - stat.mean) * (v - stat.mean);
+  stat.stddev = std::sqrt(sq / static_cast<double>(samples.size()));
+  return stat;
+}
+
+bool IsPositiveT(Category c) { return c == Category::kTop; }
+bool IsPositiveTH(Category c) {
+  return c == Category::kTop || c == Category::kHigh;
+}
+
+std::string FormatStat(const Stat& stat, int precision) {
+  return StrCat(FormatDouble(stat.mean, precision), "±",
+                FormatDouble(stat.stddev, precision));
+}
+
+}  // namespace
+
+UserStudySimulator::UserStudySimulator(const core::AnswerSet* s,
+                                       const StudyConfig& config)
+    : s_(s), config_(config) {
+  QAG_CHECK(s != nullptr);
+}
+
+std::vector<int> UserStudySimulator::SampleQuestions(
+    Rng* rng, int top_l, int per_category,
+    const std::vector<int>& exclude) const {
+  std::vector<int> tops;
+  std::vector<int> highs;
+  std::vector<int> lows;
+  for (int e = 0; e < s_->size(); ++e) {
+    if (std::find(exclude.begin(), exclude.end(), e) != exclude.end()) {
+      continue;
+    }
+    switch (GroundTruth(*s_, e, top_l)) {
+      case Category::kTop: tops.push_back(e); break;
+      case Category::kHigh: highs.push_back(e); break;
+      case Category::kLow: lows.push_back(e); break;
+    }
+  }
+  QAG_CHECK(!tops.empty() && !highs.empty() && !lows.empty())
+      << "answer set too small for a balanced question set";
+  std::vector<int> out;
+  for (std::vector<int>* bucket : {&tops, &highs, &lows}) {
+    rng->Shuffle(bucket);
+    for (int q = 0; q < per_category; ++q) {
+      out.push_back((*bucket)[static_cast<size_t>(q) % bucket->size()]);
+    }
+  }
+  rng->Shuffle(&out);
+  return out;
+}
+
+ConditionResult UserStudySimulator::RunCondition(const PatternSet& patterns,
+                                                 int top_l,
+                                                 const std::string& label) {
+  ConditionResult result;
+  result.label = label;
+
+  struct Collector {
+    std::vector<double> times, t_acc, th_acc;
+  };
+  Collector collectors[3];
+
+  for (int subject_id = 0; subject_id < config_.num_subjects; ++subject_id) {
+    uint64_t seed = config_.seed * 1000003ULL +
+                    static_cast<uint64_t>(subject_id) * 7919ULL;
+    SimulatedSubject subject(seed, config_.subject_params);
+    Rng rng(seed ^ 0x5151);
+
+    // Question tuples per §8.1: patterns-only and memory-only use disjoint
+    // balanced sets; patterns+members remixes their union.
+    std::vector<int> q1 =
+        SampleQuestions(&rng, top_l, config_.questions_per_category, {});
+    std::vector<int> q2 =
+        SampleQuestions(&rng, top_l, config_.questions_per_category, q1);
+    std::vector<int> q3 = q1;
+    q3.insert(q3.end(), q2.begin(), q2.end());
+    rng.Shuffle(&q3);
+    q3.resize(std::min<size_t>(q3.size(),
+                               static_cast<size_t>(
+                                   4 * config_.questions_per_category)));
+
+    const Section kSections[3] = {Section::kPatternsOnly,
+                                  Section::kMemoryOnly,
+                                  Section::kPatternsMembers};
+    const std::vector<int>* question_sets[3] = {&q1, &q2, &q3};
+    for (int sec = 0; sec < 3; ++sec) {
+      double time_sum = 0.0;
+      int t_correct = 0;
+      int th_correct = 0;
+      int count = 0;
+      for (int e : *question_sets[sec]) {
+        SimulatedSubject::Answer answer =
+            subject.Classify(*s_, e, top_l, patterns, kSections[sec]);
+        Category truth = GroundTruth(*s_, e, top_l);
+        time_sum += answer.seconds;
+        t_correct += IsPositiveT(answer.category) == IsPositiveT(truth);
+        th_correct += IsPositiveTH(answer.category) == IsPositiveTH(truth);
+        ++count;
+      }
+      collectors[sec].times.push_back(time_sum / count);
+      collectors[sec].t_acc.push_back(static_cast<double>(t_correct) / count);
+      collectors[sec].th_acc.push_back(static_cast<double>(th_correct) /
+                                       count);
+    }
+  }
+
+  SectionMetrics* sections[3] = {&result.patterns_only, &result.memory_only,
+                                 &result.patterns_members};
+  for (int sec = 0; sec < 3; ++sec) {
+    sections[sec]->time_per_question = MakeStat(collectors[sec].times);
+    sections[sec]->t_accuracy = MakeStat(collectors[sec].t_acc);
+    sections[sec]->th_accuracy = MakeStat(collectors[sec].th_acc);
+  }
+  return result;
+}
+
+std::string UserStudySimulator::RenderTable(
+    const std::vector<ConditionResult>& results) {
+  std::ostringstream out;
+  out << "Section / metric";
+  for (const ConditionResult& r : results) out << "\t" << r.label;
+  out << "\n";
+  struct Row {
+    const char* name;
+    const SectionMetrics ConditionResult::* section;
+    const Stat SectionMetrics::* stat;
+    int precision;
+  };
+  const Row rows[] = {
+      {"Patterns-only  time/question", &ConditionResult::patterns_only,
+       &SectionMetrics::time_per_question, 1},
+      {"Patterns-only  T-accuracy", &ConditionResult::patterns_only,
+       &SectionMetrics::t_accuracy, 3},
+      {"Patterns-only  TH-accuracy", &ConditionResult::patterns_only,
+       &SectionMetrics::th_accuracy, 3},
+      {"Memory-only    time/question", &ConditionResult::memory_only,
+       &SectionMetrics::time_per_question, 1},
+      {"Memory-only    T-accuracy", &ConditionResult::memory_only,
+       &SectionMetrics::t_accuracy, 3},
+      {"Memory-only    TH-accuracy", &ConditionResult::memory_only,
+       &SectionMetrics::th_accuracy, 3},
+      {"Patterns+membr time/question", &ConditionResult::patterns_members,
+       &SectionMetrics::time_per_question, 1},
+      {"Patterns+membr T-accuracy", &ConditionResult::patterns_members,
+       &SectionMetrics::t_accuracy, 3},
+      {"Patterns+membr TH-accuracy", &ConditionResult::patterns_members,
+       &SectionMetrics::th_accuracy, 3},
+  };
+  for (const Row& row : rows) {
+    out << row.name;
+    for (const ConditionResult& r : results) {
+      out << "\t" << FormatStat(r.*(row.section).*(row.stat), row.precision);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace qagview::study

@@ -1,0 +1,68 @@
+#ifndef QAGVIEW_STUDY_STUDY_H_
+#define QAGVIEW_STUDY_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "study/subject.h"
+
+namespace qagview::study {
+
+/// Mean ± standard deviation over subjects.
+struct Stat {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Per-section outcomes: time per question and the two accuracy variants of
+/// §8.1 (T: positive = top; TH: positive = top or high).
+struct SectionMetrics {
+  Stat time_per_question;
+  Stat t_accuracy;
+  Stat th_accuracy;
+};
+
+/// One Table-1 column: a summarization condition under the three sections.
+struct ConditionResult {
+  std::string label;
+  SectionMetrics patterns_only;
+  SectionMetrics memory_only;
+  SectionMetrics patterns_members;
+};
+
+struct StudyConfig {
+  int num_subjects = 16;
+  int questions_per_category = 2;  // 2 top + 2 high + 2 low per section
+  uint64_t seed = 2018;
+  SubjectParams subject_params;
+};
+
+/// \brief The §8 user-study harness over simulated subjects.
+///
+/// For each condition, every subject answers the three sections' balanced
+/// question sets (patterns-only and memory-only on disjoint tuples,
+/// patterns+members on a mix, mirroring §8.1); metrics aggregate across
+/// subjects as mean ± std, which is what Table 1 reports.
+class UserStudySimulator {
+ public:
+  UserStudySimulator(const core::AnswerSet* s, const StudyConfig& config);
+
+  /// Runs one condition (a pattern set at a given L).
+  ConditionResult RunCondition(const PatternSet& patterns, int top_l,
+                               const std::string& label);
+
+  /// Renders conditions side by side in the layout of Table 1.
+  static std::string RenderTable(const std::vector<ConditionResult>& results);
+
+ private:
+  /// Balanced question tuples: `per_category` each of top/high/low.
+  std::vector<int> SampleQuestions(Rng* rng, int top_l, int per_category,
+                                   const std::vector<int>& exclude) const;
+
+  const core::AnswerSet* s_;
+  StudyConfig config_;
+};
+
+}  // namespace qagview::study
+
+#endif  // QAGVIEW_STUDY_STUDY_H_

@@ -1,0 +1,112 @@
+#include "viz/assignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace qagview::viz {
+
+namespace {
+Status ValidateSquare(const std::vector<std::vector<double>>& cost) {
+  if (cost.empty()) return Status::InvalidArgument("empty cost matrix");
+  for (const auto& row : cost) {
+    if (row.size() != cost.size()) {
+      return Status::InvalidArgument("cost matrix must be square");
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<std::vector<int>> SolveAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  QAG_RETURN_IF_ERROR(ValidateSquare(cost));
+  int n = static_cast<int>(cost.size());
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // Potentials-based shortest-augmenting-path Hungarian algorithm
+  // (1-indexed working arrays; p[j] = row matched to column j).
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<int> p(static_cast<size_t>(n) + 1, 0);
+  std::vector<int> way(static_cast<size_t>(n) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(n) + 1, kInf);
+    std::vector<char> used(static_cast<size_t>(n) + 1, 0);
+    do {
+      used[static_cast<size_t>(j0)] = 1;
+      int i0 = p[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        double cur = cost[static_cast<size_t>(i0) - 1][static_cast<size_t>(j) -
+                                                       1] -
+                     u[static_cast<size_t>(i0)] - v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(p[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<size_t>(j0)] != 0);
+    do {
+      int j1 = way[static_cast<size_t>(j0)];
+      p[static_cast<size_t>(j0)] = p[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(static_cast<size_t>(n), -1);
+  for (int j = 1; j <= n; ++j) {
+    assignment[static_cast<size_t>(p[static_cast<size_t>(j)]) - 1] = j - 1;
+  }
+  return assignment;
+}
+
+Result<std::vector<int>> SolveAssignmentBruteForce(
+    const std::vector<std::vector<double>>& cost) {
+  QAG_RETURN_IF_ERROR(ValidateSquare(cost));
+  int n = static_cast<int>(cost.size());
+  if (n > 10) {
+    return Status::InvalidArgument("brute-force assignment limited to n<=10");
+  }
+  std::vector<int> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<int> best = perm;
+  double best_cost = AssignmentCost(cost, perm);
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    double c = AssignmentCost(cost, perm);
+    if (c < best_cost) {
+      best_cost = c;
+      best = perm;
+    }
+  }
+  return best;
+}
+
+double AssignmentCost(const std::vector<std::vector<double>>& cost,
+                      const std::vector<int>& assignment) {
+  double total = 0.0;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    total += cost[i][static_cast<size_t>(assignment[i])];
+  }
+  return total;
+}
+
+}  // namespace qagview::viz

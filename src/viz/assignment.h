@@ -1,0 +1,29 @@
+#ifndef QAGVIEW_VIZ_ASSIGNMENT_H_
+#define QAGVIEW_VIZ_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace qagview::viz {
+
+/// \brief Minimum-cost perfect matching on a square cost matrix (the
+/// Hungarian algorithm [14], O(n^3)), used to place the new solution's
+/// cluster boxes in the comparison visualization (Appendix A.7.2).
+///
+/// Returns `assignment` with assignment[row] = column.
+Result<std::vector<int>> SolveAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+/// Exhaustive O(n!) reference solver (tests and the A.7.3 timing
+/// comparison). n must be small.
+Result<std::vector<int>> SolveAssignmentBruteForce(
+    const std::vector<std::vector<double>>& cost);
+
+/// Total cost of an assignment.
+double AssignmentCost(const std::vector<std::vector<double>>& cost,
+                      const std::vector<int>& assignment);
+
+}  // namespace qagview::viz
+
+#endif  // QAGVIEW_VIZ_ASSIGNMENT_H_

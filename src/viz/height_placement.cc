@@ -1,0 +1,225 @@
+#include "viz/height_placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace qagview::viz {
+
+namespace {
+
+Status ValidateProblem(const HeightPlacementProblem& problem) {
+  for (double h : problem.left_heights) {
+    if (!(h > 0.0)) {
+      return Status::InvalidArgument("left box heights must be positive");
+    }
+  }
+  for (double h : problem.right_heights) {
+    if (!(h > 0.0)) {
+      return Status::InvalidArgument("right box heights must be positive");
+    }
+  }
+  if (static_cast<int>(problem.overlap.size()) != problem.num_left()) {
+    return Status::InvalidArgument(
+        StrCat("overlap has ", problem.overlap.size(), " rows, expected ",
+               problem.num_left()));
+  }
+  for (const std::vector<double>& row : problem.overlap) {
+    if (static_cast<int>(row.size()) != problem.num_right()) {
+      return Status::InvalidArgument(
+          StrCat("overlap row has ", row.size(), " columns, expected ",
+                 problem.num_right()));
+    }
+    for (double v : row) {
+      if (v < 0.0) {
+        return Status::InvalidArgument("overlap mass must be >= 0");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidatePermutation(const std::vector<int>& order, int n,
+                           const char* side) {
+  if (static_cast<int>(order.size()) != n) {
+    return Status::InvalidArgument(
+        StrCat(side, " order has ", order.size(), " entries, expected ", n));
+  }
+  std::vector<char> seen(static_cast<size_t>(n), 0);
+  for (int box : order) {
+    if (box < 0 || box >= n || seen[static_cast<size_t>(box)]) {
+      return Status::InvalidArgument(
+          StrCat(side, " order is not a permutation of 0..", n - 1));
+    }
+    seen[static_cast<size_t>(box)] = 1;
+  }
+  return Status::OK();
+}
+
+double CostFromCenters(const HeightPlacementProblem& problem,
+                       const std::vector<double>& left_centers,
+                       const std::vector<double>& right_centers) {
+  double cost = 0.0;
+  for (int i = 0; i < problem.num_left(); ++i) {
+    for (int j = 0; j < problem.num_right(); ++j) {
+      double mass = problem.overlap[static_cast<size_t>(i)]
+                                   [static_cast<size_t>(j)];
+      if (mass > 0.0) {
+        cost += mass * std::abs(left_centers[static_cast<size_t>(i)] -
+                                right_centers[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+HeightPlacementProblem FromSankey(const SankeyDiagram& diagram) {
+  HeightPlacementProblem problem;
+  problem.left_heights.reserve(static_cast<size_t>(diagram.num_left()));
+  for (int size : diagram.left_sizes) {
+    problem.left_heights.push_back(static_cast<double>(size));
+  }
+  problem.right_heights.reserve(static_cast<size_t>(diagram.num_right()));
+  for (int size : diagram.right_sizes) {
+    problem.right_heights.push_back(static_cast<double>(size));
+  }
+  problem.overlap.resize(static_cast<size_t>(diagram.num_left()));
+  for (int i = 0; i < diagram.num_left(); ++i) {
+    problem.overlap[static_cast<size_t>(i)].assign(
+        static_cast<size_t>(diagram.num_right()), 0.0);
+    for (int j = 0; j < diagram.num_right(); ++j) {
+      problem.overlap[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          static_cast<double>(
+              diagram.overlap[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    }
+  }
+  return problem;
+}
+
+std::vector<double> StackedCenters(const std::vector<double>& heights,
+                                   const std::vector<int>& order) {
+  std::vector<double> centers(heights.size(), 0.0);
+  double offset = 0.0;
+  for (int box : order) {
+    double h = heights[static_cast<size_t>(box)];
+    centers[static_cast<size_t>(box)] = offset + h / 2.0;
+    offset += h;
+  }
+  return centers;
+}
+
+Result<double> HeightPlacementCost(const HeightPlacementProblem& problem,
+                                   const std::vector<int>& left_order,
+                                   const std::vector<int>& right_order) {
+  QAG_RETURN_IF_ERROR(ValidateProblem(problem));
+  QAG_RETURN_IF_ERROR(
+      ValidatePermutation(left_order, problem.num_left(), "left"));
+  QAG_RETURN_IF_ERROR(
+      ValidatePermutation(right_order, problem.num_right(), "right"));
+  return CostFromCenters(problem,
+                         StackedCenters(problem.left_heights, left_order),
+                         StackedCenters(problem.right_heights, right_order));
+}
+
+Result<std::vector<int>> OptimizeHeightPlacement(
+    const HeightPlacementProblem& problem,
+    const std::vector<int>& left_order) {
+  QAG_RETURN_IF_ERROR(ValidateProblem(problem));
+  QAG_RETURN_IF_ERROR(
+      ValidatePermutation(left_order, problem.num_left(), "left"));
+  const int n = problem.num_right();
+  if (n == 0) return std::vector<int>{};
+
+  std::vector<double> left_centers =
+      StackedCenters(problem.left_heights, left_order);
+
+  // Barycenter seed: sort right boxes by the overlap-weighted mean of their
+  // left partners' centers. Boxes with no overlap keep a neutral key (the
+  // middle of the left stack) so they end up between the anchored boxes.
+  double left_total =
+      std::accumulate(problem.left_heights.begin(),
+                      problem.left_heights.end(), 0.0);
+  std::vector<double> keys(static_cast<size_t>(n), left_total / 2.0);
+  for (int j = 0; j < n; ++j) {
+    double mass = 0.0;
+    double weighted = 0.0;
+    for (int i = 0; i < problem.num_left(); ++i) {
+      double w =
+          problem.overlap[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      mass += w;
+      weighted += w * left_centers[static_cast<size_t>(i)];
+    }
+    if (mass > 0.0) keys[static_cast<size_t>(j)] = weighted / mass;
+  }
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(b)];
+  });
+
+  // Pairwise-swap local search. Each pass tries all O(n^2) swaps; a pass
+  // with no improvement terminates. Cost is re-evaluated from scratch per
+  // candidate (O(nm)); fine at visualization scale (n = k <= dozens).
+  auto cost_of = [&](const std::vector<int>& candidate) {
+    return CostFromCenters(
+        problem, left_centers,
+        StackedCenters(problem.right_heights, candidate));
+  };
+  double best = cost_of(order);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        std::swap(order[static_cast<size_t>(p)], order[static_cast<size_t>(q)]);
+        double cost = cost_of(order);
+        if (cost + 1e-12 < best) {
+          best = cost;
+          improved = true;
+        } else {
+          std::swap(order[static_cast<size_t>(p)],
+                    order[static_cast<size_t>(q)]);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+Result<std::vector<int>> OptimizeHeightPlacementBruteForce(
+    const HeightPlacementProblem& problem,
+    const std::vector<int>& left_order) {
+  QAG_RETURN_IF_ERROR(ValidateProblem(problem));
+  QAG_RETURN_IF_ERROR(
+      ValidatePermutation(left_order, problem.num_left(), "left"));
+  const int n = problem.num_right();
+  if (n > 10) {
+    return Status::InvalidArgument(
+        StrCat("brute force limited to 10 right boxes, got ", n));
+  }
+  if (n == 0) return std::vector<int>{};
+
+  std::vector<double> left_centers =
+      StackedCenters(problem.left_heights, left_order);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<int> best_order = order;
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double cost = CostFromCenters(
+        problem, left_centers,
+        StackedCenters(problem.right_heights, order));
+    if (cost < best) {
+      best = cost;
+      best_order = order;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best_order;
+}
+
+}  // namespace qagview::viz

@@ -1,0 +1,62 @@
+#ifndef QAGVIEW_VIZ_HEIGHT_PLACEMENT_H_
+#define QAGVIEW_VIZ_HEIGHT_PLACEMENT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "viz/sankey.h"
+
+namespace qagview::viz {
+
+/// \brief The Appendix A.7.2 "alternative formulation" of cluster placement:
+/// box heights are proportional to cluster sizes, so a box's vertical
+/// position depends on the heights stacked above it, not just its rank.
+///
+/// The paper shows the slot-based formulation (all boxes the same height)
+/// reduces to bipartite matching and is solved exactly by the Hungarian
+/// algorithm (viz::OptimizeRightPositions); the height-proportional variant
+/// is NP-hard by a reduction from earliness-tardiness scheduling [13] and is
+/// deferred to the extended version. This module provides that variant: the
+/// exhaustive optimum for small n and a barycenter + pairwise-swap local
+/// search for the general case. With uniform heights the variant coincides
+/// with the slot formulation (a cross-check exploited in tests).
+struct HeightPlacementProblem {
+  std::vector<double> left_heights;
+  std::vector<double> right_heights;
+  /// overlap[i][j]: mass shared by left box i and right box j (band width).
+  std::vector<std::vector<double>> overlap;
+
+  int num_left() const { return static_cast<int>(left_heights.size()); }
+  int num_right() const { return static_cast<int>(right_heights.size()); }
+};
+
+/// Heights = cluster tuple counts, overlaps = shared-tuple counts.
+HeightPlacementProblem FromSankey(const SankeyDiagram& diagram);
+
+/// Centers of boxes stacked top-to-bottom with no gaps: order[p] is the box
+/// occupying slot p. Returns center[box] (indexed by box, not slot).
+std::vector<double> StackedCenters(const std::vector<double>& heights,
+                                   const std::vector<int>& order);
+
+/// The weighted earth-mover objective of Definition A.3 on stacked centers:
+/// D = Σ_ij overlap[i][j] · |center_left(i) − center_right(j)|.
+Result<double> HeightPlacementCost(const HeightPlacementProblem& problem,
+                                   const std::vector<int>& left_order,
+                                   const std::vector<int>& right_order);
+
+/// Heuristic right-side order for a fixed left order: barycenter seed (each
+/// right box goes to the overlap-weighted mean of its left centers) refined
+/// by pairwise-swap local search until no swap improves. The result is
+/// locally optimal under single swaps (an invariant the tests verify).
+Result<std::vector<int>> OptimizeHeightPlacement(
+    const HeightPlacementProblem& problem,
+    const std::vector<int>& left_order);
+
+/// Exhaustive O(n!) reference optimum; requires num_right() <= 10.
+Result<std::vector<int>> OptimizeHeightPlacementBruteForce(
+    const HeightPlacementProblem& problem,
+    const std::vector<int>& left_order);
+
+}  // namespace qagview::viz
+
+#endif  // QAGVIEW_VIZ_HEIGHT_PLACEMENT_H_

@@ -1,0 +1,136 @@
+#include "viz/param_grid.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace qagview::viz {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+double ParamGrid::Value(int d_index, int k) const {
+  if (d_index < 0 || d_index >= static_cast<int>(d_values.size()) ||
+      k < k_min || k > k_max) {
+    return kNan;
+  }
+  return values[static_cast<size_t>(d_index)][static_cast<size_t>(k - k_min)];
+}
+
+std::string ParamGrid::ToCsv() const {
+  std::ostringstream out;
+  out << "k";
+  for (int d : d_values) out << ",D=" << d;
+  out << "\n";
+  for (int k = k_min; k <= k_max; ++k) {
+    out << k;
+    for (size_t di = 0; di < d_values.size(); ++di) {
+      double v = values[di][static_cast<size_t>(k - k_min)];
+      out << ",";
+      if (!std::isnan(v)) out << FormatDouble(v, 4);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string ParamGrid::ToTextChart() const {
+  // Normalize into a 40-column bar per (k, D).
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto& series : values) {
+    for (double v : series) {
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!(hi > lo)) hi = lo + 1.0;
+  std::ostringstream out;
+  out << "value vs k (L=" << l << "); one row per (D, k)\n";
+  for (size_t di = 0; di < d_values.size(); ++di) {
+    out << "D=" << d_values[di] << "\n";
+    for (int k = k_min; k <= k_max; ++k) {
+      double v = values[di][static_cast<size_t>(k - k_min)];
+      out << "  k=" << k << "\t";
+      if (std::isnan(v)) {
+        out << "(none)\n";
+        continue;
+      }
+      int bars = static_cast<int>(std::lround((v - lo) / (hi - lo) * 40));
+      for (int b = 0; b < bars; ++b) out << '#';
+      out << " " << FormatDouble(v, 4) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::vector<int> ParamGrid::KneePoints(int d_index) const {
+  std::vector<int> knees;
+  const auto& series = values[static_cast<size_t>(d_index)];
+  // Scale from the series span.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (double v : series) {
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double span = hi - lo;
+  if (!(span > 0)) return knees;
+  for (int k = k_min + 1; k < k_max; ++k) {
+    double prev = Value(d_index, k - 1);
+    double cur = Value(d_index, k);
+    double next = Value(d_index, k + 1);
+    if (std::isnan(prev) || std::isnan(cur) || std::isnan(next)) continue;
+    double gain_in = cur - prev;
+    double gain_out = next - cur;
+    // Knee: a substantial arrival gain followed by a much smaller one.
+    if (gain_in > 0.1 * span && gain_out < 0.5 * gain_in) {
+      knees.push_back(k);
+    }
+  }
+  return knees;
+}
+
+std::vector<int> ParamGrid::RedundantDValues(double tolerance) const {
+  std::vector<int> redundant;
+  for (size_t di = 1; di < d_values.size(); ++di) {
+    bool same = true;
+    for (size_t ki = 0; ki < values[di].size() && same; ++ki) {
+      double a = values[di][ki];
+      double b = values[di - 1][ki];
+      if (std::isnan(a) != std::isnan(b)) same = false;
+      else if (!std::isnan(a) && std::abs(a - b) > tolerance) same = false;
+    }
+    if (same) redundant.push_back(d_values[di]);
+  }
+  return redundant;
+}
+
+Result<ParamGrid> BuildParamGrid(const core::SolutionStore& store, int k_min,
+                                 int k_max) {
+  if (k_min < 1 || k_max < k_min) {
+    return Status::InvalidArgument("bad k range");
+  }
+  ParamGrid grid;
+  grid.l = store.l();
+  grid.k_min = k_min;
+  grid.k_max = k_max;
+  grid.d_values = store.d_values();
+  for (int d : grid.d_values) {
+    std::vector<double> series;
+    series.reserve(static_cast<size_t>(k_max - k_min) + 1);
+    for (int k = k_min; k <= k_max; ++k) {
+      auto v = store.Value(d, k);
+      series.push_back(v.ok() ? *v : kNan);
+    }
+    grid.values.push_back(std::move(series));
+  }
+  return grid;
+}
+
+}  // namespace qagview::viz

@@ -1,0 +1,52 @@
+#ifndef QAGVIEW_VIZ_PARAM_GRID_H_
+#define QAGVIEW_VIZ_PARAM_GRID_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/solution_store.h"
+
+namespace qagview::viz {
+
+/// \brief The data behind the parameter-selection visualization (Figure 2):
+/// for a fixed L, the objective value per k (x-axis) with one series per D.
+///
+/// The GUI the paper demos draws this as a line chart; here it is a matrix
+/// plus CSV/ASCII renderings and knee-point detection to support "flat
+/// region vs knee point" guidance (§6.1).
+struct ParamGrid {
+  int l = 0;
+  int k_min = 0;
+  int k_max = 0;
+  std::vector<int> d_values;
+  /// values[d_index][k - k_min]; NaN where no solution is stored
+  /// (k below the trace's smallest size).
+  std::vector<std::vector<double>> values;
+
+  /// Value lookup; NaN if out of range.
+  double Value(int d_index, int k) const;
+
+  /// "k,D=1,D=2,..." CSV (the chart's underlying table).
+  std::string ToCsv() const;
+
+  /// ASCII line chart (one row per k, one column block per D).
+  std::string ToTextChart() const;
+
+  /// Knee points of one series: k values where the marginal gain drops
+  /// sharply (large improvement arriving at k, little after) — the
+  /// "possibly interesting" parameter choices of §6.1.
+  std::vector<int> KneePoints(int d_index) const;
+
+  /// D values whose series are (near-)identical to an earlier series —
+  /// the "bundles of D values" the user can treat as one (§6.1).
+  std::vector<int> RedundantDValues(double tolerance = 1e-9) const;
+};
+
+/// Builds the grid from a precomputed solution store.
+Result<ParamGrid> BuildParamGrid(const core::SolutionStore& store, int k_min,
+                                 int k_max);
+
+}  // namespace qagview::viz
+
+#endif  // QAGVIEW_VIZ_PARAM_GRID_H_

@@ -1,0 +1,277 @@
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/decision_tree.h"
+#include "baselines/disc_diversity.h"
+#include "baselines/diversified_topk.h"
+#include "baselines/mmr.h"
+#include "baselines/smart_drilldown.h"
+#include "core/cluster.h"
+#include "test_util.h"
+
+namespace qagview::baselines {
+namespace {
+
+using core::AnswerSet;
+using core::ClusterUniverse;
+
+struct Instance {
+  std::unique_ptr<AnswerSet> set;
+  ClusterUniverse u;
+};
+
+Instance MakeInstance(uint64_t seed, int n, int m, int domain, int top_l) {
+  auto set = std::make_unique<AnswerSet>(
+      testutil::MakeRandomAnswerSet(seed, n, m, domain));
+  auto u = ClusterUniverse::Build(set.get(), top_l);
+  QAG_CHECK(u.ok()) << u.status().ToString();
+  return Instance{std::move(set), std::move(u).value()};
+}
+
+// --- Smart drill-down. ---
+
+TEST(SmartDrilldownTest, SelectsAtMostKMarginalRules) {
+  Instance inst = MakeInstance(3, 60, 4, 3, 10);
+  SmartDrilldownResult result = SmartDrilldown(inst.u, 3);
+  EXPECT_LE(result.rules.size(), 3u);
+  EXPECT_GT(result.total_score, 0.0);
+  // Rules are distinct clusters, none trivial.
+  std::set<int> ids;
+  for (const DrilldownRule& r : result.rules) {
+    EXPECT_TRUE(ids.insert(r.cluster_id).second);
+    EXPECT_GT(r.weight, 0);
+    EXPECT_GT(r.marginal_count, 0);
+  }
+}
+
+TEST(SmartDrilldownTest, GreedyFirstPickMaximizesScore) {
+  Instance inst = MakeInstance(5, 50, 4, 3, 8);
+  SmartDrilldownResult result = SmartDrilldown(inst.u, 1);
+  ASSERT_EQ(result.rules.size(), 1u);
+  // Verify no other cluster has a strictly better first-pick score.
+  const core::AnswerSet& s = inst.u.answer_set();
+  double best = 0.0;
+  for (int id = 0; id < inst.u.num_clusters(); ++id) {
+    int weight = s.num_attrs() - inst.u.cluster(id).level();
+    if (weight == 0) continue;
+    double score = inst.u.covered_count(id) * weight * inst.u.Average(id);
+    best = std::max(best, score);
+  }
+  EXPECT_NEAR(result.rules[0].contribution, best, 1e-9);
+}
+
+TEST(SmartDrilldownTest, PrefersPrevalentPatternsUnlikeMaxAvg) {
+  // The Appendix A.5.1 point: drill-down scores by coverage x specificity,
+  // so its rules cover many tuples regardless of their values. Its first
+  // rule should cover at least as many tuples as any Max-Avg style pick of
+  // a top singleton would (1).
+  Instance inst = MakeInstance(7, 80, 4, 3, 12);
+  SmartDrilldownOptions options;
+  options.value_weighted = false;  // original [24] scoring
+  SmartDrilldownResult result = SmartDrilldown(inst.u, 2, options);
+  ASSERT_FALSE(result.rules.empty());
+  EXPECT_GT(result.rules[0].marginal_count, 1);
+}
+
+// --- Diversified top-k. ---
+
+TEST(DiversifiedTopKTest, ExactRespectsConstraintsAndBeatsGreedy) {
+  Instance inst = MakeInstance(11, 60, 5, 3, 12);
+  const AnswerSet& s = *inst.set;
+  auto exact = DiversifiedTopKExact(s, 4, 12, 3);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LE(exact->element_ids.size(), 4u);
+  for (size_t i = 0; i < exact->element_ids.size(); ++i) {
+    for (size_t j = i + 1; j < exact->element_ids.size(); ++j) {
+      EXPECT_GE(core::ElementDistance(
+                    s.element(exact->element_ids[i]).attrs,
+                    s.element(exact->element_ids[j]).attrs),
+                3);
+    }
+  }
+  DiversifiedTopKResult greedy = DiversifiedTopKGreedy(s, 4, 12, 3);
+  EXPECT_GE(exact->score_sum, greedy.score_sum - 1e-9);
+}
+
+TEST(DiversifiedTopKTest, DZeroReturnsTopK) {
+  Instance inst = MakeInstance(13, 50, 4, 3, 10);
+  auto exact = DiversifiedTopKExact(*inst.set, 3, 10, 0);
+  ASSERT_TRUE(exact.ok());
+  std::vector<int> expected = {0, 1, 2};
+  EXPECT_EQ(exact->element_ids, expected);
+}
+
+TEST(DiversifiedTopKTest, RepresentedAverageIncludesLowNeighbors) {
+  // The A.5.2 criticism: representatives "cover" nearby elements including
+  // low-valued ones, so the represented average sits below the raw scores.
+  Instance inst = MakeInstance(17, 80, 4, 3, 10);
+  auto exact = DiversifiedTopKExact(*inst.set, 4, 10, 2);
+  ASSERT_TRUE(exact.ok());
+  double rep_avg =
+      RepresentedAverage(*inst.set, exact->element_ids, /*radius=*/1);
+  double raw_avg = exact->score_sum / exact->element_ids.size();
+  EXPECT_LE(rep_avg, raw_avg + 1e-9);
+}
+
+TEST(DiversifiedTopKTest, Validation) {
+  Instance inst = MakeInstance(19, 50, 4, 3, 10);
+  EXPECT_FALSE(DiversifiedTopKExact(*inst.set, 0, 10, 1).ok());
+  EXPECT_FALSE(DiversifiedTopKExact(*inst.set, 3, 100, 1).ok());
+}
+
+// --- DisC diversity. ---
+
+class DiscTest : public testing::TestWithParam<int> {};
+
+TEST_P(DiscTest, GreedyOutputIsDiscDiverse) {
+  int radius = GetParam();
+  Instance inst = MakeInstance(23, 70, 5, 3, 20);
+  DiscResult result = DiscDiversity(*inst.set, 20, radius);
+  EXPECT_FALSE(result.element_ids.empty());
+  EXPECT_TRUE(IsDiscDiverse(*inst.set, 20, radius, result.element_ids));
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, DiscTest, testing::Values(1, 2, 3));
+
+TEST(DiscTest2, LargerRadiusNeverNeedsMoreRepresentatives) {
+  Instance inst = MakeInstance(29, 70, 5, 3, 20);
+  size_t prev = 1000;
+  for (int radius : {1, 2, 3, 4}) {
+    DiscResult result = DiscDiversity(*inst.set, 20, radius);
+    EXPECT_LE(result.element_ids.size(), prev);
+    prev = result.element_ids.size();
+  }
+}
+
+TEST(DiscTest2, ValidatorCatchesViolations) {
+  Instance inst = MakeInstance(31, 50, 4, 3, 10);
+  // Two identical-ish close elements: ranks 0 and 1 likely within radius m.
+  std::vector<int> bad = {0, 1};
+  EXPECT_FALSE(
+      IsDiscDiverse(*inst.set, 10, /*radius=*/inst.set->num_attrs(), bad));
+  // Empty set dominates nothing.
+  EXPECT_FALSE(IsDiscDiverse(*inst.set, 10, 1, {}));
+}
+
+// --- MMR. ---
+
+TEST(MmrTest, LambdaZeroIsTopK) {
+  Instance inst = MakeInstance(37, 60, 5, 3, 15);
+  std::vector<int> picks = Mmr(*inst.set, 4, 15, 0.0);
+  EXPECT_EQ(picks, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(MmrTest, LambdaOneMaximizesDispersion) {
+  Instance inst = MakeInstance(41, 60, 5, 3, 15);
+  const AnswerSet& s = *inst.set;
+  std::vector<int> diverse = Mmr(s, 4, 15, 1.0);
+  std::vector<int> relevant = Mmr(s, 4, 15, 0.0);
+  auto min_pairwise = [&s](const std::vector<int>& ids) {
+    int best = s.num_attrs();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        best = std::min(best, core::ElementDistance(s.element(ids[i]).attrs,
+                                                    s.element(ids[j]).attrs));
+      }
+    }
+    return best;
+  };
+  EXPECT_GE(min_pairwise(diverse), min_pairwise(relevant));
+}
+
+TEST(MmrTest, IntermediateLambdaTradesOff) {
+  Instance inst = MakeInstance(43, 60, 5, 3, 15);
+  const AnswerSet& s = *inst.set;
+  auto sum_value = [&s](const std::vector<int>& ids) {
+    double v = 0.0;
+    for (int e : ids) v += s.value(e);
+    return v;
+  };
+  double v0 = sum_value(Mmr(s, 4, 15, 0.0));
+  double v5 = sum_value(Mmr(s, 4, 15, 0.5));
+  double v1 = sum_value(Mmr(s, 4, 15, 1.0));
+  EXPECT_GE(v0 + 1e-9, v5);
+  EXPECT_GE(v5 + 1e-9, v1 - 1e-9);
+}
+
+// --- Decision tree. ---
+
+TEST(DecisionTreeTest, SeparatesPlantedClasses) {
+  AnswerSet s = testutil::MakeRandomAnswerSet(47, 120, 5, 3);
+  DecisionTree tree = DecisionTree::Train(s, 20);
+  // Training accuracy on the top-L class should beat the base rate.
+  int correct = 0;
+  for (int e = 0; e < s.size(); ++e) {
+    bool predicted = tree.PredictTop(s.element(e).attrs);
+    correct += predicted == (e < 20);
+  }
+  double accuracy = static_cast<double>(correct) / s.size();
+  EXPECT_GT(accuracy, 0.85);
+}
+
+TEST(DecisionTreeTest, TunedTreeRespectsPositiveLeafBudget) {
+  AnswerSet s = testutil::MakeRandomAnswerSet(53, 150, 5, 3);
+  for (int k : {2, 4, 8}) {
+    DecisionTree tree = DecisionTree::TrainTuned(s, 25, k);
+    EXPECT_LE(tree.PositiveLeafCount(), k) << "k=" << k;
+    EXPECT_EQ(static_cast<int>(tree.PositiveRules().size()),
+              tree.PositiveLeafCount());
+  }
+}
+
+TEST(DecisionTreeTest, RulesMatchTheirLeafMembers) {
+  AnswerSet s = testutil::MakeRandomAnswerSet(59, 100, 5, 3);
+  DecisionTree tree = DecisionTree::Train(s, 15);
+  for (const DecisionRule& rule : tree.PositiveRules()) {
+    // Count elements matching the rule: must equal the leaf's total.
+    int matches = 0;
+    for (int e = 0; e < s.size(); ++e) {
+      matches += rule.Matches(s.element(e).attrs);
+    }
+    EXPECT_EQ(matches, rule.total_count);
+    EXPECT_GT(rule.positive_count * 2, rule.total_count);  // majority leaf
+  }
+}
+
+TEST(DecisionTreeTest, RuleComplexityWeighsNegations) {
+  DecisionRule rule;
+  rule.predicates = {{0, 1, true}, {1, 2, false}, {2, 0, false}};
+  EXPECT_EQ(rule.Complexity(), 5);  // 1 + 2 + 2
+}
+
+TEST(DecisionTreeTest, PureInputMakesSingleLeaf) {
+  // All elements are "top": no split possible, one positive leaf.
+  AnswerSet s = testutil::MakeRandomAnswerSet(61, 30, 4, 3);
+  DecisionTree tree = DecisionTree::Train(s, 30);
+  EXPECT_EQ(tree.PositiveLeafCount(), 1);
+  EXPECT_TRUE(tree.PredictTop(s.element(0).attrs));
+}
+
+TEST(DecisionTreeTest, ToStringRendersPredicates) {
+  AnswerSet s = testutil::MakeRandomAnswerSet(67, 80, 4, 3);
+  DecisionTree tree = DecisionTree::TrainTuned(s, 10, 5);
+  std::string text = tree.ToString(s);
+  EXPECT_NE(text.find("="), std::string::npos);
+  EXPECT_NE(text.find("top, avg"), std::string::npos);
+}
+
+// Decision-tree rules are structurally more complex than QAGView patterns
+// for the same k — the §8 mechanism.
+TEST(DecisionTreeTest, RulesAreMoreComplexThanClusterPatterns) {
+  Instance inst = MakeInstance(71, 150, 5, 3, 25);
+  DecisionTree tree = DecisionTree::TrainTuned(*inst.set, 25, 6);
+  int tree_complexity = 0;
+  for (const DecisionRule& rule : tree.PositiveRules()) {
+    tree_complexity += rule.Complexity();
+  }
+  int rule_count = static_cast<int>(tree.PositiveRules().size());
+  ASSERT_GT(rule_count, 0);
+  // Cluster patterns: at most m equality predicates each, no negations.
+  EXPECT_GT(static_cast<double>(tree_complexity) / rule_count, 1.0);
+}
+
+}  // namespace
+}  // namespace qagview::baselines

@@ -1,0 +1,174 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/answer_set.h"
+#include "core/cluster.h"
+#include "test_util.h"
+
+namespace qagview::core {
+namespace {
+
+Cluster C(std::vector<int32_t> pattern) { return Cluster(std::move(pattern)); }
+
+TEST(ClusterTest, LevelCountsWildcards) {
+  EXPECT_EQ(C({1, 2, 3}).level(), 0);
+  EXPECT_EQ(C({1, kWildcard, 3}).level(), 1);
+  EXPECT_EQ(Cluster::Trivial(4).level(), 4);
+}
+
+TEST(ClusterTest, CoversSemantics) {
+  Cluster a = C({1, kWildcard, 3});
+  EXPECT_TRUE(a.Covers(C({1, 2, 3})));
+  EXPECT_TRUE(a.Covers(a));  // reflexive
+  EXPECT_FALSE(a.Covers(C({2, 2, 3})));
+  EXPECT_FALSE(C({1, 2, 3}).Covers(a));  // concrete can't cover wildcard
+  EXPECT_TRUE(Cluster::Trivial(3).Covers(a));
+  EXPECT_TRUE(a.CoversElement({1, 9, 3}));
+  EXPECT_FALSE(a.CoversElement({1, 9, 4}));
+}
+
+TEST(ClusterTest, LcaKeepsAgreements) {
+  Cluster lca = Cluster::Lca(C({1, kWildcard, 3, 4}), C({1, 2, 5, 4}));
+  EXPECT_EQ(lca, C({1, kWildcard, kWildcard, 4}));
+  // LCA covers both inputs.
+  EXPECT_TRUE(lca.Covers(C({1, kWildcard, 3, 4})));
+  EXPECT_TRUE(lca.Covers(C({1, 2, 5, 4})));
+  // LCA with self is identity.
+  EXPECT_EQ(Cluster::Lca(lca, lca), lca);
+}
+
+TEST(ClusterTest, GeneralizeMask) {
+  std::vector<int32_t> attrs = {5, 6, 7};
+  EXPECT_EQ(Cluster::Generalize(attrs, 0), C({5, 6, 7}));
+  EXPECT_EQ(Cluster::Generalize(attrs, 0b101),
+            C({kWildcard, 6, kWildcard}));
+  EXPECT_EQ(Cluster::Generalize(attrs, 0b111), Cluster::Trivial(3));
+}
+
+TEST(DistanceTest, PaperExample) {
+  // Figure 3a: d((*, *, c1, d1), (a2, b1, *, d1)) = 3.
+  Cluster c1 = C({kWildcard, kWildcard, 0, 0});
+  Cluster c2 = C({1, 1, kWildcard, 0});
+  EXPECT_EQ(Distance(c1, c2), 3);
+}
+
+TEST(DistanceTest, WildcardSamePositionCounts) {
+  // Both sides '*' in a position still counts toward the distance.
+  EXPECT_EQ(Distance(C({kWildcard, 1}), C({kWildcard, 1})), 1);
+  EXPECT_EQ(Distance(C({1, 2}), C({1, 2})), 0);
+}
+
+TEST(DistanceTest, ElementDistanceIsHamming) {
+  EXPECT_EQ(ElementDistance({1, 2, 3}, {1, 5, 3}), 1);
+  EXPECT_EQ(ElementDistance({1, 2, 3}, {1, 2, 3}), 0);
+  EXPECT_EQ(DistanceToElement(C({1, kWildcard, 3}), {1, 2, 3}), 1);
+  EXPECT_EQ(DistanceToElement(C({1, kWildcard, 3}), {2, 2, 3}), 2);
+}
+
+TEST(ClusterTest, RenderingWithNames) {
+  AnswerSet s = testutil::MakeMovieExample();
+  Cluster c = C({1, kWildcard, 0, kWildcard});
+  EXPECT_EQ(c.ToString(s), "(1980, *, M, *)");
+  EXPECT_EQ(c.ToString(), "(1, *, 0, *)");
+}
+
+// --- Property-based sweeps over random clusters. ---
+
+class DistancePropertyTest : public testing::TestWithParam<int> {};
+
+Cluster RandomCluster(Rng* rng, int m, int domain) {
+  std::vector<int32_t> pattern(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    pattern[static_cast<size_t>(i)] =
+        rng->Bernoulli(0.3) ? kWildcard
+                            : static_cast<int32_t>(rng->Index(domain));
+  }
+  return Cluster(std::move(pattern));
+}
+
+TEST_P(DistancePropertyTest, MetricAxiomsAndMonotonicity) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int m = 5;
+  const int domain = 4;
+  for (int trial = 0; trial < 200; ++trial) {
+    Cluster a = RandomCluster(&rng, m, domain);
+    Cluster b = RandomCluster(&rng, m, domain);
+    Cluster c = RandomCluster(&rng, m, domain);
+
+    // Symmetry and range.
+    EXPECT_EQ(Distance(a, b), Distance(b, a));
+    EXPECT_GE(Distance(a, b), 0);
+    EXPECT_LE(Distance(a, b), m);
+    // Identity holds only for fully-concrete patterns (a wildcard position
+    // always contributes).
+    if (a.level() == 0) {
+      EXPECT_EQ(Distance(a, a), 0);
+    }
+    // Triangle inequality.
+    EXPECT_LE(Distance(a, c), Distance(a, b) + Distance(b, c));
+
+    // Monotonicity (Proposition 4.2): replacing a by an ancestor never
+    // decreases its distance to any other cluster.
+    Cluster ancestor = Cluster::Lca(a, b);  // some ancestor of a
+    EXPECT_GE(Distance(ancestor, c), Distance(a, c))
+        << "ancestor " << ancestor.ToString() << " of " << a.ToString()
+        << " got closer to " << c.ToString();
+  }
+}
+
+TEST_P(DistancePropertyTest, LcaLaws) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  const int m = 6;
+  const int domain = 3;
+  for (int trial = 0; trial < 200; ++trial) {
+    Cluster a = RandomCluster(&rng, m, domain);
+    Cluster b = RandomCluster(&rng, m, domain);
+    Cluster lca = Cluster::Lca(a, b);
+    // LCA covers both sides and is the *least* such pattern: any common
+    // ancestor covers the LCA.
+    EXPECT_TRUE(lca.Covers(a));
+    EXPECT_TRUE(lca.Covers(b));
+    Cluster other = RandomCluster(&rng, m, domain);
+    if (other.Covers(a) && other.Covers(b)) {
+      EXPECT_TRUE(other.Covers(lca));
+    }
+    // Commutativity and idempotence.
+    EXPECT_EQ(lca, Cluster::Lca(b, a));
+    EXPECT_EQ(Cluster::Lca(lca, a), lca);
+  }
+}
+
+TEST_P(DistancePropertyTest, DistanceIsMaxElementDistance) {
+  // "The distance between two clusters is the maximum possible distance
+  // between any two elements that these two clusters may contain."
+  Rng rng(static_cast<uint64_t>(GetParam()) + 2000);
+  const int m = 4;
+  const int domain = 3;
+  for (int trial = 0; trial < 50; ++trial) {
+    Cluster a = RandomCluster(&rng, m, domain);
+    Cluster b = RandomCluster(&rng, m, domain);
+    int cluster_d = Distance(a, b);
+    // Sample element pairs within the extents; with domain >= 3 the
+    // maximum is achievable, so check sampled distances never exceed it.
+    int max_seen = 0;
+    for (int s = 0; s < 100; ++s) {
+      std::vector<int32_t> ea(static_cast<size_t>(m)), eb(static_cast<size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        ea[static_cast<size_t>(i)] =
+            a.IsWildcard(i) ? static_cast<int32_t>(rng.Index(domain)) : a[i];
+        eb[static_cast<size_t>(i)] =
+            b.IsWildcard(i) ? static_cast<int32_t>(rng.Index(domain)) : b[i];
+      }
+      max_seen = std::max(max_seen, ElementDistance(ea, eb));
+    }
+    EXPECT_LE(max_seen, cluster_d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistancePropertyTest,
+                         testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace qagview::core

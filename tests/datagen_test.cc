@@ -1,0 +1,216 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/answer_set.h"
+#include "core/cluster.h"
+#include "datagen/answers.h"
+#include "datagen/movielens.h"
+#include "datagen/store_sales.h"
+#include "sql/executor.h"
+
+namespace qagview::datagen {
+namespace {
+
+TEST(MovieLensTest, SchemaShapeMatchesPaper) {
+  MovieLensOptions options;
+  options.num_ratings = 2000;
+  options.num_users = 100;
+  options.num_movies = 200;
+  storage::Table t = MovieLensGenerator(options).GenerateRatingTable();
+  EXPECT_EQ(t.num_columns(), 33);  // the paper's 33-attribute RatingTable
+  EXPECT_EQ(t.num_rows(), 2000);
+  // Key derived attributes exist.
+  for (const char* col : {"hdec", "agegrp", "gender", "occupation",
+                          "genres_adventure", "rating", "decade"}) {
+    EXPECT_GE(t.schema().FindField(col), 0) << col;
+  }
+}
+
+TEST(MovieLensTest, RatingsInRangeAndDerivedColumnsConsistent) {
+  MovieLensOptions options;
+  options.num_ratings = 3000;
+  storage::Table t = MovieLensGenerator(options).GenerateRatingTable();
+  int rating_col = t.schema().FindField("rating");
+  int year_col = t.schema().FindField("year");
+  int hdec_col = t.schema().FindField("hdec");
+  int decade_col = t.schema().FindField("decade");
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    int64_t rating = t.column(rating_col).GetInt(r);
+    EXPECT_GE(rating, 1);
+    EXPECT_LE(rating, 5);
+    int64_t year = t.column(year_col).GetInt(r);
+    EXPECT_EQ(t.column(hdec_col).GetInt(r), year / 5 * 5);
+    EXPECT_EQ(t.column(decade_col).GetInt(r), year / 10 * 10);
+  }
+}
+
+TEST(MovieLensTest, DeterministicForSeed) {
+  MovieLensOptions options;
+  options.num_ratings = 500;
+  storage::Table a = MovieLensGenerator(options).GenerateRatingTable();
+  storage::Table b = MovieLensGenerator(options).GenerateRatingTable();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int64_t r = 0; r < a.num_rows(); r += 37) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      EXPECT_TRUE(a.Get(r, c) == b.Get(r, c));
+    }
+  }
+}
+
+TEST(MovieLensTest, PlantedSignalSurfacesInAggregates) {
+  // The paper's Example 1.1 query shape: adventure ratings grouped by
+  // (hdec, agegrp, gender, occupation) should rank the planted
+  // young-male-tech pattern near the top.
+  MovieLensOptions options;
+  options.num_ratings = 60000;
+  storage::Table t = MovieLensGenerator(options).GenerateRatingTable();
+  sql::Catalog catalog;
+  catalog.Register("RatingTable", &t);
+  auto result = sql::ExecuteSql(
+      "SELECT agegrp, gender, occupation, avg(rating) AS val "
+      "FROM RatingTable WHERE genres_adventure = 1 "
+      "GROUP BY agegrp, gender, occupation HAVING count(*) > 30 "
+      "ORDER BY val DESC",
+      catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->num_rows(), 5);
+  // Among the top 3 groups, expect the planted demographic to appear.
+  bool planted_on_top = false;
+  for (int64_t r = 0; r < std::min<int64_t>(3, result->num_rows()); ++r) {
+    std::string agegrp = result->Get(r, 0).as_string();
+    std::string gender = result->Get(r, 1).as_string();
+    std::string occ = result->Get(r, 2).as_string();
+    bool young = agegrp == "10s" || agegrp == "20s";
+    bool tech = occ == "student" || occ == "programmer" || occ == "engineer";
+    planted_on_top = planted_on_top || (young && gender == "M" && tech);
+  }
+  EXPECT_TRUE(planted_on_top);
+  // And the spread between top and bottom groups is material.
+  double top = result->Get(0, 3).ToDouble();
+  double bottom = result->Get(result->num_rows() - 1, 3).ToDouble();
+  EXPECT_GT(top - bottom, 0.3);
+}
+
+TEST(StoreSalesTest, SchemaShapeMatchesPaper) {
+  StoreSalesOptions options;
+  options.num_rows = 5000;
+  storage::Table t = StoreSalesGenerator(options).Generate();
+  EXPECT_EQ(t.num_columns(), 23);  // store_sales attribute count in §7
+  EXPECT_EQ(t.num_rows(), 5000);
+  EXPECT_GE(t.schema().FindField("net_profit"), 0);
+}
+
+TEST(StoreSalesTest, NetProfitHasNegativeTail) {
+  StoreSalesOptions options;
+  options.num_rows = 20000;
+  storage::Table t = StoreSalesGenerator(options).Generate();
+  int profit_col = t.schema().FindField("net_profit");
+  int negatives = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    negatives += t.column(profit_col).GetDouble(r) < 0.0;
+  }
+  EXPECT_GT(negatives, 100);            // losses exist (as in TPC-DS)
+  EXPECT_LT(negatives, t.num_rows());   // but not everything loses money
+}
+
+TEST(StoreSalesTest, AggregationProducesLargeAnswerSets) {
+  StoreSalesOptions options;
+  options.num_rows = 50000;
+  storage::Table t = StoreSalesGenerator(options).Generate();
+  sql::Catalog catalog;
+  catalog.Register("store_sales", &t);
+  auto result = sql::ExecuteSql(
+      "SELECT store_state, item_category, customer_agegrp, customer_gender, "
+      "avg(net_profit) AS val FROM store_sales "
+      "GROUP BY store_state, item_category, customer_agegrp, customer_gender "
+      "HAVING count(*) > 10 ORDER BY val DESC",
+      catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->num_rows(), 100);
+  auto s = core::AnswerSet::FromTable(*result, "val");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attrs(), 4);
+}
+
+TEST(StoreSalesTest, PlantedProfitSignalSurfacesInAggregates) {
+  // The generator plants: Electronics in December and Jewelry for the
+  // high income band are lucrative; heavy discounting in the low band
+  // loses extra money. Grouped coarsely, those patterns must separate.
+  StoreSalesOptions options;
+  options.num_rows = 100000;
+  storage::Table t = StoreSalesGenerator(options).Generate();
+  sql::Catalog catalog;
+  catalog.Register("store_sales", &t);
+  auto result = sql::ExecuteSql(
+      "SELECT item_category, sold_month, customer_income_band, "
+      "avg(net_profit) AS val FROM store_sales "
+      "GROUP BY item_category, sold_month, customer_income_band "
+      "HAVING count(*) > 20 ORDER BY val DESC",
+      catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->num_rows(), 50);
+  int planted_in_top = 0;
+  for (int64_t r = 0; r < std::min<int64_t>(10, result->num_rows()); ++r) {
+    std::string category = result->Get(r, 0).as_string();
+    bool december_electronics =
+        category == "Electronics" && result->Get(r, 1).as_int() == 12;
+    bool high_jewelry = category == "Jewelry" &&
+                        result->Get(r, 2).as_string() == "high";
+    planted_in_top += december_electronics || high_jewelry;
+  }
+  EXPECT_GE(planted_in_top, 5) << "planted patterns missing from the top-10";
+  // And the value spread between extremes is material.
+  double top = result->Get(0, 3).ToDouble();
+  double bottom = result->Get(result->num_rows() - 1, 3).ToDouble();
+  EXPECT_GT(top - bottom, 20.0);
+}
+
+TEST(SyntheticAnswersTest, ExactSizeAndUniqueTuples) {
+  SyntheticAnswerOptions options;
+  options.n = 500;
+  options.m = 6;
+  core::AnswerSet s = MakeSyntheticAnswers(options);
+  EXPECT_EQ(s.size(), 500);
+  EXPECT_EQ(s.num_attrs(), 6);
+  std::set<std::vector<int32_t>> unique;
+  for (int e = 0; e < s.size(); ++e) unique.insert(s.element(e).attrs);
+  EXPECT_EQ(unique.size(), 500u);
+  // Sorted descending.
+  for (int e = 1; e < s.size(); ++e) {
+    EXPECT_GE(s.value(e - 1), s.value(e));
+  }
+}
+
+TEST(SyntheticAnswersTest, TopSharesPatternsMoreThanBottom) {
+  SyntheticAnswerOptions options;
+  options.n = 1000;
+  options.m = 6;
+  options.seed = 3;
+  core::AnswerSet s = MakeSyntheticAnswers(options);
+  // Average pairwise distance among top-20 should be below that of a
+  // same-size random slice from the middle: top answers share structure.
+  auto avg_distance = [&s](int begin) {
+    double total = 0.0;
+    int pairs = 0;
+    for (int i = begin; i < begin + 20; ++i) {
+      for (int j = i + 1; j < begin + 20; ++j) {
+        total += core::ElementDistance(s.element(i).attrs, s.element(j).attrs);
+        ++pairs;
+      }
+    }
+    return total / pairs;
+  };
+  EXPECT_LT(avg_distance(0), avg_distance(500));
+}
+
+TEST(SyntheticAnswersTest, RejectsImpossibleDomains) {
+  SyntheticAnswerOptions options;
+  options.n = 1000;
+  options.m = 2;
+  options.domain = 3;  // only 9 distinct tuples possible
+  EXPECT_DEATH(MakeSyntheticAnswers(options), "distinct");
+}
+
+}  // namespace
+}  // namespace qagview::datagen

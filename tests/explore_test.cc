@@ -1,0 +1,93 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/bottom_up.h"
+#include "core/explore.h"
+#include "core/hybrid.h"
+#include "test_util.h"
+
+namespace qagview::core {
+namespace {
+
+TEST(ExploreTest, TwoLayerViewAggregatesPerCluster) {
+  AnswerSet s = testutil::MakeMovieExample();
+  auto u = ClusterUniverse::Build(&s, 8);
+  ASSERT_TRUE(u.ok());
+  Params params{4, 8, 2};
+  auto sol = BottomUp::Run(*u, params);
+  ASSERT_TRUE(sol.ok());
+
+  TwoLayerView view = BuildTwoLayerView(*u, *sol);
+  EXPECT_EQ(view.clusters.size(), sol->cluster_ids.size());
+  EXPECT_NEAR(view.solution_average, sol->average, 1e-9);
+  double prev = 1e18;
+  for (const ClusterView& cv : view.clusters) {
+    EXPECT_LE(cv.average, prev);  // sorted by average desc
+    prev = cv.average;
+    EXPECT_GT(cv.count, 0);
+    EXPECT_EQ(static_cast<int>(cv.member_ranks.size()), cv.count);
+    EXPECT_GE(cv.top_count, 1);  // universe clusters cover >=1 top element
+    for (int rank : cv.member_ranks) {
+      EXPECT_GE(rank, 1);
+      EXPECT_LE(rank, s.size());
+    }
+  }
+}
+
+TEST(ExploreTest, SummaryRendersPatternsAndAverages) {
+  AnswerSet s = testutil::MakeMovieExample();
+  auto u = ClusterUniverse::Build(&s, 8);
+  ASSERT_TRUE(u.ok());
+  auto sol = BottomUp::Run(*u, Params{4, 8, 2});
+  ASSERT_TRUE(sol.ok());
+  std::string text = RenderSummary(*u, *sol);
+  EXPECT_NE(text.find("hdec"), std::string::npos);
+  EXPECT_NE(text.find("avg val"), std::string::npos);
+  EXPECT_NE(text.find("solution avg"), std::string::npos);
+}
+
+TEST(ExploreTest, ExpandedViewListsMembersWithRanks) {
+  AnswerSet s = testutil::MakeMovieExample();
+  auto u = ClusterUniverse::Build(&s, 8);
+  ASSERT_TRUE(u.ok());
+  auto sol = BottomUp::Run(*u, Params{4, 8, 2});
+  ASSERT_TRUE(sol.ok());
+  std::string text = RenderExpanded(*u, *sol);
+  // Rank-1 tuple (1975 20s M Student, 4.24) must appear with its rank.
+  EXPECT_NE(text.find("4.24"), std::string::npos);
+  EXPECT_NE(text.find("1975"), std::string::npos);
+  // Member lines are indented under cluster headers.
+  EXPECT_NE(text.find("▼"), std::string::npos);
+
+  // max_members truncation note appears when limiting to one member if any
+  // cluster has more than one member.
+  std::string truncated = RenderExpanded(*u, *sol, /*max_members=*/1);
+  bool has_multi = false;
+  for (const ClusterView& cv : BuildTwoLayerView(*u, *sol).clusters) {
+    has_multi = has_multi || cv.count > 1;
+  }
+  if (has_multi) {
+    EXPECT_NE(truncated.find("more)"), std::string::npos);
+  }
+}
+
+TEST(ExploreTest, PaperExampleSummaryIsDiscriminative) {
+  // The headline behaviour from Example 1.2: with k=4, L=8, D=2 the
+  // summary's clusters should all have high averages — strictly above the
+  // trivial all-tuples average — because Max-Avg avoids patterns shared
+  // with low-valued tuples.
+  AnswerSet s = testutil::MakeMovieExample();
+  auto u = ClusterUniverse::Build(&s, 8);
+  ASSERT_TRUE(u.ok());
+  auto sol = Hybrid::Run(*u, Params{4, 8, 2});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(sol->average, s.TrivialAverage());
+  // And the solution's covered tuples skew to the top: its average must be
+  // closer to the top-8 average than the trivial baseline is.
+  double top8 = s.TopAverage(8);
+  EXPECT_LT(top8 - sol->average, top8 - s.TrivialAverage());
+}
+
+}  // namespace
+}  // namespace qagview::core

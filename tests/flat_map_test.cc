@@ -1,0 +1,82 @@
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/flat_map.h"
+#include "common/random.h"
+
+namespace qagview {
+namespace {
+
+TEST(FlatMap64Test, InsertAndFind) {
+  FlatMap64 map;
+  EXPECT_EQ(map.size(), 0u);
+  auto [v1, inserted1] = map.FindOrInsert(42, 7);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(v1, 7);
+  auto [v2, inserted2] = map.FindOrInsert(42, 99);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(v2, 7);  // original value kept
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.FindOr(42, -1), 7);
+  EXPECT_EQ(map.FindOr(43, -1), -1);
+  EXPECT_TRUE(map.Contains(42));
+  EXPECT_FALSE(map.Contains(43));
+}
+
+TEST(FlatMap64Test, ZeroKeyIsValid) {
+  // The all-wildcard pattern packs to 0; it must be storable.
+  FlatMap64 map;
+  auto [v, inserted] = map.FindOrInsert(0, 5);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(map.FindOr(0, -1), 5);
+}
+
+TEST(FlatMap64Test, GrowsAndKeepsAllEntries) {
+  FlatMap64 map(4);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    map.FindOrInsert(static_cast<uint64_t>(i) * 2654435761ULL, i);
+  }
+  EXPECT_EQ(map.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(map.FindOr(static_cast<uint64_t>(i) * 2654435761ULL, -1), i);
+  }
+}
+
+TEST(FlatMap64Test, ResetClears) {
+  FlatMap64 map;
+  map.FindOrInsert(1, 1);
+  map.Reset(100);
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.Contains(1));
+}
+
+class FlatMapPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatMapPropertyTest, MatchesStdUnorderedMap) {
+  Rng rng(GetParam());
+  FlatMap64 map;
+  std::unordered_map<uint64_t, int32_t> reference;
+  for (int op = 0; op < 20000; ++op) {
+    uint64_t key = static_cast<uint64_t>(rng.Index(4096));
+    if (rng.Bernoulli(0.6)) {
+      int32_t value = static_cast<int32_t>(rng.Index(1000000));
+      auto [flat_value, flat_inserted] = map.FindOrInsert(key, value);
+      auto [it, ref_inserted] = reference.try_emplace(key, value);
+      ASSERT_EQ(flat_inserted, ref_inserted);
+      ASSERT_EQ(flat_value, it->second);
+    } else {
+      auto it = reference.find(key);
+      ASSERT_EQ(map.FindOr(key, -1), it == reference.end() ? -1 : it->second);
+      ASSERT_EQ(map.Contains(key), it != reference.end());
+    }
+  }
+  ASSERT_EQ(map.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatMapPropertyTest,
+                         testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace qagview

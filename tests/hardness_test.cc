@@ -1,0 +1,164 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/hardness.h"
+#include "core/semilattice.h"
+
+namespace qagview::core {
+namespace {
+
+// A small tripartite graph: X = {x0, x1}, Y = {y0, y1}, Z = {z0}.
+// Edges: (x0,y0), (x1,y1), (y0,z0), (x0,z0). No two vertices cover all four
+// edges (exhaustive check over the 10 pairs), but {x0, y1, z0} does, so the
+// minimum vertex cover size is 3.
+TripartiteGraph MakeGraph() {
+  TripartiteGraph g;
+  g.nx = 2;
+  g.ny = 2;
+  g.nz = 1;
+  g.xy = {{0, 0}, {1, 1}};
+  g.yz = {{0, 0}};
+  g.xz = {{0, 0}};
+  return g;
+}
+
+TEST(VertexCoverTest, OracleFindsMinimum) {
+  TripartiteGraph g = MakeGraph();
+  EXPECT_EQ(g.NumEdges(), 4);
+  int m = MinVertexCoverSize(g);
+  EXPECT_EQ(m, 3);
+  // Sanity: explicit covers.
+  EXPECT_TRUE(IsVertexCover(g, {{0, 0}, {1, 1}, {2, 0}}));  // x0,y1,z0
+  EXPECT_FALSE(IsVertexCover(g, {{0, 0}}));
+}
+
+TEST(DecisionReductionTest, VertexCoverYieldsFeasibleSolution) {
+  TripartiteGraph g = MakeGraph();
+  // Use a known valid cover of size 3.
+  std::vector<Vertex> cover = {{0, 0}, {1, 1}, {2, 0}};
+  ASSERT_TRUE(IsVertexCover(g, cover));
+  auto inst = BuildDecisionInstance(g, static_cast<int>(cover.size()));
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  ASSERT_EQ(inst->answers.size(), g.NumEdges());
+
+  auto universe = ClusterUniverse::Build(&inst->answers, inst->params.L);
+  ASSERT_TRUE(universe.ok());
+
+  std::vector<int> ids;
+  for (const Cluster& c :
+       VertexCoverClusters(cover, inst->x_codes, inst->y_codes,
+                           inst->z_codes)) {
+    int id = universe->FindId(c);
+    ASSERT_GE(id, 0) << c.ToString();
+    ids.push_back(id);
+  }
+  EXPECT_TRUE(CheckFeasible(*universe, ids, inst->params).ok());
+}
+
+TEST(DecisionReductionTest, MinimumCoverMatchesMinimumNontrivialSolution) {
+  // The reduction's equivalence on a tiny graph: the smallest M for which a
+  // non-trivial feasible solution of size <= M exists equals the minimum
+  // vertex cover size. We search feasible solutions by brute force over the
+  // universe, excluding the trivial all-star cluster and any cluster with
+  // 2+ stars (per the proof, those can be replaced by vertex clusters; for
+  // the "exists" direction we verify with the vertex-cover clusters).
+  TripartiteGraph g = MakeGraph();
+  int min_cover = MinVertexCoverSize(g);
+
+  auto inst = BuildDecisionInstance(g, min_cover);
+  ASSERT_TRUE(inst.ok());
+  auto universe = ClusterUniverse::Build(&inst->answers, inst->params.L);
+  ASSERT_TRUE(universe.ok());
+
+  // Collect single-vertex clusters (exactly one non-star position holding a
+  // vertex code); check whether some subset of size <= M covers everything,
+  // for M = min_cover and M = min_cover - 1.
+  auto exists_solution = [&](int m_bound) {
+    std::vector<int> vertex_ids;
+    auto add = [&](int cls, const std::vector<int32_t>& codes) {
+      for (int32_t code : codes) {
+        std::vector<int32_t> pattern(3, kWildcard);
+        pattern[static_cast<size_t>(cls)] = code;
+        int id = universe->FindId(Cluster(pattern));
+        if (id >= 0) vertex_ids.push_back(id);
+      }
+    };
+    add(0, inst->x_codes);
+    add(1, inst->y_codes);
+    add(2, inst->z_codes);
+    // Enumerate subsets of vertex clusters up to m_bound.
+    int n = static_cast<int>(vertex_ids.size());
+    for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+      if (__builtin_popcount(mask) > m_bound) continue;
+      std::vector<int> ids;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) ids.push_back(vertex_ids[static_cast<size_t>(i)]);
+      }
+      Params params = inst->params;
+      params.k = m_bound;
+      if (CheckFeasible(*universe, ids, params).ok()) return true;
+    }
+    return false;
+  };
+
+  EXPECT_TRUE(exists_solution(min_cover));
+  EXPECT_FALSE(exists_solution(min_cover - 1));
+}
+
+TEST(OptimizationReductionTest, CoverAchievesThreshold) {
+  TripartiteGraph g = MakeGraph();
+  int min_cover = MinVertexCoverSize(g);
+  // Small redundancy override keeps the instance tiny but preserves the
+  // structure (padding tuples penalize fresh-value clusters).
+  auto inst = BuildOptimizationInstance(g, min_cover, /*redundancy=*/3);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_EQ(inst->params.L, 2 * g.NumEdges());
+  EXPECT_EQ(inst->params.D, 3);
+
+  auto universe = ClusterUniverse::Build(&inst->answers, inst->params.L);
+  ASSERT_TRUE(universe.ok());
+
+  // Find a minimum cover explicitly.
+  TripartiteGraph& graph = g;
+  std::vector<Vertex> all;
+  for (int i = 0; i < graph.nx; ++i) all.push_back({0, i});
+  for (int i = 0; i < graph.ny; ++i) all.push_back({1, i});
+  for (int i = 0; i < graph.nz; ++i) all.push_back({2, i});
+  std::vector<Vertex> cover;
+  for (uint32_t mask = 0; mask < (1u << all.size()); ++mask) {
+    if (__builtin_popcount(mask) != min_cover) continue;
+    std::vector<Vertex> candidate;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (mask & (1u << i)) candidate.push_back(all[i]);
+    }
+    if (IsVertexCover(graph, candidate)) {
+      cover = candidate;
+      break;
+    }
+  }
+  ASSERT_EQ(static_cast<int>(cover.size()), min_cover);
+
+  std::vector<int> ids;
+  for (const Cluster& c : VertexCoverClusters(cover, inst->x_codes,
+                                              inst->y_codes, inst->z_codes)) {
+    int id = universe->FindId(c);
+    ASSERT_GE(id, 0);
+    ids.push_back(id);
+  }
+  ASSERT_TRUE(CheckFeasible(*universe, ids, inst->params).ok());
+  Solution sol = MakeSolution(*universe, ids);
+  // The proof's bound: value >= 2Ne / (2Ne + M). (With the reduced padding
+  // the vertex clusters still cover all unit tuples plus M zero tuples.)
+  EXPECT_GE(sol.average + 1e-9, inst->cover_threshold);
+}
+
+TEST(ReductionBuilderTest, RejectsEmptyGraphs) {
+  TripartiteGraph empty;
+  EXPECT_FALSE(BuildDecisionInstance(empty, 1).ok());
+  EXPECT_FALSE(BuildOptimizationInstance(empty, 1).ok());
+}
+
+}  // namespace
+}  // namespace qagview::core

@@ -1,0 +1,238 @@
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "viz/height_placement.h"
+#include "viz/sankey.h"
+
+namespace qagview::viz {
+namespace {
+
+HeightPlacementProblem MakeProblem(std::vector<double> left,
+                                   std::vector<double> right,
+                                   std::vector<std::vector<double>> overlap) {
+  HeightPlacementProblem p;
+  p.left_heights = std::move(left);
+  p.right_heights = std::move(right);
+  p.overlap = std::move(overlap);
+  return p;
+}
+
+std::vector<int> Identity(int n) {
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+HeightPlacementProblem MakeRandomProblem(uint64_t seed, int nl, int nr) {
+  Rng rng(seed);
+  HeightPlacementProblem p;
+  for (int i = 0; i < nl; ++i) {
+    p.left_heights.push_back(1.0 + rng.Index(9));
+  }
+  for (int j = 0; j < nr; ++j) {
+    p.right_heights.push_back(1.0 + rng.Index(9));
+  }
+  p.overlap.assign(static_cast<size_t>(nl),
+                   std::vector<double>(static_cast<size_t>(nr), 0.0));
+  for (int i = 0; i < nl; ++i) {
+    for (int j = 0; j < nr; ++j) {
+      if (rng.Bernoulli(0.5)) {
+        p.overlap[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+            static_cast<double>(rng.Index(20));
+      }
+    }
+  }
+  return p;
+}
+
+TEST(StackedCentersTest, StacksTopToBottom) {
+  std::vector<double> centers = StackedCenters({2.0, 4.0, 6.0}, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(centers[0], 1.0);
+  EXPECT_DOUBLE_EQ(centers[1], 4.0);
+  EXPECT_DOUBLE_EQ(centers[2], 9.0);
+}
+
+TEST(StackedCentersTest, OrderControlsOffsets) {
+  // Box 2 first (center 3), then box 0 (center 7), then box 1 (center 10).
+  std::vector<double> centers = StackedCenters({2.0, 4.0, 6.0}, {2, 0, 1});
+  EXPECT_DOUBLE_EQ(centers[2], 3.0);
+  EXPECT_DOUBLE_EQ(centers[0], 7.0);
+  EXPECT_DOUBLE_EQ(centers[1], 10.0);
+}
+
+TEST(HeightPlacementCostTest, ZeroOverlapIsFree) {
+  HeightPlacementProblem p =
+      MakeProblem({1, 2}, {3, 4}, {{0, 0}, {0, 0}});
+  auto cost = HeightPlacementCost(p, {0, 1}, {1, 0});
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 0.0);
+}
+
+TEST(HeightPlacementCostTest, HandComputedCase) {
+  // Left: box0 h=2 (center 1), box1 h=2 (center 3).
+  // Right identity: box0 h=4 (center 2), box1 h=2 (center 5).
+  // overlap: (0,0)=3, (1,1)=2 -> 3*|1-2| + 2*|3-5| = 7.
+  HeightPlacementProblem p =
+      MakeProblem({2, 2}, {4, 2}, {{3, 0}, {0, 2}});
+  auto cost = HeightPlacementCost(p, {0, 1}, {0, 1});
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 7.0);
+  // Swapped right order: box1 center 1, box0 center 4 ->
+  // 3*|1-4| + 2*|3-1| = 13.
+  auto swapped = HeightPlacementCost(p, {0, 1}, {1, 0});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_DOUBLE_EQ(*swapped, 13.0);
+}
+
+TEST(HeightPlacementCostTest, RejectsMalformedInputs) {
+  HeightPlacementProblem p =
+      MakeProblem({2, 2}, {4, 2}, {{3, 0}, {0, 2}});
+  EXPECT_FALSE(HeightPlacementCost(p, {0}, {0, 1}).ok());      // short order
+  EXPECT_FALSE(HeightPlacementCost(p, {0, 0}, {0, 1}).ok());   // repeat
+  EXPECT_FALSE(HeightPlacementCost(p, {0, 2}, {0, 1}).ok());   // out of range
+  HeightPlacementProblem bad_height =
+      MakeProblem({2, 0}, {4, 2}, {{3, 0}, {0, 2}});
+  EXPECT_FALSE(HeightPlacementCost(bad_height, {0, 1}, {0, 1}).ok());
+  HeightPlacementProblem ragged =
+      MakeProblem({2, 2}, {4, 2}, {{3, 0, 1}, {0, 2}});
+  EXPECT_FALSE(HeightPlacementCost(ragged, {0, 1}, {0, 1}).ok());
+  HeightPlacementProblem negative =
+      MakeProblem({2, 2}, {4, 2}, {{3, 0}, {0, -2}});
+  EXPECT_FALSE(HeightPlacementCost(negative, {0, 1}, {0, 1}).ok());
+}
+
+TEST(OptimizeHeightPlacementTest, RecoversAlignedStructure) {
+  // Right box j overlaps only left box j and all heights match: identity is
+  // the unique zero-cost placement.
+  HeightPlacementProblem p = MakeProblem(
+      {2, 4, 6}, {2, 4, 6},
+      {{5, 0, 0}, {0, 5, 0}, {0, 0, 5}});
+  auto order = OptimizeHeightPlacement(p, Identity(3));
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, Identity(3));
+  auto cost = HeightPlacementCost(p, Identity(3), *order);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 0.0);
+}
+
+TEST(OptimizeHeightPlacementTest, UndoesAReversal) {
+  // Right boxes anchored to left boxes in reverse index order; the optimizer
+  // must reverse them back into alignment.
+  HeightPlacementProblem p = MakeProblem(
+      {3, 3, 3}, {3, 3, 3},
+      {{0, 0, 7}, {0, 7, 0}, {7, 0, 0}});
+  auto order = OptimizeHeightPlacement(p, Identity(3));
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(OptimizeHeightPlacementTest, EmptyProblem) {
+  HeightPlacementProblem p;
+  auto order = OptimizeHeightPlacement(p, {});
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(OptimizeHeightPlacementBruteForceTest, RejectsLargeN) {
+  HeightPlacementProblem p = MakeRandomProblem(1, 4, 11);
+  EXPECT_FALSE(OptimizeHeightPlacementBruteForce(p, Identity(4)).ok());
+}
+
+// On random instances: the heuristic result is a valid permutation, never
+// beats the exhaustive optimum, and is locally optimal under single swaps.
+class HeightPlacementRandomTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeightPlacementRandomTest, HeuristicSoundAndLocallyOptimal) {
+  HeightPlacementProblem p = MakeRandomProblem(GetParam(), 5, 6);
+  std::vector<int> left = Identity(5);
+
+  auto heuristic = OptimizeHeightPlacement(p, left);
+  ASSERT_TRUE(heuristic.ok());
+  auto optimal = OptimizeHeightPlacementBruteForce(p, left);
+  ASSERT_TRUE(optimal.ok());
+
+  auto h_cost = HeightPlacementCost(p, left, *heuristic);
+  auto o_cost = HeightPlacementCost(p, left, *optimal);
+  ASSERT_TRUE(h_cost.ok());
+  ASSERT_TRUE(o_cost.ok());
+  EXPECT_GE(*h_cost, *o_cost - 1e-9);
+
+  // Local optimality: no single swap of the heuristic order improves it.
+  std::vector<int> order = *heuristic;
+  for (size_t a = 0; a + 1 < order.size(); ++a) {
+    for (size_t b = a + 1; b < order.size(); ++b) {
+      std::swap(order[a], order[b]);
+      auto swapped = HeightPlacementCost(p, left, order);
+      ASSERT_TRUE(swapped.ok());
+      EXPECT_GE(*swapped, *h_cost - 1e-9)
+          << "swap (" << a << "," << b << ") improves the local optimum";
+      std::swap(order[a], order[b]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeightPlacementRandomTest,
+                         testing::Values(11u, 12u, 13u, 14u, 15u, 16u, 17u,
+                                         18u));
+
+// With uniform heights the variant degenerates to the slot formulation, so
+// the exhaustive height optimum must equal the Hungarian slot optimum.
+class UniformHeightEquivalenceTest : public testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(UniformHeightEquivalenceTest, MatchesSlotFormulation) {
+  Rng rng(GetParam());
+  const int n = 5;
+  SankeyDiagram diagram;
+  diagram.left_sizes.assign(static_cast<size_t>(n), 1);
+  diagram.right_sizes.assign(static_cast<size_t>(n), 1);
+  diagram.left_top_counts.assign(static_cast<size_t>(n), 0);
+  diagram.right_top_counts.assign(static_cast<size_t>(n), 0);
+  diagram.overlap.assign(static_cast<size_t>(n),
+                         std::vector<int>(static_cast<size_t>(n), 0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      diagram.overlap[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          static_cast<int>(rng.Index(10));
+    }
+  }
+
+  std::vector<int> left_positions = IdentityPositions(n);
+  auto slot = OptimizeRightPositions(diagram, left_positions);
+  ASSERT_TRUE(slot.ok());
+  double slot_cost = PlacementDistance(diagram, left_positions, *slot);
+
+  HeightPlacementProblem p = FromSankey(diagram);
+  auto height = OptimizeHeightPlacementBruteForce(p, Identity(n));
+  ASSERT_TRUE(height.ok());
+  auto height_cost = HeightPlacementCost(p, Identity(n), *height);
+  ASSERT_TRUE(height_cost.ok());
+
+  // Unit heights: centers are slot + 0.5, so |center deltas| == |slot
+  // deltas| and the two optima agree in cost.
+  EXPECT_NEAR(*height_cost, slot_cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniformHeightEquivalenceTest,
+                         testing::Values(21u, 22u, 23u, 24u));
+
+TEST(FromSankeyTest, CopiesSizesAndOverlap) {
+  SankeyDiagram diagram;
+  diagram.left_sizes = {3, 5};
+  diagram.right_sizes = {4};
+  diagram.overlap = {{2}, {1}};
+  HeightPlacementProblem p = FromSankey(diagram);
+  EXPECT_EQ(p.num_left(), 2);
+  EXPECT_EQ(p.num_right(), 1);
+  EXPECT_DOUBLE_EQ(p.left_heights[1], 5.0);
+  EXPECT_DOUBLE_EQ(p.right_heights[0], 4.0);
+  EXPECT_DOUBLE_EQ(p.overlap[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(p.overlap[1][0], 1.0);
+}
+
+}  // namespace
+}  // namespace qagview::viz

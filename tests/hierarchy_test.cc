@@ -1,0 +1,367 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/hierarchy.h"
+
+namespace qagview::core {
+namespace {
+
+// The age hierarchy of Figure 11: [0,90) -> [0,20)/[20,60)/[60,90) ->
+// decade leaves.
+ConceptHierarchy MakeAgeHierarchy() {
+  ConceptHierarchy h;
+  int root = h.AddNode("[0,90)");
+  int young = h.AddNode("[0,20)", root);
+  int mid = h.AddNode("[20,60)", root);
+  int old = h.AddNode("[60,90)", root);
+  const char* labels[] = {"[0,10)",  "[10,20)", "[20,30)",
+                          "[30,40)", "[40,50)", "[50,60)",
+                          "[60,70)", "[70,80)", "[80,90)"};
+  for (int i = 0; i < 9; ++i) {
+    int parent = i < 2 ? young : (i < 6 ? mid : old);
+    int leaf = h.AddNode(labels[i], parent);
+    QAG_CHECK_OK(h.BindLeaf(leaf, i));
+  }
+  QAG_CHECK_OK(h.Finalize());
+  return h;
+}
+
+TEST(ConceptHierarchyTest, StructureAccessors) {
+  ConceptHierarchy h = MakeAgeHierarchy();
+  EXPECT_EQ(h.num_nodes(), 13);
+  EXPECT_EQ(h.root(), 0);
+  EXPECT_EQ(h.depth(h.root()), 0);
+  int leaf = h.LeafNode(0);
+  ASSERT_GE(leaf, 0);
+  EXPECT_TRUE(h.is_leaf(leaf));
+  EXPECT_EQ(h.leaf_code(leaf), 0);
+  EXPECT_EQ(h.depth(leaf), 2);
+  EXPECT_EQ(h.label(leaf), "[0,10)");
+  EXPECT_EQ(h.LeafNode(99), -1);
+}
+
+TEST(ConceptHierarchyTest, LcaMatchesPaperExample) {
+  // Figure 11 example: union of [20,40) values and a 50s value lands in
+  // [20,60).
+  ConceptHierarchy h = MakeAgeHierarchy();
+  int twenties = h.LeafNode(2);
+  int fifties = h.LeafNode(5);
+  int lca = h.Lca(twenties, fifties);
+  EXPECT_EQ(h.label(lca), "[20,60)");
+  int seventies = h.LeafNode(7);
+  EXPECT_EQ(h.Lca(twenties, seventies), h.root());
+  EXPECT_EQ(h.Lca(twenties, twenties), twenties);
+}
+
+TEST(ConceptHierarchyTest, LcaAgainstNaiveOnRandomTrees) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    ConceptHierarchy h;
+    std::vector<int> nodes = {h.AddNode("root")};
+    for (int i = 1; i < 60; ++i) {
+      int parent = nodes[static_cast<size_t>(rng.Index(
+          static_cast<int64_t>(nodes.size())))];
+      nodes.push_back(h.AddNode("n", parent));
+    }
+    ASSERT_TRUE(h.Finalize().ok());
+    // Naive LCA by parent-walking.
+    auto naive_lca = [&h](int a, int b) {
+      std::vector<char> seen(static_cast<size_t>(h.num_nodes()), 0);
+      while (a >= 0) {
+        seen[static_cast<size_t>(a)] = 1;
+        a = h.parent(a);
+      }
+      while (!seen[static_cast<size_t>(b)]) b = h.parent(b);
+      return b;
+    };
+    for (int q = 0; q < 100; ++q) {
+      int a = static_cast<int>(rng.Index(h.num_nodes()));
+      int b = static_cast<int>(rng.Index(h.num_nodes()));
+      ASSERT_EQ(h.Lca(a, b), naive_lca(a, b)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(ConceptHierarchyTest, IsAncestor) {
+  ConceptHierarchy h = MakeAgeHierarchy();
+  EXPECT_TRUE(h.IsAncestor(h.root(), h.LeafNode(4)));
+  EXPECT_TRUE(h.IsAncestor(h.LeafNode(4), h.LeafNode(4)));
+  EXPECT_FALSE(h.IsAncestor(h.LeafNode(4), h.root()));
+  EXPECT_FALSE(h.IsAncestor(h.LeafNode(4), h.LeafNode(5)));
+}
+
+TEST(ConceptHierarchyTest, BindingValidation) {
+  ConceptHierarchy h;
+  int root = h.AddNode("root");
+  int a = h.AddNode("a", root);
+  EXPECT_FALSE(h.BindLeaf(99, 0).ok());
+  EXPECT_FALSE(h.BindLeaf(a, -1).ok());
+  EXPECT_TRUE(h.BindLeaf(a, 0).ok());
+  EXPECT_FALSE(h.BindLeaf(a, 1).ok());  // node already bound
+  int b = h.AddNode("b", root);
+  EXPECT_FALSE(h.BindLeaf(b, 0).ok());  // code already bound
+  EXPECT_TRUE(h.BindLeaf(b, 1).ok());
+  EXPECT_TRUE(h.Finalize().ok());
+}
+
+TEST(ConceptHierarchyTest, FinalizeRejectsBoundInternalNodes) {
+  ConceptHierarchy h;
+  int root = h.AddNode("root");
+  int mid = h.AddNode("mid", root);
+  QAG_CHECK_OK(h.BindLeaf(mid, 0));
+  h.AddNode("child", mid);  // makes the bound node internal
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(ConceptHierarchyTest, BinaryRangesCoverAllLeaves) {
+  std::vector<std::string> labels = {"1990", "1991", "1992", "1993", "1994"};
+  ConceptHierarchy h = ConceptHierarchy::BinaryRanges(labels);
+  for (int i = 0; i < 5; ++i) {
+    int leaf = h.LeafNode(i);
+    ASSERT_GE(leaf, 0) << i;
+    EXPECT_EQ(h.label(leaf), labels[static_cast<size_t>(i)]);
+    EXPECT_TRUE(h.IsAncestor(h.root(), leaf));
+  }
+  // Adjacent years share a deeper LCA than distant years.
+  int near = h.Lca(h.LeafNode(0), h.LeafNode(1));
+  int far = h.Lca(h.LeafNode(0), h.LeafNode(4));
+  EXPECT_GT(h.depth(near), h.depth(far));
+  EXPECT_EQ(far, h.root());
+}
+
+TEST(ConceptHierarchyTest, FlatBehavesLikeWildcard) {
+  ConceptHierarchy h = ConceptHierarchy::Flat(4);
+  EXPECT_EQ(h.Lca(h.LeafNode(0), h.LeafNode(3)), h.root());
+  EXPECT_EQ(h.Lca(h.LeafNode(2), h.LeafNode(2)), h.LeafNode(2));
+}
+
+// --- Hierarchical clusters (Appendix A.6 semantics). ---
+
+HierarchySet MakeSet() {
+  std::vector<ConceptHierarchy> per_attr;
+  per_attr.push_back(MakeAgeHierarchy());
+  per_attr.push_back(ConceptHierarchy::Flat(3));
+  return HierarchySet(std::move(per_attr));
+}
+
+TEST(HierarchySetTest, CoverLcaDistance) {
+  HierarchySet set = MakeSet();
+  HierarchicalCluster a = set.FromElement({2, 1});  // ([20,30), v1)
+  HierarchicalCluster b = set.FromElement({5, 1});  // ([50,60), v1)
+
+  HierarchicalCluster lca = set.Lca(a, b);
+  EXPECT_EQ(set.hierarchy(0).label(lca.nodes[0]), "[20,60)");
+  EXPECT_EQ(lca.nodes[1], a.nodes[1]);  // same leaf kept, not generalized
+
+  EXPECT_TRUE(set.Covers(lca, a));
+  EXPECT_TRUE(set.Covers(lca, b));
+  EXPECT_FALSE(set.Covers(a, lca));
+  EXPECT_TRUE(set.Covers(a, a));
+
+  // Distance: identical leaves contribute 0; everything else contributes 1.
+  EXPECT_EQ(set.Distance(a, a), 0);
+  EXPECT_EQ(set.Distance(a, b), 1);    // differ on age only
+  EXPECT_EQ(set.Distance(lca, a), 1);  // internal node counts like '*'
+  EXPECT_EQ(set.Distance(lca, lca), 1);
+
+  EXPECT_EQ(set.Render(lca), "([20,60), v1)");
+}
+
+TEST(HierarchySetTest, RangeGeneralizationIsTighterThanStar) {
+  // The range node [20,60) excludes 70s ages, unlike '*' — the point of
+  // Appendix A.6.
+  HierarchySet set = MakeSet();
+  HierarchicalCluster a = set.FromElement({2, 0});
+  HierarchicalCluster b = set.FromElement({5, 0});
+  HierarchicalCluster range = set.Lca(a, b);
+  HierarchicalCluster seventies = set.FromElement({7, 0});
+  EXPECT_FALSE(set.Covers(range, seventies));
+  HierarchicalCluster star = range;
+  star.nodes[0] = set.hierarchy(0).root();
+  EXPECT_TRUE(set.Covers(star, seventies));
+}
+
+// --- Automatic hierarchy construction (A.6 future direction). ---
+
+TEST(WeightedRangesTest, UniformWeightsGiveBalancedFanoutTree) {
+  auto h = ConceptHierarchy::WeightedRanges({"a", "b", "c", "d"},
+                                            {0, 1, 2, 3}, {}, 2);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  // 4 leaves -> 2 ranges -> root: 7 nodes.
+  EXPECT_EQ(h->num_nodes(), 7);
+  EXPECT_EQ(h->label(h->root()), "*");
+  // Leaves a,b share a parent labeled "[a..b]"; c,d share "[c..d]".
+  int a = h->LeafNode(0);
+  int b = h->LeafNode(1);
+  int c = h->LeafNode(2);
+  int d = h->LeafNode(3);
+  ASSERT_TRUE(a >= 0 && b >= 0 && c >= 0 && d >= 0);
+  EXPECT_EQ(h->parent(a), h->parent(b));
+  EXPECT_EQ(h->parent(c), h->parent(d));
+  EXPECT_NE(h->parent(a), h->parent(c));
+  EXPECT_EQ(h->label(h->parent(a)), "[a..b]");
+  EXPECT_EQ(h->label(h->parent(c)), "[c..d]");
+  EXPECT_EQ(h->Lca(a, c), h->root());
+}
+
+TEST(WeightedRangesTest, HeavyLeafIsIsolated) {
+  // With weight 100 on the first leaf and fanout 2, the balanced cut puts
+  // it alone in the first range and the three light leaves together.
+  auto h = ConceptHierarchy::WeightedRanges(
+      {"v0", "v1", "v2", "v3"}, {0, 1, 2, 3}, {100, 1, 1, 1}, 2);
+  ASSERT_TRUE(h.ok());
+  int v0 = h->LeafNode(0);
+  int v1 = h->LeafNode(1);
+  int v3 = h->LeafNode(3);
+  EXPECT_EQ(h->label(h->parent(v0)), "[v0..v0]");
+  EXPECT_EQ(h->parent(v1), h->parent(v3));
+  EXPECT_EQ(h->label(h->parent(v1)), "[v1..v3]");
+}
+
+TEST(WeightedRangesTest, SingleLeafAndErrors) {
+  auto single = ConceptHierarchy::WeightedRanges({"only"}, {0}, {}, 2);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->num_nodes(), 2);
+  EXPECT_EQ(single->LeafNode(0), 1);
+  EXPECT_TRUE(single->IsAncestor(single->root(), 1));
+
+  EXPECT_FALSE(ConceptHierarchy::WeightedRanges({}, {}, {}, 2).ok());
+  EXPECT_FALSE(
+      ConceptHierarchy::WeightedRanges({"a", "b"}, {0}, {}, 2).ok());
+  EXPECT_FALSE(
+      ConceptHierarchy::WeightedRanges({"a", "b"}, {0, 1}, {1.0}, 2).ok());
+  EXPECT_FALSE(
+      ConceptHierarchy::WeightedRanges({"a", "b"}, {0, 1}, {}, 1).ok());
+  EXPECT_FALSE(ConceptHierarchy::WeightedRanges({"a", "b"}, {0, 1},
+                                                {1.0, -2.0}, 2)
+                   .ok());
+  // Duplicate codes are rejected by leaf binding.
+  EXPECT_FALSE(
+      ConceptHierarchy::WeightedRanges({"a", "b"}, {0, 0}, {}, 2).ok());
+}
+
+TEST(WeightedRangesTest, AllCodesBoundAtEveryFanout) {
+  std::vector<std::string> labels;
+  std::vector<int32_t> codes;
+  for (int i = 0; i < 17; ++i) {
+    labels.push_back("v" + std::to_string(i));
+    codes.push_back(static_cast<int32_t>(i));
+  }
+  for (int fanout : {2, 3, 4, 7}) {
+    auto h = ConceptHierarchy::WeightedRanges(labels, codes, {}, fanout);
+    ASSERT_TRUE(h.ok()) << "fanout " << fanout;
+    for (int32_t code = 0; code < 17; ++code) {
+      int leaf = h->LeafNode(code);
+      ASSERT_GE(leaf, 0) << "fanout " << fanout << " code " << code;
+      EXPECT_TRUE(h->is_leaf(leaf));
+      EXPECT_TRUE(h->IsAncestor(h->root(), leaf));
+    }
+  }
+}
+
+TEST(AutoHierarchyTest, NumericNamesOrderNumerically) {
+  // Codes arrive in insertion order "30","4","200"; the hierarchy must
+  // order leaves 4 < 30 < 200, so LCA(4, 30) is a range excluding 200.
+  auto s = AnswerSet::FromRaw(
+      {"x", "y"}, {{"30", "4", "200"}, {"p", "q"}},
+      {{{0, 0}, 3.0}, {{1, 0}, 2.0}, {{2, 1}, 1.0}});
+  ASSERT_TRUE(s.ok());
+  auto h = AutoHierarchyForAttribute(*s, 0);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  int four = h->LeafNode(1);    // code 1 = "4"
+  int thirty = h->LeafNode(0);  // code 0 = "30"
+  int two_hundred = h->LeafNode(2);
+  ASSERT_TRUE(four >= 0 && thirty >= 0 && two_hundred >= 0);
+  int lca = h->Lca(four, thirty);
+  EXPECT_NE(lca, h->root());
+  EXPECT_EQ(h->label(lca), "[4..30]");
+  EXPECT_EQ(h->Lca(four, two_hundred), h->root());
+}
+
+TEST(AutoHierarchyTest, NonNumericNamesOrderLexicographically) {
+  auto s = AnswerSet::FromRaw(
+      {"x"}, {{"cherry", "apple", "banana"}},
+      {{{0}, 3.0}, {{1}, 2.0}, {{2}, 1.0}});
+  ASSERT_TRUE(s.ok());
+  auto h = AutoHierarchyForAttribute(*s, 0);
+  ASSERT_TRUE(h.ok());
+  int apple = h->LeafNode(1);
+  int banana = h->LeafNode(2);
+  int cherry = h->LeafNode(0);
+  EXPECT_EQ(h->label(h->Lca(apple, banana)), "[apple..banana]");
+  EXPECT_EQ(h->Lca(apple, cherry), h->root());
+}
+
+TEST(AutoHierarchyTest, FrequencyWeightingShiftsBoundaries) {
+  // Attribute 0 has domain {0,1,2,3} with value 0 dominating the data.
+  std::vector<Element> elements;
+  double v = 100.0;
+  for (int rep = 0; rep < 12; ++rep) {
+    elements.push_back({{0, rep}, v});
+    v -= 1.0;
+  }
+  for (int32_t code = 1; code <= 3; ++code) {
+    elements.push_back({{code, 12 + (code - 1)}, v});
+    v -= 1.0;
+  }
+  std::vector<std::string> a0_names = {"0", "1", "2", "3"};
+  std::vector<std::string> a1_names;
+  for (int i = 0; i < 15; ++i) a1_names.push_back("u" + std::to_string(i));
+  auto s = AnswerSet::FromRaw({"a0", "a1"}, {a0_names, a1_names},
+                              std::move(elements));
+  ASSERT_TRUE(s.ok());
+
+  AutoHierarchyOptions by_freq;
+  by_freq.weight_by_frequency = true;
+  auto h = AutoHierarchyForAttribute(*s, 0, by_freq);
+  ASSERT_TRUE(h.ok());
+  // The dominant value 0 sits alone; 1..3 share the sibling range.
+  int zero = h->LeafNode(0);
+  int one = h->LeafNode(1);
+  int three = h->LeafNode(3);
+  EXPECT_EQ(h->label(h->parent(zero)), "[0..0]");
+  EXPECT_EQ(h->parent(one), h->parent(three));
+
+  // Without weighting the split is by leaf count: {0,1} vs {2,3}.
+  auto uniform = AutoHierarchyForAttribute(*s, 0);
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_EQ(uniform->parent(uniform->LeafNode(0)),
+            uniform->parent(uniform->LeafNode(1)));
+}
+
+TEST(AutoHierarchyTest, RejectsBadArguments) {
+  auto s = AnswerSet::FromRaw({"x"}, {{"a", "b"}},
+                              {{{0}, 2.0}, {{1}, 1.0}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(AutoHierarchyForAttribute(*s, -1).ok());
+  EXPECT_FALSE(AutoHierarchyForAttribute(*s, 1).ok());
+  AutoHierarchyOptions bad;
+  bad.fanout = 1;
+  EXPECT_FALSE(AutoHierarchyForAttribute(*s, 0, bad).ok());
+}
+
+TEST(AutoHierarchyTest, WorksAsHierarchySetSubstrate) {
+  // End-to-end: auto hierarchies drive the A.6 cover/LCA machinery.
+  auto s = AnswerSet::FromRaw(
+      {"age", "grp"}, {{"10", "20", "30", "40"}, {"x", "y"}},
+      {{{0, 0}, 4.0}, {{1, 0}, 3.0}, {{2, 1}, 2.0}, {{3, 1}, 1.0}});
+  ASSERT_TRUE(s.ok());
+  std::vector<ConceptHierarchy> per_attr;
+  for (int a = 0; a < s->num_attrs(); ++a) {
+    auto h = AutoHierarchyForAttribute(*s, a);
+    ASSERT_TRUE(h.ok());
+    per_attr.push_back(std::move(h).value());
+  }
+  HierarchySet set(std::move(per_attr));
+  HierarchicalCluster t0 = set.FromElement(s->element(0).attrs);
+  HierarchicalCluster t1 = set.FromElement(s->element(1).attrs);
+  HierarchicalCluster lca = set.Lca(t0, t1);
+  EXPECT_TRUE(set.Covers(lca, t0));
+  EXPECT_TRUE(set.Covers(lca, t1));
+  EXPECT_EQ(set.Render(lca), "([10..20], x)");
+}
+
+}  // namespace
+}  // namespace qagview::core

@@ -1,0 +1,249 @@
+// End-to-end pipelines across modules: CSV -> SQL -> summarization ->
+// exploration -> precompute -> retrieval -> comparison visualization, and
+// the generator-backed paths the examples exercise.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/decision_tree.h"
+#include "core/explore.h"
+#include "core/hybrid.h"
+#include "core/precompute.h"
+#include "core/session.h"
+#include "datagen/movielens.h"
+#include "datagen/store_sales.h"
+#include "sql/executor.h"
+#include "storage/csv.h"
+#include "study/study.h"
+#include "viz/param_grid.h"
+#include "viz/sankey.h"
+
+namespace qagview {
+namespace {
+
+TEST(IntegrationTest, CsvToSummaryPipeline) {
+  // A small CSV of grouped answers straight into the summarizer.
+  std::string csv =
+      "region,segment,channel,val\n"
+      "east,corp,web,9.1\n"
+      "east,corp,store,8.9\n"
+      "east,smb,web,8.5\n"
+      "west,corp,web,8.2\n"
+      "west,smb,store,4.1\n"
+      "east,smb,store,3.9\n"
+      "west,corp,store,3.2\n"
+      "west,smb,web,2.8\n";
+  auto table = storage::ReadCsvString(csv);
+  ASSERT_TRUE(table.ok());
+  auto session = core::Session::FromTable(*table, "val");
+  ASSERT_TRUE(session.ok());
+  core::Params params{2, 4, 1};
+  auto solution = (*session)->Summarize(params);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  auto universe = (*session)->UniverseFor(4);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_TRUE(
+      core::CheckFeasible(**universe, solution->cluster_ids, params).ok());
+  // The top-4 are all 'east' or corp/web patterns; summary average must
+  // beat the trivial average by a wide margin on this polarized data.
+  EXPECT_GT(solution->average, (*session)->answers().TrivialAverage() + 1.0);
+  std::string rendered = core::RenderSummary(**universe, *solution);
+  EXPECT_NE(rendered.find("avg val"), std::string::npos);
+}
+
+TEST(IntegrationTest, MovieLensSqlToStoreToSankey) {
+  datagen::MovieLensOptions gen;
+  gen.num_ratings = 20000;
+  storage::Table ratings = datagen::MovieLensGenerator(gen).GenerateRatingTable();
+  sql::Catalog catalog;
+  catalog.Register("RatingTable", &ratings);
+  auto result = sql::ExecuteSql(
+      "SELECT agegrp, gender, occupation, avg(rating) AS val "
+      "FROM RatingTable GROUP BY agegrp, gender, occupation "
+      "HAVING count(*) > 10 ORDER BY val DESC",
+      catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->num_rows(), 30);
+
+  auto answers = core::AnswerSet::FromTable(*result, "val");
+  ASSERT_TRUE(answers.ok());
+  auto universe = core::ClusterUniverse::Build(&*answers, 20);
+  ASSERT_TRUE(universe.ok());
+
+  core::PrecomputeOptions options;
+  options.k_min = 2;
+  options.k_max = 10;
+  options.d_values = {1, 2};
+  auto store = core::Precompute::Run(*universe, 20, options);
+  ASSERT_TRUE(store.ok());
+
+  auto grid = viz::BuildParamGrid(*store, 2, 10);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->d_values.size(), 2u);
+
+  auto old_solution = store->Retrieve(2, 8);
+  auto new_solution = store->Retrieve(2, 4);
+  ASSERT_TRUE(old_solution.ok());
+  ASSERT_TRUE(new_solution.ok());
+  viz::SankeyDiagram diagram =
+      viz::BuildSankey(*universe, *old_solution, *new_solution);
+  std::vector<int> left = viz::IdentityPositions(diagram.num_left());
+  auto optimized = viz::OptimizeRightPositions(diagram, left);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_LE(
+      viz::PlacementDistance(diagram, left, *optimized),
+      viz::PlacementDistance(diagram, left,
+                             viz::IdentityPositions(diagram.num_right())) +
+          1e-9);
+}
+
+TEST(IntegrationTest, StoreSalesSqlToSummary) {
+  datagen::StoreSalesOptions gen;
+  gen.num_rows = 30000;
+  storage::Table sales = datagen::StoreSalesGenerator(gen).Generate();
+  sql::Catalog catalog;
+  catalog.Register("store_sales", &sales);
+  auto result = sql::ExecuteSql(
+      "SELECT store_state, item_category, customer_gender, channel, "
+      "avg(net_profit) AS val FROM store_sales "
+      "GROUP BY store_state, item_category, customer_gender, channel "
+      "HAVING count(*) > 5 ORDER BY val DESC",
+      catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto answers = core::AnswerSet::FromTable(*result, "val");
+  ASSERT_TRUE(answers.ok());
+  int top_l = std::min(30, answers->size());
+  auto universe = core::ClusterUniverse::Build(&*answers, top_l);
+  ASSERT_TRUE(universe.ok());
+  core::Params params{5, top_l, 2};
+  auto solution = core::Hybrid::Run(*universe, params);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(
+      core::CheckFeasible(*universe, solution->cluster_ids, params).ok());
+  // Net profit can be negative; the solution average still dominates the
+  // trivial baseline.
+  EXPECT_GE(solution->average, answers->TrivialAverage() - 1e9);
+}
+
+TEST(IntegrationTest, StudyPipelineOverSqlAnswers) {
+  datagen::MovieLensOptions gen;
+  gen.num_ratings = 30000;
+  storage::Table ratings = datagen::MovieLensGenerator(gen).GenerateRatingTable();
+  sql::Catalog catalog;
+  catalog.Register("r", &ratings);
+  auto result = sql::ExecuteSql(
+      "SELECT agegrp, gender, occupation, avg(rating) AS val FROM r "
+      "GROUP BY agegrp, gender, occupation HAVING count(*) > 20 "
+      "ORDER BY val DESC",
+      catalog);
+  ASSERT_TRUE(result.ok());
+  auto answers = core::AnswerSet::FromTable(*result, "val");
+  ASSERT_TRUE(answers.ok());
+  if (answers->size() < 40) GTEST_SKIP() << "answer set too small";
+
+  int top_l = 20;
+  auto universe = core::ClusterUniverse::Build(&*answers, top_l);
+  ASSERT_TRUE(universe.ok());
+  auto solution = core::Hybrid::Run(*universe, {6, top_l, 1});
+  ASSERT_TRUE(solution.ok());
+
+  study::StudyConfig config;
+  config.num_subjects = 4;
+  study::UserStudySimulator sim(&*answers, config);
+  auto condition = sim.RunCondition(
+      study::PatternsFromSolution(*universe, *solution), top_l, "ours");
+  EXPECT_GT(condition.patterns_members.t_accuracy.mean, 0.6);
+}
+
+TEST(IntegrationTest, PersistedGuidanceSurvivesTheFullPipeline) {
+  // generator -> SQL -> session A: precompute + save -> session B over the
+  // same query: load + retrieve; B must match A without precomputing.
+  datagen::MovieLensOptions gen;
+  gen.num_ratings = 30000;
+  storage::Table ratings =
+      datagen::MovieLensGenerator(gen).GenerateRatingTable();
+  sql::Catalog catalog;
+  catalog.Register("RatingTable", &ratings);
+  auto result = sql::ExecuteSql(
+      "SELECT agegrp, gender, occupation, avg(rating) AS val "
+      "FROM RatingTable GROUP BY agegrp, gender, occupation "
+      "HAVING count(*) > 20 ORDER BY val DESC",
+      catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto a = core::Session::FromTable(*result, "val");
+  ASSERT_TRUE(a.ok());
+  int top_l = std::min(15, (*a)->answers().size());
+  ASSERT_GE(top_l, 5);
+  core::PrecomputeOptions options;
+  options.k_min = 2;
+  options.k_max = 8;
+  options.d_values = {1, 2};
+  ASSERT_TRUE((*a)->Guidance(top_l, options).ok());
+  std::string path = testing::TempDir() + "/qagview_integration_grid.txt";
+  ASSERT_TRUE((*a)->SaveGuidance(top_l, path).ok());
+
+  auto b = core::Session::FromTable(*result, "val");
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*b)->LoadGuidance(top_l, path).ok());
+  for (int d : {1, 2}) {
+    for (int k = 4; k <= 8; k += 2) {
+      auto original = (*a)->Retrieve(top_l, d, k);
+      auto reloaded = (*b)->Retrieve(top_l, d, k);
+      ASSERT_TRUE(original.ok());
+      ASSERT_TRUE(reloaded.ok());
+      EXPECT_NEAR(original->average, reloaded->average, 1e-12);
+      EXPECT_EQ(original->covered_count, reloaded->covered_count);
+    }
+  }
+  // The reloaded grid also feeds the Figure-2 visualization layer.
+  auto store = (*b)->Guidance(top_l, options);  // cache hit, no recompute
+  ASSERT_TRUE(store.ok());
+  auto grid = viz::BuildParamGrid(**store, 2, 8);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->d_values.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, TwoLayerViewCoversEveryTopRank) {
+  // Whatever the algorithm picks, the expanded second layer must surface
+  // every top-L rank in at least one cluster's member list (the "original
+  // top tuples are not lost" guarantee of §1).
+  datagen::MovieLensOptions gen;
+  gen.num_ratings = 30000;
+  storage::Table ratings =
+      datagen::MovieLensGenerator(gen).GenerateRatingTable();
+  sql::Catalog catalog;
+  catalog.Register("RatingTable", &ratings);
+  auto result = sql::ExecuteSql(
+      "SELECT hdec, agegrp, gender, avg(rating) AS val FROM RatingTable "
+      "GROUP BY hdec, agegrp, gender HAVING count(*) > 20 "
+      "ORDER BY val DESC",
+      catalog);
+  ASSERT_TRUE(result.ok());
+  auto answers = core::AnswerSet::FromTable(*result, "val");
+  ASSERT_TRUE(answers.ok());
+  int top_l = std::min(12, answers->size());
+  ASSERT_GE(top_l, 6);
+  auto universe = core::ClusterUniverse::Build(&*answers, top_l);
+  ASSERT_TRUE(universe.ok());
+  core::Params params{4, top_l, 2};
+  auto solution = core::Hybrid::Run(*universe, params);
+  ASSERT_TRUE(solution.ok());
+
+  core::TwoLayerView view = core::BuildTwoLayerView(*universe, *solution);
+  std::vector<char> covered(static_cast<size_t>(top_l) + 1, 0);
+  for (const core::ClusterView& cv : view.clusters) {
+    for (int rank : cv.member_ranks) {
+      if (rank <= top_l) covered[static_cast<size_t>(rank)] = 1;
+    }
+  }
+  for (int rank = 1; rank <= top_l; ++rank) {
+    EXPECT_TRUE(covered[static_cast<size_t>(rank)]) << "rank " << rank;
+  }
+}
+
+}  // namespace
+}  // namespace qagview

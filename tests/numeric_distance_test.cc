@@ -1,0 +1,146 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/bottom_up.h"
+#include "core/numeric_distance.h"
+#include "test_util.h"
+
+namespace qagview::core {
+namespace {
+
+// Ages 10/20/30/40 on a numeric scale; a categorical color attribute.
+std::unique_ptr<AnswerSet> MakeNumericSet() {
+  auto s = AnswerSet::FromRaw(
+      {"age", "color"}, {{"10", "20", "30", "40"}, {"red", "green", "blue"}},
+      {{{0, 0}, 4.0}, {{1, 1}, 3.0}, {{2, 2}, 2.0}, {{3, 0}, 1.0}});
+  QAG_CHECK(s.ok());
+  return std::make_unique<AnswerSet>(std::move(s).value());
+}
+
+TEST(NumericDistanceTest, DetectsNumericAttributes) {
+  auto s = MakeNumericSet();
+  NumericDistanceModel model = NumericDistanceModel::FromAnswerSet(*s);
+  EXPECT_TRUE(model.is_numeric(0));
+  EXPECT_FALSE(model.is_numeric(1));
+}
+
+TEST(NumericDistanceTest, ConstantNumericColumnStaysCategorical) {
+  auto s = AnswerSet::FromRaw({"x", "y"}, {{"7"}, {"1", "2"}},
+                              {{{0, 0}, 2.0}, {{0, 1}, 1.0}});
+  ASSERT_TRUE(s.ok());
+  NumericDistanceModel model = NumericDistanceModel::FromAnswerSet(*s);
+  EXPECT_FALSE(model.is_numeric(0));  // spread 0: nothing to normalize
+  EXPECT_TRUE(model.is_numeric(1));
+}
+
+TEST(NumericDistanceTest, GapSemantics) {
+  auto s = MakeNumericSet();
+  NumericDistanceModel model = NumericDistanceModel::FromAnswerSet(*s);
+  // Numeric attribute: normalized |x - y| / spread, spread = 40 - 10 = 30.
+  EXPECT_DOUBLE_EQ(model.AttributeGap(0, 0, 3), 1.0);        // 10 vs 40
+  EXPECT_NEAR(model.AttributeGap(0, 0, 1), 10.0 / 30, 1e-12);  // 10 vs 20
+  EXPECT_DOUBLE_EQ(model.AttributeGap(0, 2, 2), 0.0);
+  // Categorical attribute: 0/1.
+  EXPECT_DOUBLE_EQ(model.AttributeGap(1, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.AttributeGap(1, 0, 2), 1.0);
+  // Wildcards take the maximal gap on both kinds.
+  EXPECT_DOUBLE_EQ(model.AttributeGap(0, kWildcard, 1), 1.0);
+  EXPECT_DOUBLE_EQ(model.AttributeGap(1, 2, kWildcard), 1.0);
+}
+
+TEST(NumericDistanceTest, CategoricalL1ReducesToDefinition31) {
+  // With every attribute categorical and p=1, the numeric distance equals
+  // the paper's integer metric on arbitrary patterns.
+  AnswerSet s = testutil::MakeRandomAnswerSet(5, 40, 4, 3);
+  NumericDistanceModel model = NumericDistanceModel::Categorical(4);
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int32_t> pa(4);
+    std::vector<int32_t> pb(4);
+    for (int i = 0; i < 4; ++i) {
+      pa[static_cast<size_t>(i)] =
+          rng.Bernoulli(0.3) ? kWildcard : static_cast<int32_t>(rng.Index(3));
+      pb[static_cast<size_t>(i)] =
+          rng.Bernoulli(0.3) ? kWildcard : static_cast<int32_t>(rng.Index(3));
+    }
+    Cluster a(pa);
+    Cluster b(pb);
+    EXPECT_DOUBLE_EQ(model.Distance(a, b, 1.0),
+                     static_cast<double>(Distance(a, b)));
+  }
+}
+
+class NumericDistancePropertyTest : public testing::TestWithParam<double> {};
+
+TEST_P(NumericDistancePropertyTest, SymmetryTriangleAndMonotonicity) {
+  const double p = GetParam();
+  auto s = MakeNumericSet();
+  NumericDistanceModel model = NumericDistanceModel::FromAnswerSet(*s);
+  Rng rng(23);
+  auto random_pattern = [&] {
+    std::vector<int32_t> pattern(2);
+    pattern[0] =
+        rng.Bernoulli(0.25) ? kWildcard : static_cast<int32_t>(rng.Index(4));
+    pattern[1] =
+        rng.Bernoulli(0.25) ? kWildcard : static_cast<int32_t>(rng.Index(3));
+    return Cluster(pattern);
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    Cluster a = random_pattern();
+    Cluster b = random_pattern();
+    Cluster c = random_pattern();
+    double ab = model.Distance(a, b, p);
+    double ba = model.Distance(b, a, p);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    // Triangle inequality (Minkowski over per-attribute gaps).
+    EXPECT_LE(ab,
+              model.Distance(a, c, p) + model.Distance(c, b, p) + 1e-12);
+    // Monotonicity (Prop 4.2 analogue): generalizing one side to an
+    // ancestor never shrinks the distance.
+    Cluster ancestor = Cluster::Lca(a, c);  // covers a
+    EXPECT_GE(model.Distance(ancestor, b, p) + 1e-12, ab);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Norms, NumericDistancePropertyTest,
+                         testing::Values(1.0, 2.0, 3.0,
+                                         NumericDistanceModel::kInfinity));
+
+TEST(NumericDistanceTest, MaxNormIsLimitOfLp) {
+  auto s = MakeNumericSet();
+  NumericDistanceModel model = NumericDistanceModel::FromAnswerSet(*s);
+  Cluster a({0, 1});
+  Cluster b({1, 2});
+  double inf = model.Distance(a, b, NumericDistanceModel::kInfinity);
+  EXPECT_NEAR(model.Distance(a, b, 64.0), inf, 0.02);
+  EXPECT_GE(model.Distance(a, b, 1.0), model.Distance(a, b, 2.0));
+  EXPECT_GE(model.Distance(a, b, 2.0), inf);
+}
+
+TEST(NumericDistanceTest, MinPairwiseDiversityOfFeasibleSolutions) {
+  // Under the categorical model with p=1 the numeric machinery must agree
+  // with the feasibility the algorithms enforce: every Bottom-Up solution
+  // at distance D has min pairwise L1 distance >= D.
+  auto set = std::make_unique<AnswerSet>(
+      testutil::MakeRandomAnswerSet(31, 70, 5, 3));
+  auto u = ClusterUniverse::Build(set.get(), 15);
+  ASSERT_TRUE(u.ok());
+  NumericDistanceModel categorical = NumericDistanceModel::Categorical(5);
+  for (int d : {1, 2, 3}) {
+    Params params{4, 15, d};
+    auto solution = BottomUp::Run(*u, params);
+    ASSERT_TRUE(solution.ok());
+    if (solution->size() < 2) continue;
+    EXPECT_GE(categorical.MinPairwiseDistance(*u, *solution, 1.0),
+              static_cast<double>(d) - 1e-12)
+        << "D=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace qagview::core

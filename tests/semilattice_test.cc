@@ -1,0 +1,234 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/semilattice.h"
+#include "test_util.h"
+
+namespace qagview::core {
+namespace {
+
+TEST(ClusterUniverseTest, GeneratesAllGeneralizationsOfTopL) {
+  AnswerSet s = testutil::MakeMovieExample();
+  auto u = ClusterUniverse::Build(&s, /*top_l=*/3);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  // Every mask of every top-3 element must be present.
+  for (int i = 0; i < 3; ++i) {
+    for (uint32_t mask = 0; mask < 16u; ++mask) {
+      Cluster c = Cluster::Generalize(s.element(i).attrs, mask);
+      EXPECT_GE(u->FindId(c), 0) << c.ToString();
+    }
+  }
+  // And nothing else: every cluster covers >= 1 top-L element.
+  for (int id = 0; id < u->num_clusters(); ++id) {
+    EXPECT_GT(u->top_covered_count(id), 0);
+  }
+  // Upper bound: at most L * 2^m clusters (deduplicated).
+  EXPECT_LE(u->num_clusters(), 3 * 16);
+}
+
+TEST(ClusterUniverseTest, CoverageMappingIsExact) {
+  AnswerSet s = testutil::MakeRandomAnswerSet(7, 60, 4, 4);
+  auto u = ClusterUniverse::Build(&s, 10);
+  ASSERT_TRUE(u.ok());
+  for (int id = 0; id < u->num_clusters(); ++id) {
+    const Cluster& c = u->cluster(id);
+    // Recompute coverage by brute force.
+    std::vector<int32_t> expected;
+    double expected_sum = 0.0;
+    for (int e = 0; e < s.size(); ++e) {
+      if (c.CoversElement(s.element(e).attrs)) {
+        expected.push_back(e);
+        expected_sum += s.value(e);
+      }
+    }
+    EXPECT_EQ(u->covered(id), expected) << c.ToString();
+    EXPECT_NEAR(u->covered_sum(id), expected_sum, 1e-9);
+    EXPECT_TRUE(std::is_sorted(u->covered(id).begin(), u->covered(id).end()));
+  }
+}
+
+TEST(ClusterUniverseTest, NaiveMappingMatchesOptimized) {
+  AnswerSet s = testutil::MakeRandomAnswerSet(11, 80, 5, 3);
+  auto fast = ClusterUniverse::Build(&s, 12);
+  UniverseOptions naive_options;
+  naive_options.naive_mapping = true;
+  auto naive = ClusterUniverse::Build(&s, 12, naive_options);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(naive.ok());
+  ASSERT_EQ(fast->num_clusters(), naive->num_clusters());
+  for (int id = 0; id < fast->num_clusters(); ++id) {
+    int other = naive->FindId(fast->cluster(id));
+    ASSERT_GE(other, 0);
+    EXPECT_EQ(fast->covered(id), naive->covered(other));
+  }
+}
+
+// m = 9 attributes exceeds the packed-key limit of 8, forcing the
+// vector-keyed index; coverage must stay exact and algorithms functional.
+TEST(ClusterUniverseTest, UnpackedFallbackAtNineAttributes) {
+  AnswerSet s = testutil::MakeRandomAnswerSet(23, 50, 9, 2);
+  auto u = ClusterUniverse::Build(&s, 6);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  for (int id = 0; id < u->num_clusters(); id += 17) {
+    const Cluster& c = u->cluster(id);
+    std::vector<int32_t> expected;
+    for (int e = 0; e < s.size(); ++e) {
+      if (c.CoversElement(s.element(e).attrs)) {
+        expected.push_back(e);
+      }
+    }
+    ASSERT_EQ(u->covered(id), expected) << c.ToString();
+  }
+}
+
+// A domain wider than a byte lane (>254 codes) also bypasses packing.
+TEST(ClusterUniverseTest, UnpackedFallbackAtWideDomain) {
+  std::vector<std::string> wide_names;
+  for (int i = 0; i < 300; ++i) wide_names.push_back(StrCat("w", i));
+  std::vector<Element> elements;
+  for (int i = 0; i < 40; ++i) {
+    elements.push_back(
+        {{static_cast<int32_t>((i * 7) % 300), static_cast<int32_t>(i % 3)},
+         40.0 - i});
+  }
+  auto s = AnswerSet::FromRaw({"wide", "narrow"},
+                              {wide_names, {"x", "y", "z"}},
+                              std::move(elements));
+  ASSERT_TRUE(s.ok());
+  auto u = ClusterUniverse::Build(&*s, 8);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  // Exact singleton mapping survives the fallback.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(u->covered(u->singleton_id(i)), std::vector<int32_t>{i});
+  }
+  // The trivial cluster still covers all 40 elements.
+  int trivial = u->FindId(Cluster::Trivial(2));
+  ASSERT_GE(trivial, 0);
+  EXPECT_EQ(u->covered_count(trivial), 40);
+}
+
+TEST(ClusterUniverseTest, SingletonIdsMatchTopElements) {
+  AnswerSet s = testutil::MakeMovieExample();
+  auto u = ClusterUniverse::Build(&s, 5);
+  ASSERT_TRUE(u.ok());
+  for (int i = 0; i < 5; ++i) {
+    int id = u->singleton_id(i);
+    EXPECT_EQ(u->cluster(id), Cluster(s.element(i).attrs));
+    // A singleton's covered list contains exactly the identical elements
+    // (group-by outputs are unique, so just element i).
+    EXPECT_EQ(u->covered(id), std::vector<int32_t>{i});
+  }
+}
+
+TEST(ClusterUniverseTest, LcaClosureAndCache) {
+  AnswerSet s = testutil::MakeRandomAnswerSet(3, 40, 4, 3);
+  auto u = ClusterUniverse::Build(&s, 8);
+  ASSERT_TRUE(u.ok());
+  // LCA of any two universe clusters resolves to a universe id, and the
+  // pattern matches Cluster::Lca.
+  for (int a = 0; a < u->num_clusters(); a += 7) {
+    for (int b = 0; b < u->num_clusters(); b += 11) {
+      int lca = u->LcaId(a, b);
+      ASSERT_GE(lca, 0);
+      EXPECT_EQ(u->cluster(lca),
+                Cluster::Lca(u->cluster(a), u->cluster(b)));
+      EXPECT_EQ(u->LcaId(b, a), lca);  // cached/symmetric
+    }
+  }
+}
+
+TEST(ClusterUniverseTest, TrivialClusterCoversEverything) {
+  AnswerSet s = testutil::MakeMovieExample();
+  auto u = ClusterUniverse::Build(&s, 4);
+  ASSERT_TRUE(u.ok());
+  int id = u->FindId(Cluster::Trivial(s.num_attrs()));
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(u->covered_count(id), s.size());
+  EXPECT_NEAR(u->Average(id), s.TrivialAverage(), 1e-9);
+}
+
+TEST(ClusterUniverseTest, LevelStartIdsAreAtRequestedLevel) {
+  AnswerSet s = testutil::MakeRandomAnswerSet(5, 50, 5, 3);
+  auto u = ClusterUniverse::Build(&s, 10);
+  ASSERT_TRUE(u.ok());
+  for (int level : {0, 1, 2}) {
+    std::vector<int> ids = u->LevelStartIds(level);
+    EXPECT_FALSE(ids.empty());
+    std::set<int> unique(ids.begin(), ids.end());
+    EXPECT_EQ(unique.size(), ids.size()) << "duplicates at level " << level;
+    for (int id : ids) {
+      EXPECT_EQ(u->cluster(id).level(), level);
+    }
+    // Together they cover all top-L elements.
+    std::set<int32_t> covered;
+    for (int id : ids) {
+      for (int32_t e : u->covered(id)) {
+        if (e < u->top_l()) covered.insert(e);
+      }
+    }
+    EXPECT_EQ(static_cast<int>(covered.size()), u->top_l());
+  }
+}
+
+TEST(ClusterUniverseTest, RejectsBadArguments) {
+  AnswerSet s = testutil::MakeMovieExample();
+  EXPECT_FALSE(ClusterUniverse::Build(&s, 0).ok());
+  EXPECT_FALSE(ClusterUniverse::Build(&s, s.size() + 1).ok());
+  UniverseOptions tight;
+  tight.max_attrs = 2;
+  EXPECT_FALSE(ClusterUniverse::Build(&s, 4, tight).ok());
+}
+
+TEST(AnswerSetTest, FromTableInternsAndSorts) {
+  storage::Schema schema({{"g", storage::ValueType::kString},
+                          {"year", storage::ValueType::kInt64},
+                          {"val", storage::ValueType::kDouble}});
+  storage::Table t(schema);
+  QAG_CHECK_OK(t.AppendRow({storage::Value::Str("a"), storage::Value::Int(1990),
+                            storage::Value::Real(1.0)}));
+  QAG_CHECK_OK(t.AppendRow({storage::Value::Str("b"), storage::Value::Int(1995),
+                            storage::Value::Real(3.0)}));
+  QAG_CHECK_OK(t.AppendRow({storage::Value::Str("a"), storage::Value::Int(1995),
+                            storage::Value::Real(2.0)}));
+  auto s = AnswerSet::FromTable(t, "val");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->num_attrs(), 2);
+  EXPECT_EQ(s->size(), 3);
+  EXPECT_DOUBLE_EQ(s->value(0), 3.0);  // sorted desc
+  EXPECT_EQ(s->ValueName(0, s->element(0).attrs[0]), "b");
+  EXPECT_EQ(s->ValueName(1, s->element(0).attrs[1]), "1995");
+  EXPECT_NEAR(s->TrivialAverage(), 2.0, 1e-9);
+  EXPECT_NEAR(s->TopAverage(2), 2.5, 1e-9);
+}
+
+TEST(AnswerSetTest, FromTableErrors) {
+  storage::Schema schema({{"g", storage::ValueType::kString},
+                          {"val", storage::ValueType::kString}});
+  storage::Table t(schema);
+  QAG_CHECK_OK(t.AppendRow({storage::Value::Str("a"), storage::Value::Str("x")}));
+  EXPECT_FALSE(AnswerSet::FromTable(t, "val").ok());   // non-numeric value
+  EXPECT_FALSE(AnswerSet::FromTable(t, "nope").ok());  // missing column
+}
+
+TEST(AnswerSetTest, FromRawValidation) {
+  EXPECT_FALSE(AnswerSet::FromRaw({}, {}, {}).ok());
+  EXPECT_FALSE(AnswerSet::FromRaw({"a"}, {{"x"}}, {}).ok());  // empty
+  EXPECT_FALSE(
+      AnswerSet::FromRaw({"a"}, {{"x"}}, {{{5}, 1.0}}).ok());  // bad code
+  EXPECT_FALSE(
+      AnswerSet::FromRaw({"a"}, {{"x"}}, {{{0, 0}, 1.0}}).ok());  // arity
+}
+
+TEST(AnswerSetTest, ToStringShowsTopAndBottom) {
+  AnswerSet s = testutil::MakeMovieExample();
+  std::string text = s.ToString(2);
+  EXPECT_NE(text.find("4.24"), std::string::npos);  // top value
+  EXPECT_NE(text.find("1.98"), std::string::npos);  // bottom value
+  EXPECT_NE(text.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qagview::core

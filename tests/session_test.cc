@@ -1,0 +1,180 @@
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/bottom_up.h"
+#include "core/greedy_state.h"
+#include "core/session.h"
+#include "test_util.h"
+
+namespace qagview::core {
+namespace {
+
+std::unique_ptr<Session> MakeSession(uint64_t seed = 3, int n = 100) {
+  auto session =
+      Session::Create(testutil::MakeRandomAnswerSet(seed, n, 5, 3));
+  QAG_CHECK(session.ok());
+  return std::move(session).value();
+}
+
+TEST(SessionTest, SummarizeProducesFeasibleSolutions) {
+  auto session = MakeSession();
+  Params params{4, 12, 2};
+  auto solution = session->Summarize(params);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  auto universe = session->UniverseFor(12);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_TRUE(CheckFeasible(**universe, solution->cluster_ids, params).ok());
+}
+
+TEST(SessionTest, UniverseCacheReusesWiderUniverse) {
+  auto session = MakeSession();
+  ASSERT_TRUE(session->UniverseFor(20).ok());   // miss: builds L=20
+  ASSERT_TRUE(session->UniverseFor(10).ok());   // hit: 20 covers 10
+  ASSERT_TRUE(session->UniverseFor(20).ok());   // hit
+  ASSERT_TRUE(session->UniverseFor(30).ok());   // miss: wider
+  Session::CacheStats stats = session->cache_stats();
+  EXPECT_EQ(stats.universes, 2);
+  EXPECT_EQ(stats.universe_misses, 2);
+  EXPECT_EQ(stats.universe_hits, 2);
+}
+
+TEST(SessionTest, CachedSummarizeMatchesDirectRun) {
+  auto session = MakeSession(7);
+  Params params{5, 15, 2};
+  auto first = session->Summarize(params);
+  auto second = session->Summarize(params);  // cached universe
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->cluster_ids, second->cluster_ids);
+  EXPECT_NEAR(first->average, second->average, 1e-12);
+}
+
+TEST(SessionTest, SaveAndLoadGuidanceAcrossSessions) {
+  std::string path = testing::TempDir() + "/qagview_session_guidance.txt";
+  PrecomputeOptions options;
+  options.k_min = 2;
+  options.k_max = 8;
+  options.d_values = {1, 2};
+
+  // Session A precomputes and saves.
+  auto a = MakeSession(31);
+  ASSERT_TRUE(a->Guidance(12, options).ok());
+  ASSERT_TRUE(a->SaveGuidance(12, path).ok());
+  auto direct = a->Retrieve(12, 2, 5);
+  ASSERT_TRUE(direct.ok());
+
+  // Session B (same answer set) loads instead of precomputing.
+  auto b = MakeSession(31);
+  ASSERT_TRUE(b->LoadGuidance(12, path).ok());
+  auto loaded = b->Retrieve(12, 2, 5);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NEAR(direct->average, loaded->average, 1e-12);
+  EXPECT_EQ(direct->covered_count, loaded->covered_count);
+
+  // A session over different data rejects the file.
+  auto c = MakeSession(32);
+  EXPECT_FALSE(c->LoadGuidance(12, path).ok());
+  // Save without a prior Guidance() fails.
+  EXPECT_FALSE(c->SaveGuidance(12, path + ".none").ok());
+  std::remove(path.c_str());
+}
+
+TEST(SessionTest, GuidanceAndRetrieve) {
+  auto session = MakeSession(9);
+  PrecomputeOptions options;
+  options.k_min = 2;
+  options.k_max = 8;
+  options.d_values = {1, 2};
+  auto store = session->Guidance(15, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  // Cached second call returns the same store.
+  auto again = session->Guidance(15, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*store, *again);
+  EXPECT_EQ(session->cache_stats().stores, 1);
+
+  auto solution = session->Retrieve(15, 2, 6);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  auto universe = session->UniverseFor(15);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_TRUE(
+      CheckFeasible(**universe, solution->cluster_ids, {6, 15, 2}).ok());
+}
+
+TEST(SessionTest, RetrieveWithoutGuidanceFails) {
+  auto session = MakeSession(11);
+  auto solution = session->Retrieve(15, 2, 6);
+  EXPECT_EQ(solution.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionTest, ValidatesParams) {
+  auto session = MakeSession(13);
+  EXPECT_FALSE(session->Summarize({0, 10, 2}).ok());
+  EXPECT_FALSE(session->Summarize({4, 100000, 2}).ok());
+  EXPECT_FALSE(session->UniverseFor(0).ok());
+}
+
+TEST(SessionTest, FromTableEndToEnd) {
+  storage::Schema schema({{"g", storage::ValueType::kString},
+                          {"h", storage::ValueType::kString},
+                          {"val", storage::ValueType::kDouble}});
+  storage::Table t(schema);
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    QAG_CHECK_OK(t.AppendRow({storage::Value::Str("g" + std::to_string(rng.Index(5))),
+                              storage::Value::Str("h" + std::to_string(i)),
+                              storage::Value::Real(rng.UniformReal(1, 5))}));
+  }
+  auto session = Session::FromTable(t, "val");
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ((*session)->answers().size(), 40);
+  auto solution = (*session)->Summarize({3, 8, 1});
+  ASSERT_TRUE(solution.ok());
+}
+
+// --- Min-Size objective (footnote 5). ---
+
+TEST(MinSizeTest, ReducesRedundantElements) {
+  auto s = std::make_unique<AnswerSet>(
+      testutil::MakeRandomAnswerSet(17, 120, 5, 3));
+  auto u = ClusterUniverse::Build(s.get(), 20);
+  ASSERT_TRUE(u.ok());
+  Params params{4, 20, 2};
+
+  BottomUpOptions max_avg;
+  BottomUpOptions min_size;
+  min_size.merge_rule = BottomUpOptions::MergeRule::kMinRedundant;
+  auto a = BottomUp::Run(*u, params, max_avg);
+  auto b = BottomUp::Run(*u, params, min_size);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Both feasible.
+  EXPECT_TRUE(CheckFeasible(*u, a->cluster_ids, params).ok());
+  EXPECT_TRUE(CheckFeasible(*u, b->cluster_ids, params).ok());
+  // Min-Size covers no more elements in total (it minimizes redundancy).
+  EXPECT_LE(b->covered_count, a->covered_count + 2);
+  // Max-Avg never has a lower objective than Min-Size — that is its job.
+  EXPECT_GE(a->average, b->average - 1e-9);
+}
+
+TEST(MinSizeTest, TentativeRedundantMatchesCommit) {
+  auto s = std::make_unique<AnswerSet>(
+      testutil::MakeRandomAnswerSet(19, 80, 4, 3));
+  auto u = ClusterUniverse::Build(s.get(), 10);
+  ASSERT_TRUE(u.ok());
+  GreedyState state(&*u, true);
+  state.AddCluster(u->singleton_id(0));
+  int before = state.redundant_count();
+  // A broad cluster: wildcard everything except attribute 0.
+  Cluster broad = Cluster::Generalize(s->element(1).attrs, 0b1110);
+  int id = u->FindId(broad);
+  ASSERT_GE(id, 0);
+  int predicted = state.TentativeRedundant(id);
+  state.AddCluster(id);
+  EXPECT_EQ(state.redundant_count() - before, predicted);
+}
+
+}  // namespace
+}  // namespace qagview::core

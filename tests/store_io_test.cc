@@ -1,0 +1,195 @@
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/precompute.h"
+#include "core/solution_store_io.h"
+#include "test_util.h"
+
+namespace qagview::core {
+namespace {
+
+struct Instance {
+  std::unique_ptr<AnswerSet> set;
+  ClusterUniverse u;
+};
+
+Instance MakeInstance(uint64_t seed, int n, int m, int domain, int top_l) {
+  auto set = std::make_unique<AnswerSet>(
+      testutil::MakeRandomAnswerSet(seed, n, m, domain));
+  auto u = ClusterUniverse::Build(set.get(), top_l);
+  QAG_CHECK(u.ok()) << u.status().ToString();
+  return Instance{std::move(set), std::move(u).value()};
+}
+
+SolutionStore MakeStore(const Instance& inst, int top_l) {
+  PrecomputeOptions options;
+  options.k_min = 2;
+  options.k_max = 8;
+  options.d_values = {1, 2, 3};
+  auto store = Precompute::Run(inst.u, top_l, options);
+  QAG_CHECK(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+TEST(StoreIoTest, RoundTripPreservesEveryRetrievableSolution) {
+  Instance inst = MakeInstance(5, 80, 5, 3, 16);
+  SolutionStore store = MakeStore(inst, 16);
+
+  std::string text = SerializeSolutionStore(store);
+  auto loaded = DeserializeSolutionStore(&inst.u, text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->l(), store.l());
+  EXPECT_EQ(loaded->k_max(), store.k_max());
+  EXPECT_EQ(loaded->d_values(), store.d_values());
+  EXPECT_EQ(loaded->num_intervals(), store.num_intervals());
+
+  for (int d : store.d_values()) {
+    int min_k = store.MinK(d).value();
+    ASSERT_EQ(loaded->MinK(d).value(), min_k);
+    for (int k = min_k; k <= store.k_max() + 2; ++k) {
+      auto original = store.Retrieve(d, k);
+      auto reloaded = loaded->Retrieve(d, k);
+      ASSERT_TRUE(original.ok());
+      ASSERT_TRUE(reloaded.ok());
+      // Same cluster set (ids resolve back through the shared universe).
+      std::vector<int> a = original->cluster_ids;
+      std::vector<int> b = reloaded->cluster_ids;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "D=" << d << " k=" << k;
+      EXPECT_NEAR(original->average, reloaded->average, 1e-12);
+      EXPECT_NEAR(store.Value(d, k).value(), loaded->Value(d, k).value(),
+                  1e-12);
+    }
+  }
+}
+
+TEST(StoreIoTest, RoundTripSurvivesUniverseRebuild) {
+  // The realistic reload scenario: a later process rebuilds the universe
+  // from the same answer set and loads the serialized store against it.
+  Instance inst = MakeInstance(7, 70, 4, 4, 12);
+  SolutionStore store = MakeStore(inst, 12);
+  std::string text = SerializeSolutionStore(store);
+
+  auto rebuilt = ClusterUniverse::Build(inst.set.get(), 12);
+  ASSERT_TRUE(rebuilt.ok());
+  auto loaded = DeserializeSolutionStore(&*rebuilt, text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (int d : store.d_values()) {
+    int min_k = store.MinK(d).value();
+    for (int k = min_k; k <= store.k_max(); ++k) {
+      EXPECT_NEAR(store.Value(d, k).value(), loaded->Value(d, k).value(),
+                  1e-12);
+      EXPECT_NEAR(store.Retrieve(d, k)->average,
+                  loaded->Retrieve(d, k)->average, 1e-12);
+    }
+  }
+}
+
+TEST(StoreIoTest, SerializedFormHasExpectedHeader) {
+  Instance inst = MakeInstance(9, 60, 4, 3, 10);
+  SolutionStore store = MakeStore(inst, 10);
+  std::string text = SerializeSolutionStore(store);
+  EXPECT_EQ(text.rfind("qagview-store 1 10 8 4 3", 0), 0u) << text.substr(0, 40);
+}
+
+TEST(StoreIoTest, RejectsGarbageAndTruncation) {
+  Instance inst = MakeInstance(11, 60, 4, 3, 10);
+  SolutionStore store = MakeStore(inst, 10);
+  std::string text = SerializeSolutionStore(store);
+
+  EXPECT_FALSE(DeserializeSolutionStore(&inst.u, "").ok());
+  EXPECT_FALSE(DeserializeSolutionStore(&inst.u, "hello world").ok());
+  // Wrong version.
+  std::string wrong_version = text;
+  wrong_version.replace(wrong_version.find(" 1 "), 3, " 9 ");
+  EXPECT_FALSE(DeserializeSolutionStore(&inst.u, wrong_version).ok());
+  // Truncated mid-stream.
+  EXPECT_FALSE(
+      DeserializeSolutionStore(&inst.u, text.substr(0, text.size() / 2))
+          .ok());
+  EXPECT_FALSE(DeserializeSolutionStore(nullptr, text).ok());
+}
+
+TEST(StoreIoTest, RejectsForeignUniverse) {
+  Instance inst = MakeInstance(13, 60, 4, 3, 10);
+  SolutionStore store = MakeStore(inst, 10);
+  std::string text = SerializeSolutionStore(store);
+
+  // Same shape (m, domain) but a different answer set: the patterns in the
+  // store are not in this universe's top-L closure.
+  Instance other = MakeInstance(999, 60, 4, 3, 10);
+  auto loaded = DeserializeSolutionStore(&other.u, text);
+  EXPECT_FALSE(loaded.ok());
+
+  // Wrong attribute count fails at the header.
+  Instance narrow = MakeInstance(13, 60, 5, 3, 10);
+  EXPECT_FALSE(DeserializeSolutionStore(&narrow.u, text).ok());
+
+  // A universe covering a smaller L than the store fails the L check.
+  auto small = ClusterUniverse::Build(inst.set.get(), 4);
+  ASSERT_TRUE(small.ok());
+  EXPECT_FALSE(DeserializeSolutionStore(&*small, text).ok());
+}
+
+TEST(StoreIoTest, FileRoundTrip) {
+  Instance inst = MakeInstance(17, 60, 4, 3, 10);
+  SolutionStore store = MakeStore(inst, 10);
+  std::string path = testing::TempDir() + "/qagview_store_io_test.txt";
+  ASSERT_TRUE(SaveSolutionStore(store, path).ok());
+  auto loaded = LoadSolutionStore(&inst.u, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->d_values(), store.d_values());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(SaveSolutionStore(store, "/nonexistent-dir/x.txt").ok());
+  EXPECT_FALSE(LoadSolutionStore(&inst.u, "/nonexistent-dir/x.txt").ok());
+}
+
+TEST(StoreFromPartsTest, ValidatesParts) {
+  Instance inst = MakeInstance(19, 60, 4, 3, 10);
+  EXPECT_FALSE(SolutionStore::FromParts(nullptr, 10, 8, {}).ok());
+
+  // Empty states.
+  SolutionStore::PartsPerD empty;
+  empty.d = 1;
+  EXPECT_FALSE(SolutionStore::FromParts(&inst.u, 10, 8, {empty}).ok());
+
+  // Non-decreasing sizes.
+  SolutionStore::PartsPerD bad_sizes;
+  bad_sizes.d = 1;
+  bad_sizes.size_value = {{3, 1.0}, {3, 1.0}};
+  EXPECT_FALSE(SolutionStore::FromParts(&inst.u, 10, 8, {bad_sizes}).ok());
+
+  // Malformed interval (lo > hi).
+  SolutionStore::PartsPerD bad_interval;
+  bad_interval.d = 1;
+  bad_interval.size_value = {{3, 1.0}, {2, 0.9}};
+  bad_interval.intervals = {{5, 3, 0}};
+  EXPECT_FALSE(
+      SolutionStore::FromParts(&inst.u, 10, 8, {bad_interval}).ok());
+
+  // Cluster id out of range.
+  SolutionStore::PartsPerD bad_id;
+  bad_id.d = 1;
+  bad_id.size_value = {{3, 1.0}, {2, 0.9}};
+  bad_id.intervals = {{2, 3, inst.u.num_clusters()}};
+  EXPECT_FALSE(SolutionStore::FromParts(&inst.u, 10, 8, {bad_id}).ok());
+
+  // Duplicate D blocks.
+  SolutionStore::PartsPerD ok_part;
+  ok_part.d = 1;
+  ok_part.size_value = {{1, 1.0}};
+  ok_part.intervals = {{1, 8, 0}};
+  EXPECT_FALSE(
+      SolutionStore::FromParts(&inst.u, 10, 8, {ok_part, ok_part}).ok());
+  EXPECT_TRUE(SolutionStore::FromParts(&inst.u, 10, 8, {ok_part}).ok());
+}
+
+}  // namespace
+}  // namespace qagview::core

@@ -1,0 +1,161 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/decision_tree.h"
+#include "core/hybrid.h"
+#include "datagen/answers.h"
+#include "study/study.h"
+#include "test_util.h"
+
+namespace qagview::study {
+namespace {
+
+using core::AnswerSet;
+using core::ClusterUniverse;
+
+struct Fixture {
+  std::unique_ptr<AnswerSet> set;
+  std::unique_ptr<ClusterUniverse> u;
+};
+
+Fixture MakeFixture(uint64_t seed, int n, int top_l) {
+  Fixture f;
+  datagen::SyntheticAnswerOptions options;
+  options.n = n;
+  options.m = 5;
+  options.domain = 7;
+  options.seed = seed;
+  f.set = std::make_unique<AnswerSet>(datagen::MakeSyntheticAnswers(options));
+  auto u = ClusterUniverse::Build(f.set.get(), top_l);
+  QAG_CHECK(u.ok());
+  f.u = std::make_unique<ClusterUniverse>(std::move(u).value());
+  return f;
+}
+
+TEST(StudyPatternTest, FromSolutionUsesEqualityPredicatesOnly) {
+  Fixture f = MakeFixture(1, 200, 20);
+  auto sol = core::Hybrid::Run(*f.u, core::Params{6, 20, 2});
+  ASSERT_TRUE(sol.ok());
+  PatternSet patterns = PatternsFromSolution(*f.u, *sol);
+  ASSERT_EQ(patterns.patterns.size(), sol->cluster_ids.size());
+  for (const StudyPattern& p : patterns.patterns) {
+    EXPECT_FALSE(p.predicates.empty());
+    for (const baselines::Predicate& pred : p.predicates) {
+      EXPECT_TRUE(pred.equals);  // cluster patterns never negate
+    }
+    EXPECT_GT(p.count, 0);
+    EXPECT_EQ(static_cast<int>(p.member_ids.size()), p.count);
+  }
+}
+
+TEST(StudyPatternTest, FromDecisionTreeKeepsNegations) {
+  Fixture f = MakeFixture(2, 200, 20);
+  baselines::DecisionTree tree =
+      baselines::DecisionTree::TrainTuned(*f.set, 20, 6);
+  PatternSet patterns = PatternsFromDecisionTree(*f.set, tree);
+  ASSERT_EQ(patterns.patterns.size(), tree.PositiveRules().size());
+  bool any_negation = false;
+  for (const StudyPattern& p : patterns.patterns) {
+    for (const baselines::Predicate& pred : p.predicates) {
+      any_negation = any_negation || !pred.equals;
+    }
+  }
+  // Binary CART paths almost always include != branches.
+  EXPECT_TRUE(any_negation);
+}
+
+TEST(GroundTruthTest, ThreeCategories) {
+  Fixture f = MakeFixture(3, 100, 10);
+  EXPECT_EQ(GroundTruth(*f.set, 0, 10), Category::kTop);
+  EXPECT_EQ(GroundTruth(*f.set, 9, 10), Category::kTop);
+  EXPECT_EQ(GroundTruth(*f.set, f.set->size() - 1, 10), Category::kLow);
+  // Element just outside top-L with above-average value is High.
+  int e = 10;
+  if (f.set->value(e) >= f.set->TrivialAverage()) {
+    EXPECT_EQ(GroundTruth(*f.set, e, 10), Category::kHigh);
+  }
+}
+
+TEST(SimulatedSubjectTest, MembersSectionIsNearPerfect) {
+  Fixture f = MakeFixture(4, 200, 20);
+  auto sol = core::Hybrid::Run(*f.u, core::Params{6, 20, 1});
+  ASSERT_TRUE(sol.ok());
+  PatternSet patterns = PatternsFromSolution(*f.u, *sol);
+  SubjectParams params;
+  params.slip_prob = 0.0;
+  params.time_noise = 0.0;
+  SimulatedSubject subject(9, params);
+  int correct = 0;
+  int total = 0;
+  for (int e = 0; e < f.set->size(); e += 7) {
+    auto answer = subject.Classify(*f.set, e, 20, patterns,
+                                   Section::kPatternsMembers);
+    Category truth = GroundTruth(*f.set, e, 20);
+    bool t_match = (answer.category == Category::kTop) ==
+                   (truth == Category::kTop);
+    correct += t_match;
+    ++total;
+    EXPECT_GT(answer.seconds, 0.0);
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(StudySimulatorTest, ProducesFullTable) {
+  Fixture f = MakeFixture(5, 300, 30);
+  auto sol = core::Hybrid::Run(*f.u, core::Params{8, 30, 1});
+  ASSERT_TRUE(sol.ok());
+  PatternSet ours = PatternsFromSolution(*f.u, *sol);
+
+  StudyConfig config;
+  config.num_subjects = 8;
+  UserStudySimulator sim(f.set.get(), config);
+  ConditionResult result = sim.RunCondition(ours, 30, "ours");
+  EXPECT_EQ(result.label, "ours");
+  for (const SectionMetrics* m :
+       {&result.patterns_only, &result.memory_only,
+        &result.patterns_members}) {
+    EXPECT_GT(m->time_per_question.mean, 0.0);
+    EXPECT_GE(m->t_accuracy.mean, 0.0);
+    EXPECT_LE(m->t_accuracy.mean, 1.0);
+    EXPECT_GE(m->th_accuracy.mean, 0.0);
+    EXPECT_LE(m->th_accuracy.mean, 1.0);
+  }
+  std::string table = UserStudySimulator::RenderTable({result});
+  EXPECT_NE(table.find("Patterns-only"), std::string::npos);
+  EXPECT_NE(table.find("ours"), std::string::npos);
+}
+
+TEST(StudySimulatorTest, PaperDirectionalFindings) {
+  // The §8.4 headline: (1) our patterns beat decision trees on TH-accuracy
+  // in patterns-only, and (2) retain accuracy in memory-only far better.
+  Fixture f = MakeFixture(6, 400, 50);
+  auto sol = core::Hybrid::Run(*f.u, core::Params{10, 50, 1});
+  ASSERT_TRUE(sol.ok());
+  PatternSet ours = PatternsFromSolution(*f.u, *sol);
+  baselines::DecisionTree tree =
+      baselines::DecisionTree::TrainTuned(*f.set, 50, 10);
+  PatternSet theirs = PatternsFromDecisionTree(*f.set, tree);
+
+  StudyConfig config;
+  config.num_subjects = 16;
+  UserStudySimulator sim(f.set.get(), config);
+  ConditionResult ours_result = sim.RunCondition(ours, 50, "ours");
+  ConditionResult dt_result = sim.RunCondition(theirs, 50, "dtree");
+
+  EXPECT_GE(ours_result.patterns_only.th_accuracy.mean,
+            dt_result.patterns_only.th_accuracy.mean - 0.02);
+  // Memory retention: our accuracy drop from patterns-only to memory-only
+  // is smaller than the decision tree's.
+  double our_drop = ours_result.patterns_only.t_accuracy.mean -
+                    ours_result.memory_only.t_accuracy.mean;
+  double dt_drop = dt_result.patterns_only.t_accuracy.mean -
+                   dt_result.memory_only.t_accuracy.mean;
+  EXPECT_LE(our_drop, dt_drop + 0.05);
+  // Patterns+members is near-perfect for both (>= 0.85).
+  EXPECT_GE(ours_result.patterns_members.t_accuracy.mean, 0.85);
+  EXPECT_GE(dt_result.patterns_members.t_accuracy.mean, 0.85);
+}
+
+}  // namespace
+}  // namespace qagview::study

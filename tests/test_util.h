@@ -1,0 +1,109 @@
+#ifndef QAGVIEW_TESTS_TEST_UTIL_H_
+#define QAGVIEW_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/answer_set.h"
+
+namespace qagview::testutil {
+
+/// Builds a random categorical answer set: n elements over m attributes
+/// with the given per-attribute domain size; values are drawn so that
+/// elements sharing low codes on the first attributes tend to score higher
+/// (giving the top of the ranking shared structure, like real aggregates).
+inline core::AnswerSet MakeRandomAnswerSet(uint64_t seed, int n, int m,
+                                           int domain) {
+  // The generator rejection-samples distinct attribute combinations; it can
+  // only terminate if the domain product is large enough to hold n of them.
+  double capacity = 1.0;
+  for (int a = 0; a < m; ++a) capacity *= domain;
+  QAG_CHECK(static_cast<double>(n) <= capacity)
+      << "MakeRandomAnswerSet: n=" << n << " distinct rows impossible with "
+      << m << " attrs of domain " << domain << " (capacity " << capacity
+      << ")";
+  Rng rng(seed);
+  std::vector<std::string> attr_names;
+  std::vector<std::vector<std::string>> value_names(
+      static_cast<size_t>(m));
+  for (int a = 0; a < m; ++a) {
+    attr_names.push_back(StrCat("a", a));
+    for (int v = 0; v < domain; ++v) {
+      value_names[static_cast<size_t>(a)].push_back(StrCat("a", a, "v", v));
+    }
+  }
+  std::vector<core::Element> elements;
+  elements.reserve(static_cast<size_t>(n));
+  // De-duplicate attribute combinations (group-by outputs are unique).
+  std::vector<std::vector<int32_t>> seen;
+  while (static_cast<int>(elements.size()) < n) {
+    std::vector<int32_t> attrs(static_cast<size_t>(m));
+    for (int a = 0; a < m; ++a) {
+      attrs[static_cast<size_t>(a)] =
+          static_cast<int32_t>(rng.Zipf(domain, 0.8));
+    }
+    bool duplicate = false;
+    for (const auto& other : seen) {
+      if (other == attrs) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen.push_back(attrs);
+    double signal = 0.0;
+    for (int a = 0; a < m; ++a) {
+      signal += (domain - attrs[static_cast<size_t>(a)]) /
+                static_cast<double>(domain * m);
+    }
+    core::Element e;
+    e.attrs = std::move(attrs);
+    e.value = 2.0 + 2.0 * signal + rng.Gaussian(0.0, 0.3);
+    elements.push_back(std::move(e));
+  }
+  auto result = core::AnswerSet::FromRaw(std::move(attr_names),
+                                         std::move(value_names),
+                                         std::move(elements));
+  QAG_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// A tiny hand-built answer set mirroring the movie example of Figure 1a:
+/// 4 attributes (hdec, agegrp, gender, occupation), 12 elements, values
+/// chosen so male-student patterns dominate the top.
+inline core::AnswerSet MakeMovieExample() {
+  std::vector<std::string> attrs = {"hdec", "agegrp", "gender", "occupation"};
+  std::vector<std::vector<std::string>> names = {
+      {"1975", "1980", "1985", "1995"},
+      {"10s", "20s", "30s"},
+      {"M", "F"},
+      {"Student", "Programmer", "Engineer", "Writer", "Educator"},
+  };
+  // (hdec, agegrp, gender, occupation) -> value
+  std::vector<core::Element> elements = {
+      {{0, 1, 0, 0}, 4.24},  // 1975 20s M Student
+      {{1, 1, 0, 1}, 4.13},  // 1980 20s M Programmer
+      {{1, 0, 0, 0}, 3.96},  // 1980 10s M Student
+      {{1, 1, 0, 0}, 3.91},  // 1980 20s M Student
+      {{2, 1, 0, 1}, 3.86},  // 1985 20s M Programmer
+      {{1, 1, 0, 2}, 3.83},  // 1980 20s M Engineer
+      {{2, 0, 0, 0}, 3.77},  // 1985 10s M Student
+      {{2, 1, 0, 0}, 3.76},  // 1985 20s M Student
+      {{3, 2, 1, 4}, 3.70},  // 1995 30s F Educator
+      {{3, 1, 0, 3}, 2.51},  // 1995 20s M Writer
+      {{3, 2, 0, 0}, 2.81},  // 1995 30s M Student
+      {{3, 1, 1, 4}, 1.98},  // 1995 20s F Educator
+  };
+  auto result = core::AnswerSet::FromRaw(std::move(attrs), std::move(names),
+                                         std::move(elements));
+  QAG_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+}  // namespace qagview::testutil
+
+#endif  // QAGVIEW_TESTS_TEST_UTIL_H_
