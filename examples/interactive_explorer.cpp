@@ -3,8 +3,10 @@
 // clusters, consult the Figure-2 parameter grid, compare consecutive
 // solutions (Figure 13), and persist/reload precomputed guidance.
 //
-// Run interactively:        ./interactive_explorer
-// Run a scripted session:   echo "load movielens\nshow" | ./interactive_explorer
+// Run interactively (binary name is example_interactive_explorer):
+//   ./build/example_interactive_explorer
+// Run a scripted session:
+//   printf "load movielens\nshow\n" | ./build/example_interactive_explorer
 // With no input, a canned demo session runs.
 
 #include <iostream>

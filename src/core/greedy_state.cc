@@ -98,9 +98,12 @@ void GreedyState::AddCluster(int id) {
   // cannot itself be covered by a member (that would mean the member already
   // covered both merge endpoints, contradicting the antichain invariant).
   const Cluster& newcomer = universe_->cluster(id);
-  std::erase_if(clusters_, [&](int other) {
-    return newcomer.Covers(universe_->cluster(other));
-  });
+  clusters_.erase(std::remove_if(clusters_.begin(), clusters_.end(),
+                                 [&](int other) {
+                                   return newcomer.Covers(
+                                       universe_->cluster(other));
+                                 }),
+                  clusters_.end());
   for (int other : clusters_) {
     QAG_DCHECK(!universe_->cluster(other).Covers(newcomer))
         << "newcomer covered by existing cluster";

@@ -1,5 +1,6 @@
 #include "core/hierarchical_summarizer.h"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 
@@ -98,9 +99,12 @@ Result<HierarchicalSolution> HierarchicalSummarizer::Run(
         ++covered_count;
       }
     }
-    std::erase_if(clusters, [&](const HierarchicalCluster& other) {
-      return hierarchies_.Covers(c, other);
-    });
+    clusters.erase(
+        std::remove_if(clusters.begin(), clusters.end(),
+                       [&](const HierarchicalCluster& other) {
+                         return hierarchies_.Covers(c, other);
+                       }),
+        clusters.end());
     clusters.push_back(c);
   };
 
@@ -176,9 +180,12 @@ Result<HierarchicalSolution> HierarchicalSummarizer::RunBottomUp(
         ++covered_count;
       }
     }
-    std::erase_if(clusters, [&](const HierarchicalCluster& other) {
-      return hierarchies_.Covers(c, other);
-    });
+    clusters.erase(
+        std::remove_if(clusters.begin(), clusters.end(),
+                       [&](const HierarchicalCluster& other) {
+                         return hierarchies_.Covers(c, other);
+                       }),
+        clusters.end());
     clusters.push_back(c);
   };
 

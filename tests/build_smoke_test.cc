@@ -1,0 +1,82 @@
+// Guards the public surface against rot: includes the umbrella header alone
+// (no other project headers) and touches one type per layer, so a header
+// that stops compiling — or silently drops out of qagview.h — fails here.
+
+#include <gtest/gtest.h>
+
+#include "qagview.h"
+
+namespace qagview {
+namespace {
+
+// The pipeline sample from the qagview.h file comment, verbatim. It is never
+// executed (it would read ratings.csv from disk); compiling it is the test.
+// If this function stops building, fix qagview.h's comment to match.
+[[maybe_unused]] void QuickstartSnippetFromUmbrellaHeader() {
+  // 1. Load data (CSV, generator, or build a storage::Table directly).
+  auto table = storage::ReadCsvFile("ratings.csv");
+
+  // 2. Run the aggregate query.
+  sql::Catalog catalog;
+  catalog.Register("ratings", &*table);
+  auto result = sql::ExecuteSql(
+      "SELECT hdec, agegrp, gender, occupation, avg(rating) AS val "
+      "FROM ratings GROUP BY hdec, agegrp, gender, occupation "
+      "HAVING count(*) > 50 ORDER BY val DESC", catalog);
+
+  // 3. Open a session and summarize under (k, L, D).
+  auto session = core::Session::FromTable(*result, "val");
+  auto solution = (*session)->Summarize({/*k=*/4, /*L=*/8, /*D=*/2});
+
+  // 4. Display the two layers (Figures 1b/1c).
+  auto universe = (*session)->UniverseFor(8);
+  std::cout << core::RenderSummary(**universe, *solution)
+            << core::RenderExpanded(**universe, *solution);
+
+  // 5. Interactive exploration: precompute the (k, D) grid once,
+  //    retrieve any combination instantly, chart it, persist it.
+  (*session)->Guidance(8);
+  auto alt = (*session)->Retrieve(8, /*D=*/1, /*k=*/6);
+  (*session)->SaveGuidance(8, "guidance.store");
+}
+
+TEST(BuildSmokeTest, OneTypePerLayer) {
+  // common/ (pulled in transitively by every layer).
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  Result<int> res(42);
+  EXPECT_EQ(*res, 42);
+
+  // storage/
+  storage::Table table{storage::Schema()};
+  EXPECT_EQ(table.num_rows(), 0);
+
+  // sql/
+  sql::Catalog catalog;
+  catalog.Register("t", &table);
+
+  // datagen/
+  datagen::MovieLensOptions gen_options;
+  EXPECT_GT(gen_options.num_ratings, 0);
+
+  // core/
+  core::Params params;
+  EXPECT_EQ(params.k, 4);
+  EXPECT_EQ(params.L, 8);
+  EXPECT_EQ(params.D, 2);
+
+  // baselines/
+  baselines::SmartDrilldownOptions drill_options;
+  (void)drill_options;
+
+  // viz/
+  viz::ParamGrid grid;
+  (void)grid;
+
+  // study/
+  study::StudyConfig study_config;
+  (void)study_config;
+}
+
+}  // namespace
+}  // namespace qagview
