@@ -24,6 +24,10 @@ int main() {
       "paper); heuristics answer in ~ms with values close to BF and far "
       "above the trivial lower bound; random/k-means variants do not beat "
       "plain Fixed-Order");
+  benchutil::JsonReporter reporter("fig5_bruteforce");
+  const bool smoke = benchutil::SmokeMode();
+  const int max_k = smoke ? 3 : 4;
+  const int variant_seeds = smoke ? 20 : 100;
 
   core::AnswerSet s = benchutil::MakeAnswers(/*n=*/50, /*m=*/6, /*seed=*/5);
   auto universe = core::ClusterUniverse::Build(&s, /*top_l=*/5);
@@ -46,14 +50,14 @@ int main() {
   };
   std::vector<ValueRow> values;
 
-  for (int k = 2; k <= 4; ++k) {
+  for (int k = 2; k <= max_k; ++k) {
     core::Params params{k, 5, 3};
 
     core::BruteForceOptions bf_options;
     bf_options.time_budget_seconds = 300.0;
     double bf_value = 0.0;
     bool bf_exact = false;
-    double bf_ms = benchutil::TimeMillis(
+    benchutil::TimingStats bf_t = benchutil::TimeStats(
         [&] {
           auto bf = core::BruteForce::Run(*universe, params, bf_options);
           bf_value = bf->solution.average;
@@ -62,46 +66,60 @@ int main() {
         1);
 
     double bu_value = 0.0;
-    double bu_ms = benchutil::TimeMillis([&] {
+    benchutil::TimingStats bu_t = benchutil::TimeStats([&] {
       bu_value = core::BottomUp::Run(*universe, params)->average;
     });
     double fo_value = 0.0;
-    double fo_ms = benchutil::TimeMillis([&] {
+    benchutil::TimingStats fo_t = benchutil::TimeStats([&] {
       fo_value = core::FixedOrder::Run(*universe, params)->average;
     });
     double hy_value = 0.0;
-    double hy_ms = benchutil::TimeMillis([&] {
+    benchutil::TimingStats hy_t = benchutil::TimeStats([&] {
       hy_value = core::Hybrid::Run(*universe, params)->average;
     });
 
-    // Randomized variants: average value over 100 seeds (as in §7.1).
+    // Randomized variants: average value over many seeds (as in §7.1).
     double random_value = 0.0;
     double kmeans_value = 0.0;
     WallTimer rand_timer;
-    for (int seed = 0; seed < 100; ++seed) {
+    for (int seed = 0; seed < variant_seeds; ++seed) {
       core::FixedOrderOptions options;
       options.seeding = core::FixedOrderOptions::Seeding::kRandom;
       options.seed = static_cast<uint64_t>(seed);
       random_value +=
           core::FixedOrder::Run(*universe, params, options)->average;
     }
-    double random_ms = rand_timer.ElapsedMillis() / 100.0;
-    random_value /= 100.0;
+    double random_ms = rand_timer.ElapsedMillis() / variant_seeds;
+    random_value /= variant_seeds;
     WallTimer kmeans_timer;
-    for (int seed = 0; seed < 100; ++seed) {
+    for (int seed = 0; seed < variant_seeds; ++seed) {
       core::FixedOrderOptions options;
       options.seeding = core::FixedOrderOptions::Seeding::kKMeans;
       options.seed = static_cast<uint64_t>(seed);
       kmeans_value +=
           core::FixedOrder::Run(*universe, params, options)->average;
     }
-    double kmeans_ms = kmeans_timer.ElapsedMillis() / 100.0;
-    kmeans_value /= 100.0;
+    double kmeans_ms = kmeans_timer.ElapsedMillis() / variant_seeds;
+    kmeans_value /= variant_seeds;
 
-    std::printf("%-4d %14.2f %14.4f %14.4f %14.4f %14.4f %14.4f\n", k, bf_ms,
-                bu_ms, fo_ms, hy_ms, random_ms, kmeans_ms);
+    std::printf("%-4d %14.2f %14.4f %14.4f %14.4f %14.4f %14.4f\n", k,
+                bf_t.median_ms, bu_t.median_ms, fo_t.median_ms, hy_t.median_ms,
+                random_ms, kmeans_ms);
     values.push_back({k, bf_value, bu_value, fo_value, hy_value, random_value,
                       kmeans_value, bf_exact});
+
+    const std::vector<std::pair<std::string, double>> row_params = {
+        {"k", k}, {"L", 5}, {"D", 3}, {"n", 50}, {"m", 6}};
+    reporter.Add("brute_force", row_params, bf_t);
+    reporter.Add("bottom_up", row_params, bu_t);
+    reporter.Add("fixed_order", row_params, fo_t);
+    reporter.Add("hybrid", row_params, hy_t);
+    // Per-seed mean over the whole batch — one measurement, not a
+    // median/min over repeats, hence reps = 1 (see bench/README.md).
+    reporter.Add("random_fixed_order_per_seed_mean", row_params,
+                 {random_ms, random_ms, 1});
+    reporter.Add("kmeans_fixed_order_per_seed_mean", row_params,
+                 {kmeans_ms, kmeans_ms, 1});
   }
 
   std::printf("\nFigure 5b: average value (LowerBound = %.4f)\n",
@@ -114,5 +132,6 @@ int main() {
                 row.random, row.kmeans);
   }
   std::printf("('~' marks a time-capped, possibly inexact BF value)\n");
+  reporter.WriteFile();
   return 0;
 }

@@ -1,8 +1,19 @@
 // Figure 7: cost and benefit of precomputation (§7.2): initialization,
 // single-run, and precomputation times while varying k, L, and N, plus the
-// single-vs-precompute cumulative comparison over six runs.
+// single-vs-precompute cumulative comparison over six runs, plus the
+// thread-scaling curve of the parallel (k, D) precompute (one Bottom-Up
+// replay per D distributed over a ThreadPool) and the sharded universe
+// build.
+//
+// Emits BENCH_fig7_precompute.json next to the text output; see
+// bench/README.md for the schema. QAGVIEW_BENCH_SMOKE=1 shrinks the
+// instances for the CI smoke run.
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
+#include <tuple>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/hybrid.h"
@@ -17,6 +28,8 @@ struct Timings {
   double algo_ms = 0.0;
   double retrieval_ms = 0.0;
 };
+
+benchutil::TimingStats Once(double ms) { return {ms, ms, 1}; }
 
 Timings SingleRun(const core::AnswerSet& s, int k, int top_l, int d) {
   Timings t;
@@ -60,43 +73,86 @@ Timings PrecomputeRun(const core::AnswerSet& s, int k_max, int top_l,
   return t;
 }
 
+// Exact (bit-level) equality of two stores: same D rows, same (size, value)
+// ladders, same interval sets. The parallel precompute must pass this
+// against the serial one for every thread count.
+bool StoresIdentical(const core::SolutionStore& a,
+                     const core::SolutionStore& b) {
+  if (a.l() != b.l() || a.k_max() != b.k_max() ||
+      a.d_values() != b.d_values()) {
+    return false;
+  }
+  auto sorted_intervals = [](const core::SolutionStore& s, int d) {
+    auto recs = s.Intervals(d);
+    QAG_CHECK(recs.ok());
+    std::vector<std::tuple<int, int, int>> out;
+    for (const auto& r : *recs) out.emplace_back(r.lo, r.hi, r.cluster_id);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (int d : a.d_values()) {
+    auto sa = a.SizeValues(d);
+    auto sb = b.SizeValues(d);
+    QAG_CHECK(sa.ok() && sb.ok());
+    if (*sa != *sb) return false;
+    if (sorted_intervals(a, d) != sorted_intervals(b, d)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main() {
+  const bool smoke = benchutil::SmokeMode();
+  benchutil::JsonReporter reporter("fig7_precompute");
+
+  // Paper-scale instances, shrunk in smoke mode so CI finishes in seconds.
+  const int n_small = smoke ? 600 : 2087;
+  const int n_large = smoke ? 1500 : 6955;
+  const int big_l = smoke ? 200 : 1000;
+  const int mid_l = smoke ? 120 : 500;
+  const int grid_k_max = smoke ? 20 : 100;
+
   benchutil::PrintHeader(
-      "Figure 7a: precompute runtime vs k (L=1000, D=2, N=2087)",
+      "Figure 7a: precompute runtime vs k (L=" + std::to_string(big_l) +
+          ", D=2, N=" + std::to_string(n_small) + ")",
       "initialization flat in k; the algorithm (Hybrid precompute) time "
       "trends down as k grows (fewer Bottom-Up merges from the shared "
       "Fixed-Order pool down to the target k)");
-  core::AnswerSet s2087 = benchutil::MakeAnswers(2087, 8, /*seed=*/7);
+  core::AnswerSet s2087 = benchutil::MakeAnswers(n_small, 8, /*seed=*/7);
   std::printf("%-6s %12s %12s\n", "k", "init(ms)", "algo(ms)");
   for (int k : {5, 10, 20, 50, 100}) {
-    // Fixed pool (k_max=100 as the grid maximum); merge down to k.
-    Timings t = PrecomputeRun(s2087, /*k_max=*/100, /*top_l=*/1000, {2},
+    if (k > grid_k_max) continue;
+    // Fixed pool (k_max as the grid maximum); merge down to k.
+    Timings t = PrecomputeRun(s2087, grid_k_max, big_l, {2},
                               /*retrievals=*/1, /*k_min=*/k);
     std::printf("%-6d %12.2f %12.2f\n", k, t.init_ms, t.algo_ms);
+    reporter.Add("7a_precompute_vs_k",
+                 {{"k", k}, {"L", big_l}, {"N", n_small}, {"D", 2}},
+                 Once(t.algo_ms));
   }
 
   benchutil::PrintHeader(
       "Figure 7b: cumulative runtime, single runs vs precomputation "
-      "(N~7000, L=500, k=20, D in {1,2,3})",
+      "(N=" + std::to_string(n_large) + ", L=" + std::to_string(mid_l) +
+          ", k=20, D in {1,2,3})",
       "a single run is cheaper once, but precomputation already wins by "
       "about the third retrieval; after six runs the single version costs "
       "~2x the precompute version");
-  core::AnswerSet s7000 = benchutil::MakeAnswers(6955, 8, /*seed=*/8);
+  core::AnswerSet s7000 = benchutil::MakeAnswers(n_large, 8, /*seed=*/8);
   {
     // Six (k, D) requests.
     const int ks[6] = {20, 10, 5, 15, 8, 12};
     const int ds[6] = {1, 2, 3, 1, 2, 3};
     WallTimer timer;
-    auto universe = core::ClusterUniverse::Build(&s7000, 500);
+    auto universe = core::ClusterUniverse::Build(&s7000, mid_l);
     QAG_CHECK(universe.ok());
     double single_cum = timer.ElapsedMillis();  // init shared
     std::printf("%-28s", "single runs cumulative(ms):");
     for (int r = 0; r < 6; ++r) {
       timer.Restart();
       auto solution =
-          core::Hybrid::Run(*universe, {ks[r], 500, ds[r]});
+          core::Hybrid::Run(*universe, {ks[r], mid_l, ds[r]});
       QAG_CHECK(solution.ok());
       single_cum += timer.ElapsedMillis();
       std::printf(" run%d=%.1f", r + 1, single_cum);
@@ -108,7 +164,7 @@ int main() {
     options.k_min = 2;
     options.k_max = 20;
     options.d_values = {1, 2, 3};
-    auto store = core::Precompute::Run(*universe, 500, options);
+    auto store = core::Precompute::Run(*universe, mid_l, options);
     QAG_CHECK(store.ok());
     double pre_cum = timer.ElapsedMillis();
     std::printf("%-28s", "precompute cumulative(ms):");
@@ -120,35 +176,129 @@ int main() {
       std::printf(" run%d=%.1f", r + 1, pre_cum);
     }
     std::printf("\n");
+    reporter.Add("7b_six_runs_single",
+                 {{"N", n_large}, {"L", mid_l}, {"k", 20}},
+                 Once(single_cum));
+    reporter.Add("7b_six_runs_precompute",
+                 {{"N", n_large}, {"L", mid_l}, {"k", 20}}, Once(pre_cum));
   }
 
   benchutil::PrintHeader(
-      "Figure 7c/7d: runtime vs L (k=20, D=2, N=2087), single vs precompute",
+      "Figure 7c/7d: runtime vs L (k=20, D=2, N=" + std::to_string(n_small) +
+          "), single vs precompute",
       "both versions grow with L; the precompute algorithm phase costs ~3-4x "
       "a single run, but retrieval is near-free");
   std::printf("%-6s | %10s %10s | %10s %10s %12s\n", "L", "sgl.init",
               "sgl.algo", "pre.init", "pre.algo", "pre.retrieve");
   for (int l : {200, 500, 1000}) {
-    Timings single = SingleRun(s2087, 20, l, 2);
-    Timings pre = PrecomputeRun(s2087, 20, l, {1, 2, 3}, /*retrievals=*/3);
-    std::printf("%-6d | %10.2f %10.2f | %10.2f %10.2f %12.4f\n", l,
+    int use_l = smoke ? l / 5 : l;
+    Timings single = SingleRun(s2087, 20, use_l, 2);
+    Timings pre =
+        PrecomputeRun(s2087, 20, use_l, {1, 2, 3}, /*retrievals=*/3);
+    std::printf("%-6d | %10.2f %10.2f | %10.2f %10.2f %12.4f\n", use_l,
                 single.init_ms, single.algo_ms, pre.init_ms, pre.algo_ms,
                 pre.retrieval_ms);
+    reporter.Add("7c_single_vs_L",
+                 {{"L", use_l}, {"N", n_small}, {"k", 20}, {"D", 2}},
+                 Once(single.algo_ms));
+    reporter.Add("7d_precompute_vs_L",
+                 {{"L", use_l}, {"N", n_small}, {"k", 20}},
+                 Once(pre.algo_ms));
   }
 
   benchutil::PrintHeader(
-      "Figure 7e/7f: runtime vs N (k=20, L=500, D=2), single vs precompute",
+      "Figure 7e/7f: runtime vs N (k=20, L=" + std::to_string(mid_l) +
+          ", D=2), single vs precompute",
       "initialization grows markedly with N (more tuples to map to "
       "clusters); algorithm times grow mildly");
   std::printf("%-6s | %10s %10s | %10s %10s %12s\n", "N", "sgl.init",
               "sgl.algo", "pre.init", "pre.algo", "pre.retrieve");
   for (int n : {927, 2087, 6955}) {
-    core::AnswerSet s = benchutil::MakeAnswers(n, 8, /*seed=*/70 + n);
-    Timings single = SingleRun(s, 20, 500, 2);
-    Timings pre = PrecomputeRun(s, 20, 500, {1, 2, 3}, /*retrievals=*/3);
-    std::printf("%-6d | %10.2f %10.2f | %10.2f %10.2f %12.4f\n", n,
+    int use_n = smoke ? n / 5 : n;
+    core::AnswerSet s = benchutil::MakeAnswers(use_n, 8, /*seed=*/70 + n);
+    Timings single = SingleRun(s, 20, mid_l, 2);
+    Timings pre = PrecomputeRun(s, 20, mid_l, {1, 2, 3}, /*retrievals=*/3);
+    std::printf("%-6d | %10.2f %10.2f | %10.2f %10.2f %12.4f\n", use_n,
                 single.init_ms, single.algo_ms, pre.init_ms, pre.algo_ms,
                 pre.retrieval_ms);
+    reporter.Add("7e_single_init_vs_N",
+                 {{"N", use_n}, {"L", mid_l}, {"k", 20}, {"D", 2}},
+                 Once(single.init_ms));
+    reporter.Add("7f_precompute_vs_N",
+                 {{"N", use_n}, {"L", mid_l}, {"k", 20}},
+                 Once(pre.algo_ms));
   }
+
+  benchutil::PrintHeader(
+      "Parallel precompute scaling: full (k, D) grid, threads in {1,2,4,8} "
+      "(N=" + std::to_string(n_large) + ", L=" + std::to_string(big_l) +
+          ", D=1..8, k_max=" + std::to_string(grid_k_max) + ")",
+      "the per-D Bottom-Up replays are independent, so wall clock drops "
+      "with threads while the resulting store stays bit-identical; the "
+      "sharded universe build scales with N the same way");
+  {
+    auto universe = core::ClusterUniverse::Build(&s7000, big_l);
+    QAG_CHECK(universe.ok());
+    core::PrecomputeOptions options;
+    options.k_min = 2;
+    options.k_max = grid_k_max;
+    // Default d_values: the full 1..m grid, m=8 independent replays.
+
+    options.num_threads = 1;
+    auto reference = core::Precompute::Run(*universe, big_l, options);
+    QAG_CHECK(reference.ok());
+
+    const int reps = smoke ? 2 : 3;
+    double serial_ms = 0.0;
+    std::printf("%-10s %14s %14s %10s %12s\n", "threads", "median(ms)",
+                "min(ms)", "speedup", "identical?");
+    for (int threads : {1, 2, 4, 8}) {
+      options.num_threads = threads;
+      std::optional<core::SolutionStore> store;
+      benchutil::TimingStats t = benchutil::TimeStats(
+          [&] {
+            auto run = core::Precompute::Run(*universe, big_l, options);
+            QAG_CHECK(run.ok());
+            store.emplace(std::move(run).value());
+          },
+          reps);
+      bool identical = StoresIdentical(*reference, *store);
+      QAG_CHECK(identical)
+          << "parallel precompute diverged at " << threads << " threads";
+      if (threads == 1) serial_ms = t.median_ms;
+      std::printf("%-10d %14.2f %14.2f %9.2fx %12s\n", threads, t.median_ms,
+                  t.min_ms, serial_ms / t.median_ms,
+                  identical ? "yes" : "NO");
+      reporter.Add("scaling_precompute_grid",
+                   {{"threads", threads},
+                    {"N", n_large},
+                    {"L", big_l},
+                    {"k_max", grid_k_max},
+                    {"num_d", 8}},
+                   t);
+    }
+
+    std::printf("\nuniverse build (inverse coverage scan), same instance:\n");
+    std::printf("%-10s %14s %14s %10s\n", "threads", "median(ms)", "min(ms)",
+                "speedup");
+    double serial_build_ms = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      core::UniverseOptions u_options;
+      u_options.num_threads = threads;
+      benchutil::TimingStats t = benchutil::TimeStats(
+          [&] {
+            auto u = core::ClusterUniverse::Build(&s7000, big_l, u_options);
+            QAG_CHECK(u.ok());
+          },
+          reps);
+      if (threads == 1) serial_build_ms = t.median_ms;
+      std::printf("%-10d %14.2f %14.2f %9.2fx\n", threads, t.median_ms,
+                  t.min_ms, serial_build_ms / t.median_ms);
+      reporter.Add("scaling_universe_build",
+                   {{"threads", threads}, {"N", n_large}, {"L", big_l}}, t);
+    }
+  }
+
+  reporter.WriteFile();
   return 0;
 }

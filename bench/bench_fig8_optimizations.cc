@@ -20,9 +20,11 @@ namespace {
 
 using namespace qagview;
 
+int InstanceSize() { return benchutil::SmokeMode() ? 600 : 2087; }
+
 core::AnswerSet& Instance() {
-  static core::AnswerSet* s =
-      new core::AnswerSet(benchutil::MakeAnswers(2087, 8, /*seed=*/9));
+  static core::AnswerSet* s = new core::AnswerSet(
+      benchutil::MakeAnswers(InstanceSize(), 8, /*seed=*/9));
   return *s;
 }
 
@@ -90,9 +92,12 @@ BENCHMARK(BM_PatternProbe_Strings);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = benchutil::SmokeMode();
+  benchutil::JsonReporter reporter("fig8_optimizations");
+  const int n = InstanceSize();
   benchutil::PrintHeader(
       "Figure 8a: initialization with vs without the cluster-generation / "
-      "tuple-mapping optimizations (k=20, D=2, N=2087)",
+      "tuple-mapping optimizations (k=20, D=2, N=" + std::to_string(n) + ")",
       "the optimized path (tuples probe the generated-cluster index) beats "
       "the naive per-cluster scan by 2-3 orders of magnitude, growing with L"
       " (paper: >100s -> 0.5s at L=1000)");
@@ -100,47 +105,58 @@ int main(int argc, char** argv) {
   std::printf("%-6s %16s %16s %10s\n", "L", "with opt(ms)", "without(ms)",
               "speedup");
   for (int l : {200, 500, 1000}) {
-    double with_ms = benchutil::TimeMillis(
+    int use_l = smoke ? l / 5 : l;
+    benchutil::TimingStats with_t = benchutil::TimeStats(
         [&] {
-          auto u = core::ClusterUniverse::Build(&s, l);
+          auto u = core::ClusterUniverse::Build(&s, use_l);
           QAG_CHECK(u.ok());
         },
         1);
     core::UniverseOptions naive;
     naive.naive_mapping = true;
-    double without_ms = benchutil::TimeMillis(
+    benchutil::TimingStats without_t = benchutil::TimeStats(
         [&] {
-          auto u = core::ClusterUniverse::Build(&s, l, naive);
+          auto u = core::ClusterUniverse::Build(&s, use_l, naive);
           QAG_CHECK(u.ok());
         },
         1);
-    std::printf("%-6d %16.2f %16.2f %9.1fx\n", l, with_ms, without_ms,
-                without_ms / with_ms);
+    std::printf("%-6d %16.2f %16.2f %9.1fx\n", use_l, with_t.median_ms,
+                without_t.median_ms, without_t.median_ms / with_t.median_ms);
+    reporter.Add("8a_init_optimized", {{"L", use_l}, {"N", n}}, with_t);
+    reporter.Add("8a_init_naive", {{"L", use_l}, {"N", n}}, without_t);
   }
 
   benchutil::PrintHeader(
       "Figure 8b: algorithm runtime with vs without delta judgment "
-      "(k=20, D=2, N=2087)",
+      "(k=20, D=2, N=" + std::to_string(n) + ")",
       "delta judgment cuts the greedy merge loop by an order of magnitude "
       "or more at large L (paper: 4.6s -> 0.15s at L=1000)");
   std::printf("%-6s %16s %16s %10s\n", "L", "with delta(ms)",
               "without(ms)", "speedup");
   for (int l : {200, 500, 1000}) {
-    auto u = core::ClusterUniverse::Build(&s, l);
+    int use_l = smoke ? l / 5 : l;
+    auto u = core::ClusterUniverse::Build(&s, use_l);
     QAG_CHECK(u.ok());
     core::HybridOptions with;
     with.use_delta_judgment = true;
     core::HybridOptions without;
     without.use_delta_judgment = false;
     // Warm the shared LCA cache so neither variant pays one-time costs.
-    QAG_CHECK(core::Hybrid::Run(*u, {20, l, 2}, with).ok());
-    double with_ms = benchutil::TimeMillis(
-        [&] { QAG_CHECK(core::Hybrid::Run(*u, {20, l, 2}, with).ok()); }, 5);
-    double without_ms = benchutil::TimeMillis(
-        [&] { QAG_CHECK(core::Hybrid::Run(*u, {20, l, 2}, without).ok()); },
+    QAG_CHECK(core::Hybrid::Run(*u, {20, use_l, 2}, with).ok());
+    benchutil::TimingStats with_t = benchutil::TimeStats(
+        [&] { QAG_CHECK(core::Hybrid::Run(*u, {20, use_l, 2}, with).ok()); },
         5);
-    std::printf("%-6d %16.2f %16.2f %9.1fx\n", l, with_ms, without_ms,
-                without_ms / with_ms);
+    benchutil::TimingStats without_t = benchutil::TimeStats(
+        [&] {
+          QAG_CHECK(core::Hybrid::Run(*u, {20, use_l, 2}, without).ok());
+        },
+        5);
+    std::printf("%-6d %16.2f %16.2f %9.1fx\n", use_l, with_t.median_ms,
+                without_t.median_ms, without_t.median_ms / with_t.median_ms);
+    reporter.Add("8b_hybrid_delta_judgment",
+                 {{"L", use_l}, {"N", n}, {"k", 20}, {"D", 2}}, with_t);
+    reporter.Add("8b_hybrid_naive_judgment",
+                 {{"L", use_l}, {"N", n}, {"k", 20}, {"D", 2}}, without_t);
   }
 
   benchutil::PrintHeader(
@@ -149,5 +165,6 @@ int main(int argc, char** argv) {
       "(the paper reports ~50x end-to-end)");
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  reporter.WriteFile();
   return 0;
 }

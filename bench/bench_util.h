@@ -3,13 +3,21 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/timer.h"
 #include "core/answer_set.h"
 #include "datagen/answers.h"
+
+// Baked in by bench/CMakeLists.txt (git describe at configure time) so a
+// recorded BENCH_*.json names the code state it measured.
+#ifndef QAGVIEW_GIT_DESCRIBE
+#define QAGVIEW_GIT_DESCRIBE "unknown"
+#endif
 
 namespace qagview::benchutil {
 
@@ -36,8 +44,15 @@ inline void PrintHeader(const std::string& figure,
   std::printf("================================================================\n");
 }
 
-/// Median wall time in milliseconds over `reps` runs of fn().
-inline double TimeMillis(const std::function<void()>& fn, int reps = 3) {
+/// Wall-time summary of repeated runs, as recorded in BENCH_*.json.
+struct TimingStats {
+  double median_ms = 0.0;
+  double min_ms = 0.0;
+  int reps = 0;
+};
+
+/// Median and min wall time over `reps` runs of fn().
+inline TimingStats TimeStats(const std::function<void()>& fn, int reps = 3) {
   std::vector<double> times;
   times.reserve(static_cast<size_t>(reps));
   for (int r = 0; r < reps; ++r) {
@@ -46,8 +61,91 @@ inline double TimeMillis(const std::function<void()>& fn, int reps = 3) {
     times.push_back(timer.ElapsedMillis());
   }
   std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
+  return {times[times.size() / 2], times.front(), reps};
 }
+
+/// Median wall time in milliseconds over `reps` runs of fn().
+inline double TimeMillis(const std::function<void()>& fn, int reps = 3) {
+  return TimeStats(fn, reps).median_ms;
+}
+
+/// CI smoke mode (QAGVIEW_BENCH_SMOKE=1): drivers shrink their instances so
+/// the whole run takes seconds; the JSON marks the rows as smoke-sized so a
+/// baseline comparison never mixes the two scales.
+inline bool SmokeMode() {
+  const char* v = std::getenv("QAGVIEW_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// \brief Machine-readable bench output: one BENCH_<figure>.json per
+/// driver, accumulating rows of (name, numeric params, median/min ms,
+/// reps) plus the figure id, git-describe string, and smoke flag.
+///
+/// The schema is documented in bench/README.md; CI runs the JSON-emitting
+/// drivers in smoke mode and uploads the files as artifacts, so the perf
+/// trajectory of the repo accumulates per PR.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string figure) : figure_(std::move(figure)) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() {
+    if (!written_) WriteFile();
+  }
+
+  /// Records one timed row. Params are numeric by design (k, L, N, D,
+  /// threads, ...); variant names belong in `name`.
+  void Add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& params,
+           const TimingStats& t) {
+    std::string row = "    {\"name\": \"" + name + "\", \"params\": {";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) row += ", ";
+      row += "\"" + params[i].first + "\": " + Num(params[i].second);
+    }
+    row += "}, \"median_ms\": " + Num(t.median_ms) +
+           ", \"min_ms\": " + Num(t.min_ms) +
+           ", \"reps\": " + std::to_string(t.reps) + "}";
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes BENCH_<figure>.json into the current directory (where CI picks
+  /// it up). Returns false on I/O failure.
+  bool WriteFile() {
+    written_ = true;
+    std::string path = "BENCH_" + figure_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"git\": \"%s\",\n"
+                    "  \"smoke\": %s,\n  \"entries\": [\n",
+                 figure_.c_str(), QAGVIEW_GIT_DESCRIBE,
+                 SmokeMode() ? "true" : "false");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu entries)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  static std::string Num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::string figure_;
+  std::vector<std::string> rows_;
+  bool written_ = false;
+};
 
 }  // namespace qagview::benchutil
 

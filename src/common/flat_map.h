@@ -16,8 +16,12 @@ namespace qagview {
 /// keys and values live in flat arrays, so probes cost one cache line in
 /// the common case (node-based std::unordered_map costs several).
 ///
-/// The all-ones key is reserved as the empty marker; packed patterns can
-/// never produce it (each byte lane holds code+1 <= 254+1 or 0).
+/// The all-ones key is reserved as the empty marker. Packed patterns never
+/// produce it: a lane holds code+1 (up to 255) or 0, and the single shape
+/// that could saturate all eight lanes — 8 attributes, every domain exactly
+/// 255 values — is rejected by ClusterUniverse::CanPack, which falls back
+/// to the vector-keyed index for that corner. Any new FlatMap64 user must
+/// guarantee the same exclusion itself.
 class FlatMap64 {
  public:
   explicit FlatMap64(size_t expected = 0) { Reset(expected); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/fixed_order.h"
 #include "core/greedy_state.h"
@@ -91,6 +92,8 @@ Result<SolutionStore> Precompute::Run(const ClusterUniverse& universe,
     for (int d = 1; d <= m; ++d) d_values.push_back(d);
   }
   for (int d : d_values) {
+    // d = 0 is the explicit "no distance constraint" row (no-op distance
+    // phase); the default grid itself is 1..m per §6.2.
     if (d < 0 || d > m) {
       return Status::InvalidArgument("D values must lie in [0, m]");
     }
@@ -112,13 +115,27 @@ Result<SolutionStore> Precompute::Run(const ClusterUniverse& universe,
                            /*distance_d=*/0, fo));
   double fixed_order_ms = timer.ElapsedMillis();
 
-  // Bottom-Up replays, one per D.
+  // Bottom-Up replays, one per D. Each replay is an independent read-only
+  // pass over the universe, so they run as one pool task per D; every task
+  // writes only its own pre-sized slot, making the store bit-identical to
+  // the serial order for any thread count.
   timer.Restart();
-  std::vector<SolutionStore::Trace> traces;
-  traces.reserve(d_values.size());
-  for (int d : d_values) {
-    traces.push_back(ReplayForD(universe, initial, d, options.k_min,
-                                options.use_delta_judgment));
+  int num_threads = options.num_threads > 0 ? options.num_threads
+                                            : ThreadPool::DefaultNumThreads();
+  if (d_values.size() == 1) num_threads = 1;  // nothing to distribute
+  std::vector<SolutionStore::Trace> traces(d_values.size());
+  if (num_threads == 1) {
+    for (size_t i = 0; i < d_values.size(); ++i) {
+      traces[i] = ReplayForD(universe, initial, d_values[i], options.k_min,
+                             options.use_delta_judgment);
+    }
+  } else {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(0, static_cast<int64_t>(d_values.size()), [&](int64_t i) {
+      traces[static_cast<size_t>(i)] =
+          ReplayForD(universe, initial, d_values[static_cast<size_t>(i)],
+                     options.k_min, options.use_delta_judgment);
+    });
   }
   double bottom_up_ms = timer.ElapsedMillis();
 
@@ -126,6 +143,7 @@ Result<SolutionStore> Precompute::Run(const ClusterUniverse& universe,
     stats->fixed_order_ms = fixed_order_ms;
     stats->bottom_up_ms = bottom_up_ms;
     stats->initial_clusters = static_cast<int>(initial.size());
+    stats->num_threads = num_threads;
   }
   return SolutionStore(&universe, top_l, k_max, std::move(traces));
 }

@@ -14,11 +14,18 @@ struct PrecomputeOptions {
   int k_min = 2;
   int k_max = 0;
   /// D values to precompute (one Bottom-Up replay each). Empty derives
-  /// 1..m.
+  /// 1..m — the §6.2 grid rows. D = 0 is additionally accepted as the
+  /// explicit "no distance constraint" row (the distance phase is a no-op,
+  /// matching Params::D == 0 elsewhere); it is never part of the default.
   std::vector<int> d_values;
   /// Fixed-Order phase budget multiplier (runs once with c·k_max, D=0).
   int c = 3;
   bool use_delta_judgment = true;
+  /// Worker count for the per-D Bottom-Up replays (each replay is an
+  /// independent read-only pass over the shared universe). <= 0 uses the
+  /// hardware concurrency; 1 is the exact serial path. The resulting store
+  /// is bit-identical for every thread count.
+  int num_threads = 0;
 };
 
 /// Wall-clock breakdown of one precompute run (Figures 7c-7f bars).
@@ -26,6 +33,8 @@ struct PrecomputeStats {
   double fixed_order_ms = 0.0;
   double bottom_up_ms = 0.0;
   int initial_clusters = 0;
+  /// Resolved worker count the Bottom-Up replays actually ran with.
+  int num_threads = 1;
   double total_ms() const { return fixed_order_ms + bottom_up_ms; }
 };
 

@@ -4,15 +4,64 @@
 
 #include "common/flat_map.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace qagview::core {
 
+namespace {
+
+/// Merges per-worker coverage buffers (each holding the hits of one
+/// contiguous, ascending element range, in shard order) into the universe
+/// arrays. Sums and top-L counts are recomputed by walking each merged list
+/// in ascending element order — exactly the serial accumulation order — so
+/// covered_, covered_sum_, and top_covered_count_ are bit-identical to the
+/// single-threaded scan for every thread count.
+void MergeShardCoverage(
+    const AnswerSet& s, int top_l,
+    const std::vector<std::vector<std::vector<int32_t>>>& shards,
+    ThreadPool& pool, std::vector<std::vector<int32_t>>* covered,
+    std::vector<double>* covered_sum, std::vector<int>* top_covered_count) {
+  pool.ParallelFor(
+      0, static_cast<int64_t>(covered->size()), [&](int64_t id) {
+        size_t i = static_cast<size_t>(id);
+        std::vector<int32_t>& out = (*covered)[i];
+        size_t total = 0;
+        for (const auto& shard : shards) {
+          if (!shard.empty()) total += shard[i].size();
+        }
+        out.reserve(total);
+        for (const auto& shard : shards) {
+          // A shard stays unallocated when its element range was empty.
+          if (shard.empty()) continue;
+          out.insert(out.end(), shard[i].begin(), shard[i].end());
+        }
+        double sum = 0.0;
+        int top = 0;
+        for (int32_t e : out) {
+          sum += s.value(e);
+          if (e < top_l) ++top;
+        }
+        (*covered_sum)[i] = sum;
+        (*top_covered_count)[i] = top;
+      });
+}
+
+}  // namespace
+
 bool ClusterUniverse::CanPack(const AnswerSet& s) {
-  if (s.num_attrs() > 8) return false;
-  for (int a = 0; a < s.num_attrs(); ++a) {
-    if (s.domain_size(a) > 254) return false;  // code+1 must fit a byte
+  int m = s.num_attrs();
+  if (m > 8) return false;
+  // The packed lane stores code+1 (wildcard = 0), so codes 0..254 — a
+  // domain of exactly 255 values — fit a byte.
+  bool every_lane_can_saturate = (m == 8);
+  for (int a = 0; a < m; ++a) {
+    if (s.domain_size(a) > 255) return false;
+    if (s.domain_size(a) < 255) every_lane_can_saturate = false;
   }
-  return true;
+  // Corner: with 8 attributes all at the full 255-value domain, a pattern
+  // holding the maximal code 254 in every position would pack to all-ones —
+  // FlatMap64's reserved empty marker. Only then fall back.
+  return !every_lane_can_saturate;
 }
 
 uint64_t ClusterUniverse::PackPattern(const std::vector<int32_t>& pattern) {
@@ -43,7 +92,12 @@ Result<ClusterUniverse> ClusterUniverse::Build(const AnswerSet* s, int top_l,
   ClusterUniverse u;
   u.answer_set_ = s;
   u.top_l_ = top_l;
-  u.packed_ = CanPack(*s);
+  u.packed_ = !options.force_unpacked && CanPack(*s);
+  // Cluster generation stays serial (ids must be assigned in discovery
+  // order); a pool is spun up only by the sharded coverage-scan branches.
+  const int num_threads = options.num_threads > 0
+                              ? options.num_threads
+                              : ThreadPool::DefaultNumThreads();
 
   const uint32_t num_masks = 1u << m;
   std::vector<int32_t> scratch(static_cast<size_t>(m));
@@ -97,7 +151,7 @@ Result<ClusterUniverse> ClusterUniverse::Build(const AnswerSet* s, int top_l,
           }
         }
       }
-    } else {
+    } else if (num_threads == 1) {
       for (int e = 0; e < s->size(); ++e) {
         uint64_t base = PackPattern(s->element(e).attrs);
         double value = s->value(e);
@@ -109,6 +163,29 @@ Result<ClusterUniverse> ClusterUniverse::Build(const AnswerSet* s, int top_l,
           if (e < top_l) ++u.top_covered_count_[static_cast<size_t>(id)];
         }
       }
+    } else {
+      // Sharded inverse scan: workers probe disjoint contiguous element
+      // ranges into private buffers, merged in element order above.
+      ThreadPool pool(num_threads);
+      std::vector<std::vector<std::vector<int32_t>>> shard_covered(
+          static_cast<size_t>(pool.num_threads()));
+      pool.ParallelForShards(
+          0, s->size(), [&](int shard, int64_t e_begin, int64_t e_end) {
+            auto& local = shard_covered[static_cast<size_t>(shard)];
+            local.resize(static_cast<size_t>(num_clusters));
+            for (int64_t e = e_begin; e < e_end; ++e) {
+              uint64_t base =
+                  PackPattern(s->element(static_cast<int>(e)).attrs);
+              for (uint32_t mask = 0; mask < num_masks; ++mask) {
+                int id = u.packed_ids_.FindOr(base & ~lane_mask[mask], -1);
+                if (id < 0) continue;
+                local[static_cast<size_t>(id)].push_back(
+                    static_cast<int32_t>(e));
+              }
+            }
+          });
+      MergeShardCoverage(*s, top_l, shard_covered, pool, &u.covered_,
+                         &u.covered_sum_, &u.top_covered_count_);
     }
     return u;
   }
@@ -146,7 +223,7 @@ Result<ClusterUniverse> ClusterUniverse::Build(const AnswerSet* s, int top_l,
         }
       }
     }
-  } else {
+  } else if (num_threads == 1) {
     // Optimized: each element probes the hash index with its own masks.
     // A cluster covers element e iff it equals one generalization of e,
     // so every (cluster, element) pair is found exactly once.
@@ -165,6 +242,35 @@ Result<ClusterUniverse> ClusterUniverse::Build(const AnswerSet* s, int top_l,
         if (e < top_l) ++u.top_covered_count_[static_cast<size_t>(id)];
       }
     }
+  } else {
+    // Sharded inverse scan (see the packed branch); probes need a
+    // per-worker scratch pattern.
+    ThreadPool pool(num_threads);
+    std::vector<std::vector<std::vector<int32_t>>> shard_covered(
+        static_cast<size_t>(pool.num_threads()));
+    pool.ParallelForShards(
+        0, s->size(), [&](int shard, int64_t e_begin, int64_t e_end) {
+          auto& local = shard_covered[static_cast<size_t>(shard)];
+          local.resize(static_cast<size_t>(num_clusters));
+          std::vector<int32_t> probe(static_cast<size_t>(m));
+          for (int64_t e = e_begin; e < e_end; ++e) {
+            const std::vector<int32_t>& attrs =
+                s->element(static_cast<int>(e)).attrs;
+            for (uint32_t mask = 0; mask < num_masks; ++mask) {
+              for (int a = 0; a < m; ++a) {
+                probe[static_cast<size_t>(a)] =
+                    (mask & (1u << a)) ? kWildcard
+                                       : attrs[static_cast<size_t>(a)];
+              }
+              auto it = u.ids_.find(probe);
+              if (it == u.ids_.end()) continue;
+              local[static_cast<size_t>(it->second)].push_back(
+                  static_cast<int32_t>(e));
+            }
+          }
+        });
+    MergeShardCoverage(*s, top_l, shard_covered, pool, &u.covered_,
+                       &u.covered_sum_, &u.top_covered_count_);
   }
   return u;
 }
@@ -181,12 +287,16 @@ int ClusterUniverse::LcaId(int a, int b) const {
   if (a > b) std::swap(a, b);
   uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
                  static_cast<uint32_t>(b);
-  auto it = lca_cache_.find(key);
-  if (it != lca_cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(*lca_mu_);
+    auto it = lca_cache_.find(key);
+    if (it != lca_cache_.end()) return it->second;
+  }
   Cluster lca = Cluster::Lca(cluster(a), cluster(b));
   int id = FindId(lca);
   QAG_CHECK(id >= 0) << "LCA closure violated for " << cluster(a).ToString()
                      << " and " << cluster(b).ToString();
+  std::unique_lock<std::shared_mutex> lock(*lca_mu_);
   lca_cache_.emplace(key, id);
   return id;
 }

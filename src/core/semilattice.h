@@ -2,6 +2,8 @@
 #define QAGVIEW_CORE_SEMILATTICE_H_
 
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +39,14 @@ struct UniverseOptions {
   bool naive_mapping = false;
   /// Hard guard against 2^m explosion.
   int max_attrs = 24;
+  /// Worker count for the inverse coverage scan (elements sharded across
+  /// workers, per-worker buffers merged in element order, so the covered_
+  /// lists and sums are bit-identical for every thread count). <= 0 uses
+  /// the hardware concurrency; 1 is the exact serial path.
+  int num_threads = 0;
+  /// Test/ablation switch: skip the packed-uint64 index even when the
+  /// schema fits it, forcing the vector-keyed fallback.
+  bool force_unpacked = false;
 };
 
 class ClusterUniverse {
@@ -50,6 +60,8 @@ class ClusterUniverse {
 
   const AnswerSet& answer_set() const { return *answer_set_; }
   int top_l() const { return top_l_; }
+  /// Whether the packed-uint64 index fast path is in use (see CanPack).
+  bool packed_index() const { return packed_; }
 
   int num_clusters() const { return static_cast<int>(clusters_.size()); }
   const Cluster& cluster(int id) const {
@@ -84,7 +96,10 @@ class ClusterUniverse {
     return singleton_ids_[static_cast<size_t>(i)];
   }
 
-  /// Id of LCA(cluster(a), cluster(b)); always present by closure. Memoized.
+  /// Id of LCA(cluster(a), cluster(b)); always present by closure.
+  /// Memoized; safe to call concurrently from pool workers (the memo is
+  /// guarded by a shared mutex, and the cached value is a pure function of
+  /// (a, b), so lookup order never affects results).
   int LcaId(int a, int b) const;
 
   /// Ids of the level-(level) generalizations of each top-L element
@@ -113,6 +128,10 @@ class ClusterUniverse {
   std::vector<double> covered_sum_;
   std::vector<int> top_covered_count_;
   std::vector<int> singleton_ids_;
+  // Behind a pointer so the universe stays movable (moves happen only
+  // before any concurrent use).
+  mutable std::unique_ptr<std::shared_mutex> lca_mu_ =
+      std::make_unique<std::shared_mutex>();
   mutable std::unordered_map<uint64_t, int> lca_cache_;
 };
 

@@ -1,9 +1,37 @@
 #include "core/session.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "core/solution_store_io.h"
 
 namespace qagview::core {
+
+namespace {
+
+/// Whether a cached store can serve a Guidance request with these options:
+/// every requested D row present, the k range at least as wide on both
+/// ends. (Mirrors the Precompute::Run defaults for empty/zero fields.)
+bool StoreCoversOptions(const SolutionStore& store, const AnswerSet& s,
+                        const PrecomputeOptions& options) {
+  int k_max = options.k_max;
+  if (k_max <= 0) k_max = std::max(options.k_min, 20);
+  if (store.k_max() < k_max) return false;
+  std::vector<int> want = options.d_values;
+  if (want.empty()) {
+    for (int d = 1; d <= s.num_attrs(); ++d) want.push_back(d);
+  }
+  std::vector<int> have = store.d_values();  // ascending (map keys)
+  for (int d : want) {
+    if (!std::binary_search(have.begin(), have.end(), d)) return false;
+    // A fresh build merges down to max(k_min, 1); the cached row must
+    // reach at least as low.
+    if (store.MinK(d).value() > std::max(options.k_min, 1)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Session>> Session::Create(AnswerSet answers) {
   return std::unique_ptr<Session>(
@@ -21,7 +49,7 @@ Result<const ClusterUniverse*> Session::UniverseFor(int top_l) {
   if (top_l < 1 || top_l > answers_->size()) {
     return Status::InvalidArgument("L out of range for this session");
   }
-  // Widest cached universe with top_l' >= top_l serves the request (its
+  // Narrowest cached universe with top_l' >= top_l serves the request (its
   // cluster set is a superset and all algorithms accept params.L <= top_l').
   auto it = universes_.lower_bound(top_l);
   if (it != universes_.end()) {
@@ -29,8 +57,11 @@ Result<const ClusterUniverse*> Session::UniverseFor(int top_l) {
     return it->second.get();
   }
   ++universe_misses_;
-  QAG_ASSIGN_OR_RETURN(ClusterUniverse u,
-                       ClusterUniverse::Build(answers_.get(), top_l));
+  ClusterUniverse::Options build_options;
+  build_options.num_threads = num_threads_;
+  QAG_ASSIGN_OR_RETURN(
+      ClusterUniverse u,
+      ClusterUniverse::Build(answers_.get(), top_l, build_options));
   auto owned = std::make_unique<ClusterUniverse>(std::move(u));
   const ClusterUniverse* ptr = owned.get();
   universes_.emplace(top_l, std::move(owned));
@@ -45,47 +76,93 @@ Result<Solution> Session::Summarize(const Params& params,
   return Hybrid::Run(*universe, params, options);
 }
 
+const SolutionStore* Session::StoreFor(int top_l) const {
+  // Mirror of the universe cache policy: the narrowest cached grid with
+  // L' >= top_l serves the request (its replays cover the top-L' >= top-L
+  // elements, and every stored (k, D) solution remains valid for the
+  // narrower coverage request by Proposition 6.1).
+  auto it = stores_.lower_bound(top_l);
+  if (it == stores_.end()) {
+    ++store_misses_;
+    return nullptr;
+  }
+  ++store_hits_;
+  return it->second.get();
+}
+
 Result<const SolutionStore*> Session::Guidance(
     int top_l, const PrecomputeOptions& options) {
-  auto it = stores_.find(top_l);
-  if (it != stores_.end()) return it->second.get();
+  // Serve the narrowest cached grid with L' >= top_l — but only when it
+  // actually covers the requested (k, D) ranges; a wider-L store built
+  // with a narrower grid must not shadow a request for rows it lacks.
+  for (auto it = stores_.lower_bound(top_l); it != stores_.end(); ++it) {
+    if (StoreCoversOptions(*it->second, *answers_, options)) {
+      ++store_hits_;
+      return it->second.get();
+    }
+  }
+  ++store_misses_;
   QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe, UniverseFor(top_l));
+  PrecomputeOptions run_options = options;
+  if (run_options.num_threads <= 0) run_options.num_threads = num_threads_;
   QAG_ASSIGN_OR_RETURN(SolutionStore store,
-                       Precompute::Run(*universe, top_l, options));
+                       Precompute::Run(*universe, top_l, run_options));
   auto owned = std::make_unique<SolutionStore>(std::move(store));
   const SolutionStore* ptr = owned.get();
+  // emplace, never replace: a narrower-grid store at this L may exist and
+  // keeps serving the requests it covers (and pointers previously handed
+  // out must stay valid).
   stores_.emplace(top_l, std::move(owned));
   return ptr;
 }
 
 Result<Solution> Session::Retrieve(int top_l, int d, int k) {
-  auto it = stores_.find(top_l);
-  if (it == stores_.end()) {
-    return Status::FailedPrecondition(
-        "no guidance precomputed for this L; call Guidance() first");
+  // Narrowest store with L' >= top_l that can answer (d, k); a narrower-
+  // grid store is skipped if a wider cached one has the row.
+  Status first_error = Status::OK();
+  bool found_store = false;
+  for (auto it = stores_.lower_bound(top_l); it != stores_.end(); ++it) {
+    found_store = true;
+    Result<Solution> solution = it->second->Retrieve(d, k);
+    if (solution.ok()) {
+      ++store_hits_;
+      return solution;
+    }
+    if (first_error.ok()) first_error = solution.status();
   }
-  return it->second->Retrieve(d, k);
+  ++store_misses_;
+  if (!found_store) {
+    return Status::FailedPrecondition(
+        "no guidance precomputed covering this L; call Guidance() first");
+  }
+  return first_error;
 }
 
 Status Session::SaveGuidance(int top_l, const std::string& path) const {
-  auto it = stores_.find(top_l);
-  if (it == stores_.end()) {
+  const SolutionStore* store = StoreFor(top_l);
+  if (store == nullptr) {
     return Status::FailedPrecondition(
-        "no guidance precomputed for this L; call Guidance() first");
+        "no guidance precomputed covering this L; call Guidance() first");
   }
-  return SaveSolutionStore(*it->second, path);
+  return SaveSolutionStore(*store, path);
 }
 
 Status Session::LoadGuidance(int top_l, const std::string& path) {
-  QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe, UniverseFor(top_l));
+  // SaveGuidance(top_l) may have written a wider grid (it serves from the
+  // narrowest store with L' >= top_l), so accept any file with L' >= top_l
+  // that this answer set can host, and cache it under its own L'.
+  QAG_ASSIGN_OR_RETURN(int stored_l, PeekSolutionStoreL(path));
+  if (stored_l < top_l) {
+    return Status::InvalidArgument(
+        StrCat("file holds a grid for L=", stored_l,
+               ", too narrow for requested L=", top_l));
+  }
+  QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe,
+                       UniverseFor(stored_l));
   QAG_ASSIGN_OR_RETURN(SolutionStore store,
                        LoadSolutionStore(universe, path));
-  if (store.l() != top_l) {
-    return Status::InvalidArgument(
-        StrCat("file holds a grid for L=", store.l(), ", requested L=",
-               top_l));
-  }
-  stores_[top_l] = std::make_unique<SolutionStore>(std::move(store));
+  stores_.emplace(stored_l,
+                  std::make_unique<SolutionStore>(std::move(store)));
   return Status::OK();
 }
 
@@ -95,6 +172,8 @@ Session::CacheStats Session::cache_stats() const {
   stats.stores = static_cast<int>(stores_.size());
   stats.universe_hits = universe_hits_;
   stats.universe_misses = universe_misses_;
+  stats.store_hits = store_hits_;
+  stats.store_misses = store_misses_;
   return stats;
 }
 

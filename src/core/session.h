@@ -41,22 +41,32 @@ class Session {
   Result<Solution> Summarize(const Params& params,
                              const HybridOptions& options = HybridOptions());
 
-  /// Ensures the (k, D) grid for `top_l` is precomputed and returns the
-  /// store (owned by the session).
+  /// Ensures a (k, D) grid serving `top_l` is precomputed and returns the
+  /// store (owned by the session). Like UniverseFor, a cached grid for any
+  /// L' >= top_l serves the request (Proposition 6.1: the wider grid's
+  /// solutions cover the narrower request) — but only when it also covers
+  /// the requested (k, D) ranges; otherwise a fresh grid is precomputed.
   Result<const SolutionStore*> Guidance(
       int top_l, const PrecomputeOptions& options = PrecomputeOptions());
 
-  /// Retrieves a precomputed solution; requires a prior Guidance(top_l).
+  /// Retrieves a precomputed solution; requires a prior Guidance(L') with
+  /// L' >= top_l. The narrowest such store that can answer (d, k) serves
+  /// the request, consistent with the universe cache.
   Result<Solution> Retrieve(int top_l, int d, int k);
 
-  /// Persists the precomputed grid for `top_l` to a file; requires a prior
-  /// Guidance(top_l). The paper's prototype keeps these grids in
-  /// PostgreSQL; this is the file-backed equivalent.
+  /// Persists the precomputed grid serving `top_l` (the narrowest cached
+  /// store with L' >= top_l) to a file; requires a prior Guidance(L') with
+  /// L' >= top_l. The file records the store's own L'. The paper's
+  /// prototype keeps these grids in PostgreSQL; this is the file-backed
+  /// equivalent.
   Status SaveGuidance(int top_l, const std::string& path) const;
 
   /// Loads a grid saved by SaveGuidance into this session's cache, skipping
-  /// the precompute cost. Fails if the file was built from a different
-  /// answer set or a larger L than this session can serve.
+  /// the precompute cost. The file may hold a grid for any L' >= top_l
+  /// that this session's answer set can host (SaveGuidance may have
+  /// written a wider store); it is cached under its own L'. Fails if the
+  /// file was built from a different answer set, or is narrower than
+  /// `top_l`.
   Status LoadGuidance(int top_l, const std::string& path);
 
   /// The universe serving requests at coverage level `top_l` (cached).
@@ -67,20 +77,38 @@ class Session {
     int stores = 0;
     int64_t universe_hits = 0;
     int64_t universe_misses = 0;
+    int64_t store_hits = 0;
+    int64_t store_misses = 0;
   };
   CacheStats cache_stats() const;
+
+  /// Worker count for universe builds and precomputes issued by this
+  /// session. <= 0 (the default) uses the hardware concurrency; explicit
+  /// PrecomputeOptions::num_threads still wins for that call.
+  void set_num_threads(int num_threads) { num_threads_ = num_threads; }
+  int num_threads() const { return num_threads_; }
 
  private:
   explicit Session(std::unique_ptr<AnswerSet> answers)
       : answers_(std::move(answers)) {}
 
+  /// The narrowest cached store with L' >= top_l, or nullptr (counts
+  /// store hits/misses).
+  const SolutionStore* StoreFor(int top_l) const;
+
   std::unique_ptr<AnswerSet> answers_;
   // Keyed by the top_l the universe was built for.
   std::map<int, std::unique_ptr<ClusterUniverse>> universes_;
-  // Keyed by top_l.
-  std::map<int, std::unique_ptr<SolutionStore>> stores_;
+  // Keyed by top_l. A multimap because one L can accumulate several grids
+  // (different (k, D) option sets); stores are never evicted or replaced
+  // within a session, so pointers returned by Guidance stay valid for the
+  // session's lifetime.
+  std::multimap<int, std::unique_ptr<SolutionStore>> stores_;
+  int num_threads_ = 0;
   int64_t universe_hits_ = 0;
   int64_t universe_misses_ = 0;
+  mutable int64_t store_hits_ = 0;
+  mutable int64_t store_misses_ = 0;
 };
 
 }  // namespace qagview::core

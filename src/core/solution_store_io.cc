@@ -180,4 +180,20 @@ Result<SolutionStore> LoadSolutionStore(const ClusterUniverse* universe,
   return DeserializeSolutionStore(universe, buffer.str());
 }
 
+Result<int> PeekSolutionStoreL(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open ", path));
+  std::string header;
+  while (std::getline(in, header)) {
+    if (!header.empty()) break;
+  }
+  std::vector<std::string> head = Split(header, ' ');
+  if (head.size() != 6 || head[0] != "qagview-store") {
+    return Status::InvalidArgument(
+        StrCat(path, ": bad header (expected 'qagview-store <version> ...')"));
+  }
+  QAG_ASSIGN_OR_RETURN(int64_t l, ParseInt64(head[2]));
+  return static_cast<int>(l);
+}
+
 }  // namespace qagview::core

@@ -40,6 +40,12 @@ Status SaveSolutionStore(const SolutionStore& store, const std::string& path);
 Result<SolutionStore> LoadSolutionStore(const ClusterUniverse* universe,
                                         const std::string& path);
 
+/// Reads just the header of a saved store and returns its recorded L,
+/// without needing a universe. Lets a caller build a wide-enough universe
+/// before deserializing (Session::LoadGuidance accepts files holding a
+/// wider grid than requested).
+Result<int> PeekSolutionStoreL(const std::string& path);
+
 }  // namespace qagview::core
 
 #endif  // QAGVIEW_CORE_SOLUTION_STORE_IO_H_

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <memory>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -177,6 +178,82 @@ TEST(PrecomputeTest, DefaultsAndValidation) {
       Precompute::Run(inst.u, 10, GridOptions(5, 3, {1})).ok());  // k_max<k_min
   EXPECT_FALSE(
       Precompute::Run(inst.u, 10, GridOptions(2, 8, {99})).ok());  // bad D
+}
+
+TEST(PrecomputeTest, ParallelReplaysAreBitIdenticalAcrossThreadCounts) {
+  // The per-D replays run one pool task per D into pre-sized slots, so the
+  // store must be exactly — not approximately — the serial store for any
+  // worker count.
+  Instance inst = MakeInstance(41, 120, 6, 3, 30);
+  PrecomputeOptions options = GridOptions(2, 16, {1, 2, 3, 4, 5, 6});
+  options.num_threads = 1;
+  auto reference = Precompute::Run(inst.u, 30, options);
+  ASSERT_TRUE(reference.ok());
+
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    PrecomputeStats stats;
+    auto store = Precompute::Run(inst.u, 30, options, &stats);
+    ASSERT_TRUE(store.ok()) << threads << " threads";
+    EXPECT_EQ(stats.num_threads, threads);
+    ASSERT_EQ(store->d_values(), reference->d_values());
+    for (int d : reference->d_values()) {
+      // (size, value) ladders bit-identical (double ==, no tolerance).
+      EXPECT_EQ(store->SizeValues(d).value(), reference->SizeValues(d).value())
+          << "d=" << d << " threads=" << threads;
+      // Interval sets identical (stored order is unspecified; sort).
+      auto norm = [d](const Result<std::vector<SolutionStore::IntervalRecord>>&
+                          recs) {
+        std::vector<std::tuple<int, int, int>> out;
+        for (const auto& r : recs.value()) {
+          out.emplace_back(r.lo, r.hi, r.cluster_id);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+      };
+      EXPECT_EQ(norm(store->Intervals(d)), norm(reference->Intervals(d)))
+          << "d=" << d << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PrecomputeTest, DZeroIsTheNoDistanceConstraintRow) {
+  // d = 0 is accepted as the explicit "no distance constraint" row: its
+  // distance phase is a no-op, so the widest stored state is exactly the
+  // Fixed-Order output, and each stored solution matches a direct replay
+  // with Params::D == 0 (which ValidateParams accepts everywhere else).
+  Instance inst = MakeInstance(37, 80, 5, 3, 16);
+  PrecomputeOptions options = GridOptions(2, 10, {0, 2});
+  auto store = Precompute::Run(inst.u, 16, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ(store->d_values(), (std::vector<int>{0, 2}));
+
+  FixedOrderOptions fo;
+  auto initial = FixedOrder::RunPhase(inst.u, options.c * 10, 16, 0, fo);
+  ASSERT_TRUE(initial.ok());
+  // The first stored state for d=0 is the untouched Fixed-Order pool.
+  auto widest = store->Retrieve(0, 1000);
+  ASSERT_TRUE(widest.ok());
+  std::set<int> got(widest->cluster_ids.begin(), widest->cluster_ids.end());
+  std::set<int> want(initial->begin(), initial->end());
+  EXPECT_EQ(got, want);
+
+  for (int k : {8, 4}) {
+    auto direct = BottomUp::RunFrom(inst.u, {k, 16, 0}, *initial);
+    ASSERT_TRUE(direct.ok());
+    auto stored = store->Retrieve(0, k);
+    ASSERT_TRUE(stored.ok());
+    std::set<int> a(direct->cluster_ids.begin(), direct->cluster_ids.end());
+    std::set<int> b(stored->cluster_ids.begin(), stored->cluster_ids.end());
+    EXPECT_EQ(a, b) << "k=" << k;
+  }
+
+  // The default grid stays 1..m — no implicit d = 0 row.
+  auto defaults = Precompute::Run(inst.u, 16, GridOptions(2, 10, {}));
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_FALSE(defaults->Retrieve(0, 5).ok());
+  // Negative d is still rejected.
+  EXPECT_FALSE(Precompute::Run(inst.u, 16, GridOptions(2, 10, {-1})).ok());
 }
 
 TEST(PrecomputeTest, MatchesDirectReplayAtSampledPoints) {

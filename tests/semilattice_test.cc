@@ -84,7 +84,7 @@ TEST(ClusterUniverseTest, UnpackedFallbackAtNineAttributes) {
   }
 }
 
-// A domain wider than a byte lane (>254 codes) also bypasses packing.
+// A domain wider than a byte lane (>255 codes) also bypasses packing.
 TEST(ClusterUniverseTest, UnpackedFallbackAtWideDomain) {
   std::vector<std::string> wide_names;
   for (int i = 0; i < 300; ++i) wide_names.push_back(StrCat("w", i));
@@ -100,6 +100,7 @@ TEST(ClusterUniverseTest, UnpackedFallbackAtWideDomain) {
   ASSERT_TRUE(s.ok());
   auto u = ClusterUniverse::Build(&*s, 8);
   ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_FALSE(u->packed_index());
   // Exact singleton mapping survives the fallback.
   for (int i = 0; i < 8; ++i) {
     EXPECT_EQ(u->covered(u->singleton_id(i)), std::vector<int32_t>{i});
@@ -108,6 +109,119 @@ TEST(ClusterUniverseTest, UnpackedFallbackAtWideDomain) {
   int trivial = u->FindId(Cluster::Trivial(2));
   ASSERT_GE(trivial, 0);
   EXPECT_EQ(u->covered_count(trivial), 40);
+}
+
+// Packed-lane boundary: codes 0..254 — a domain of exactly 255 values —
+// store as code+1 in a byte, so a domain-255 attribute must still take the
+// packed path, and its clusters/coverage must match the forced fallback
+// cluster-for-cluster.
+TEST(ClusterUniverseTest, PackedPathAtDomain255Boundary) {
+  std::vector<std::string> names255;
+  for (int i = 0; i < 255; ++i) names255.push_back(StrCat("v", i));
+  std::vector<Element> elements;
+  for (int i = 0; i < 60; ++i) {
+    // Hit the maximal code 254 (lane 0xFF) in the top elements.
+    elements.push_back({{static_cast<int32_t>(254 - (i * 13) % 255),
+                         static_cast<int32_t>(i % 4)},
+                        60.0 - i});
+  }
+  auto s = AnswerSet::FromRaw({"wide", "narrow"},
+                              {names255, {"a", "b", "c", "d"}},
+                              std::move(elements));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+
+  auto packed = ClusterUniverse::Build(&*s, 10);
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  EXPECT_TRUE(packed->packed_index());
+
+  UniverseOptions fallback_options;
+  fallback_options.force_unpacked = true;
+  auto fallback = ClusterUniverse::Build(&*s, 10, fallback_options);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_FALSE(fallback->packed_index());
+
+  ASSERT_EQ(packed->num_clusters(), fallback->num_clusters());
+  for (int id = 0; id < packed->num_clusters(); ++id) {
+    int other = fallback->FindId(packed->cluster(id));
+    ASSERT_GE(other, 0) << packed->cluster(id).ToString();
+    EXPECT_EQ(packed->covered(id), fallback->covered(other));
+    EXPECT_EQ(packed->covered_sum(id), fallback->covered_sum(other));
+    EXPECT_EQ(packed->top_covered_count(id),
+              fallback->top_covered_count(other));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(packed->cluster(packed->singleton_id(i)),
+              Cluster(s->element(i).attrs));
+  }
+}
+
+// With 8 attributes all at the full 255-value domain, the all-maximal-code
+// pattern would pack to FlatMap64's reserved empty marker; that corner must
+// fall back to the vector-keyed index and still build correctly.
+TEST(ClusterUniverseTest, EightSaturatedLanesFallBackToUnpacked) {
+  std::vector<std::string> names255;
+  for (int i = 0; i < 255; ++i) names255.push_back(StrCat("v", i));
+  std::vector<Element> elements;
+  // The dangerous element: code 254 in every one of the 8 attributes.
+  elements.push_back({std::vector<int32_t>(8, 254), 100.0});
+  for (int i = 0; i < 20; ++i) {
+    std::vector<int32_t> attrs(8);
+    for (int a = 0; a < 8; ++a) {
+      attrs[static_cast<size_t>(a)] =
+          static_cast<int32_t>((i * 31 + a * 7) % 255);
+    }
+    elements.push_back({std::move(attrs), 50.0 - i});
+  }
+  std::vector<std::vector<std::string>> domains(8, names255);
+  std::vector<std::string> attr_names;
+  for (int a = 0; a < 8; ++a) attr_names.push_back(StrCat("attr", a));
+  auto s = AnswerSet::FromRaw(attr_names, domains, std::move(elements));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+
+  auto u = ClusterUniverse::Build(&*s, 4);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_FALSE(u->packed_index());
+  // The all-254 element ranks first; its singleton must be findable and
+  // cover exactly itself.
+  EXPECT_EQ(u->covered(u->singleton_id(0)), std::vector<int32_t>{0});
+  int trivial = u->FindId(Cluster::Trivial(8));
+  ASSERT_GE(trivial, 0);
+  EXPECT_EQ(u->covered_count(trivial), s->size());
+}
+
+// The sharded inverse coverage scan merges per-worker buffers in element
+// order, so coverage lists, sums, and top-L counts must be bit-identical
+// to the serial scan for every thread count — on both index paths.
+TEST(ClusterUniverseTest, BuildIsBitIdenticalAcrossThreadCounts) {
+  AnswerSet s = testutil::MakeRandomAnswerSet(29, 300, 5, 4);
+  for (bool force_unpacked : {false, true}) {
+    UniverseOptions reference_options;
+    reference_options.force_unpacked = force_unpacked;
+    reference_options.num_threads = 1;
+    auto reference = ClusterUniverse::Build(&s, 40, reference_options);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_EQ(reference->packed_index(), !force_unpacked);
+
+    for (int threads : {2, 8}) {
+      UniverseOptions options = reference_options;
+      options.num_threads = threads;
+      auto u = ClusterUniverse::Build(&s, 40, options);
+      ASSERT_TRUE(u.ok());
+      ASSERT_EQ(u->num_clusters(), reference->num_clusters());
+      for (int id = 0; id < u->num_clusters(); ++id) {
+        ASSERT_EQ(u->covered(id), reference->covered(id))
+            << "threads=" << threads << " unpacked=" << force_unpacked;
+        // Exact double equality: the merge re-accumulates sums in the
+        // serial element order.
+        ASSERT_EQ(u->covered_sum(id), reference->covered_sum(id));
+        ASSERT_EQ(u->top_covered_count(id),
+                  reference->top_covered_count(id));
+      }
+      for (int i = 0; i < 40; ++i) {
+        ASSERT_EQ(u->singleton_id(i), reference->singleton_id(i));
+      }
+    }
+  }
 }
 
 TEST(ClusterUniverseTest, SingletonIdsMatchTopElements) {

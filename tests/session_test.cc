@@ -107,6 +107,156 @@ TEST(SessionTest, RetrieveWithoutGuidanceFails) {
   auto session = MakeSession(11);
   auto solution = session->Retrieve(15, 2, 6);
   EXPECT_EQ(solution.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session->cache_stats().store_misses, 1);
+}
+
+TEST(SessionTest, WiderStoreServesNarrowerRequests) {
+  // Mirror of the universe cache policy: Guidance(25) followed by
+  // Retrieve(15, ...) must be served from the L=25 grid instead of failing
+  // (Proposition 6.1 — the wider grid covers the narrower request).
+  auto session = MakeSession(21);
+  PrecomputeOptions options;
+  options.k_min = 2;
+  options.k_max = 8;
+  options.d_values = {1, 2};
+  auto wide = session->Guidance(25, options);
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+
+  auto narrow = session->Retrieve(15, 2, 5);
+  ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+  auto direct = session->Retrieve(25, 2, 5);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(narrow->cluster_ids, direct->cluster_ids);
+
+  // Guidance for a narrower L is a cache hit, not a second precompute.
+  auto again = session->Guidance(15, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *wide);
+  EXPECT_EQ(session->cache_stats().stores, 1);
+
+  // A request wider than every cached grid still fails.
+  EXPECT_EQ(session->Retrieve(40, 2, 5).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  Session::CacheStats stats = session->cache_stats();
+  // Guidance(25) missed; Retrieve(15)/Retrieve(25)/Guidance(15) hit;
+  // Retrieve(40) missed.
+  EXPECT_EQ(stats.store_misses, 2);
+  EXPECT_EQ(stats.store_hits, 3);
+}
+
+TEST(SessionTest, SaveGuidanceServesFromWiderStoreAndRoundTrips) {
+  std::string path = testing::TempDir() + "/qagview_wider_guidance.txt";
+  PrecomputeOptions options;
+  options.k_min = 2;
+  options.k_max = 8;
+  options.d_values = {1, 2};
+
+  auto a = MakeSession(33);
+  ASSERT_TRUE(a->Guidance(20, options).ok());
+  // Saving at a narrower L is served by the L=20 store; the file records
+  // the store's own L.
+  ASSERT_TRUE(a->SaveGuidance(12, path).ok());
+
+  // The symmetric round-trip — LoadGuidance at the same L the save was
+  // requested with — must accept the wider file and serve the request.
+  auto b = MakeSession(33);
+  ASSERT_TRUE(b->LoadGuidance(12, path).ok());
+  auto loaded = b->Retrieve(12, 2, 5);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto direct = a->Retrieve(12, 2, 5);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NEAR(direct->average, loaded->average, 1e-12);
+
+  // Loading wider than the file's grid still fails.
+  auto c = MakeSession(33);
+  EXPECT_FALSE(c->LoadGuidance(30, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SessionTest, GuidanceRebuildsWhenCachedGridLacksRequestedRows) {
+  // A wider-L store built with a narrower (k, D) grid must not shadow a
+  // request for rows it lacks; Guidance precomputes a fuller grid instead.
+  auto session = MakeSession(35);
+  PrecomputeOptions narrow;
+  narrow.k_min = 2;
+  narrow.k_max = 6;
+  narrow.d_values = {1};
+  ASSERT_TRUE(session->Guidance(25, narrow).ok());
+
+  PrecomputeOptions full;
+  full.k_min = 2;
+  full.k_max = 10;
+  full.d_values = {1, 2, 3};
+  auto store = session->Guidance(15, full);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(session->cache_stats().stores, 2);
+  auto solution = session->Retrieve(15, 3, 8);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+
+  // Same options again: now a cache hit on the L=15 store.
+  auto again = session->Guidance(15, full);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *store);
+  EXPECT_EQ(session->cache_stats().stores, 2);
+
+  // Retrieve skips the narrower-grid L=15 store when only the wider L=25
+  // one has the row... but here the L=15 store has d=3; d=1 k=5 is served
+  // by the narrowest store that can answer.
+  EXPECT_TRUE(session->Retrieve(20, 1, 5).ok());
+  // A D that no cached store holds still errors.
+  EXPECT_FALSE(session->Retrieve(15, 5, 5).ok());
+}
+
+TEST(SessionTest, GuidanceNeverInvalidatesEarlierStores) {
+  // Stores accumulate: a later Guidance with different options must not
+  // destroy (or drop rows of) a store an earlier call handed out.
+  auto session = MakeSession(37);
+  PrecomputeOptions d3_only;
+  d3_only.k_min = 2;
+  d3_only.k_max = 8;
+  d3_only.d_values = {3};
+  auto first = session->Guidance(15, d3_only);
+  ASSERT_TRUE(first.ok());
+  auto before = (*first)->Retrieve(3, 6);
+  ASSERT_TRUE(before.ok());
+
+  PrecomputeOptions d1_only = d3_only;
+  d1_only.d_values = {1};
+  ASSERT_TRUE(session->Guidance(15, d1_only).ok());
+  EXPECT_EQ(session->cache_stats().stores, 2);
+
+  // The first store pointer is still alive and its rows still served.
+  auto after = (*first)->Retrieve(3, 6);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->cluster_ids, after->cluster_ids);
+  EXPECT_TRUE(session->Retrieve(15, 3, 6).ok());
+  EXPECT_TRUE(session->Retrieve(15, 1, 6).ok());
+}
+
+TEST(SessionTest, NumThreadsKnobPreservesResults) {
+  auto serial = MakeSession(27, 150);
+  serial->set_num_threads(1);
+  auto parallel = MakeSession(27, 150);
+  parallel->set_num_threads(8);
+  EXPECT_EQ(parallel->num_threads(), 8);
+
+  PrecomputeOptions options;
+  options.k_min = 2;
+  options.k_max = 10;
+  ASSERT_TRUE(serial->Guidance(30, options).ok());
+  ASSERT_TRUE(parallel->Guidance(30, options).ok());
+  for (int d : {1, 2, 3}) {
+    for (int k : {4, 7, 10}) {
+      auto a = serial->Retrieve(30, d, k);
+      auto b = parallel->Retrieve(30, d, k);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      EXPECT_EQ(a->cluster_ids, b->cluster_ids) << "d=" << d << " k=" << k;
+      // Bit-identical, not just close.
+      EXPECT_EQ(a->average, b->average);
+    }
+  }
 }
 
 TEST(SessionTest, ValidatesParams) {

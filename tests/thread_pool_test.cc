@@ -1,0 +1,134 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qagview {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+  ThreadPool fixed(3);
+  EXPECT_EQ(fixed.num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    const int64_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(0, n, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "index " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginAndPreSizedSlots) {
+  ThreadPool pool(4);
+  std::vector<int64_t> out(100, -1);
+  pool.ParallelFor(40, 100, [&](int64_t i) { out[static_cast<size_t>(i)] = i; });
+  for (int64_t i = 0; i < 40; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], -1);
+  for (int64_t i = 40; i < 100; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, EmptyAndShortRanges) {
+  ThreadPool pool(8);
+  int calls = 0;
+  pool.ParallelFor(0, 0, [&](int64_t) { ++calls; });
+  pool.ParallelFor(5, 5, [&](int64_t) { ++calls; });
+  pool.ParallelFor(5, 3, [&](int64_t) { ++calls; });  // inverted => empty
+  EXPECT_EQ(calls, 0);
+  // Fewer indices than workers.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(0, 3, [&](int64_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 100, [&](int64_t i) { sum += i; });
+    ASSERT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(0, 100,
+                         [&](int64_t i) {
+                           if (i == 37) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool survives the exception and runs subsequent jobs.
+    std::atomic<int> ran{0};
+    pool.ParallelFor(0, 10, [&](int64_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 10);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionAbortsRemainingWork) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  try {
+    pool.ParallelFor(0, 1000000, [&](int64_t) {
+      ++ran;
+      throw std::runtime_error("first iteration fails");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  // Every participant stops claiming work after the first failure; far
+  // fewer than all iterations ran.
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ShardsAreContiguousOrderedAndComplete) {
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    const int64_t n = 1001;
+    std::vector<std::pair<int64_t, int64_t>> ranges(
+        static_cast<size_t>(threads), {-1, -1});
+    pool.ParallelForShards(0, n, [&](int shard, int64_t b, int64_t e) {
+      ranges[static_cast<size_t>(shard)] = {b, e};
+    });
+    int64_t expected_begin = 0;
+    for (int sh = 0; sh < threads; ++sh) {
+      auto [b, e] = ranges[static_cast<size_t>(sh)];
+      if (b < 0) continue;  // empty shard never invoked
+      EXPECT_EQ(b, expected_begin) << "shard " << sh;
+      EXPECT_GT(e, b);
+      expected_begin = e;
+    }
+    EXPECT_EQ(expected_begin, n) << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, ShardsSkipEmptyRangesWhenFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> invocations{0};
+  std::atomic<int64_t> covered{0};
+  pool.ParallelForShards(0, 3, [&](int, int64_t b, int64_t e) {
+    ++invocations;
+    covered += e - b;
+  });
+  EXPECT_EQ(covered.load(), 3);
+  EXPECT_LE(invocations.load(), 3);
+  int none = 0;
+  pool.ParallelForShards(7, 7, [&](int, int64_t, int64_t) { ++none; });
+  EXPECT_EQ(none, 0);
+}
+
+}  // namespace
+}  // namespace qagview
