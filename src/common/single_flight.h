@@ -1,0 +1,47 @@
+#ifndef QAGVIEW_COMMON_SINGLE_FLIGHT_H_
+#define QAGVIEW_COMMON_SINGLE_FLIGHT_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/status.h"
+
+namespace qagview {
+
+/// \brief One in-flight build that concurrent requesters wait on — the
+/// latch behind the single-flight caches in core::Session and
+/// service::QueryService.
+///
+/// Protocol: the leader that created the registry entry performs the work,
+/// publishes its result into the shared cache (under the cache's exclusive
+/// lock) and removes the registry entry *before* calling Finish(), so
+/// woken waiters always find either the published value or no entry (a
+/// failed flight leaves no residue). Waiters block in Wait() and, on OK,
+/// retry their cache lookup.
+struct FlightLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status = Status::OK();
+
+  /// Blocks until the leader finished; returns its build status.
+  Status Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done; });
+    return status;
+  }
+
+  void Finish(Status s) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      status = std::move(s);
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace qagview
+
+#endif  // QAGVIEW_COMMON_SINGLE_FLIGHT_H_

@@ -75,6 +75,29 @@ SolutionStore::Trace ReplayForD(const ClusterUniverse& universe,
 
 }  // namespace
 
+PrecomputeOptions PrecomputeOptions::ResolvedFor(int num_attrs) const {
+  PrecomputeOptions resolved = *this;
+  if (resolved.k_max <= 0) resolved.k_max = std::max(resolved.k_min, 20);
+  if (resolved.d_values.empty()) {
+    for (int d = 1; d <= num_attrs; ++d) resolved.d_values.push_back(d);
+  }
+  return resolved;
+}
+
+std::string PrecomputeOptions::CacheKey(int top_l, int num_attrs) const {
+  PrecomputeOptions r = ResolvedFor(num_attrs);
+  std::string key = "L=" + std::to_string(top_l) +
+                    ";kmin=" + std::to_string(r.k_min) +
+                    ";kmax=" + std::to_string(r.k_max) +
+                    ";c=" + std::to_string(r.c) +
+                    ";delta=" + (r.use_delta_judgment ? "1" : "0") + ";d=";
+  for (size_t i = 0; i < r.d_values.size(); ++i) {
+    if (i > 0) key += ',';
+    key += std::to_string(r.d_values[i]);
+  }
+  return key;
+}
+
 Result<SolutionStore> Precompute::Run(const ClusterUniverse& universe,
                                       int top_l,
                                       const PrecomputeOptions& options,
@@ -87,10 +110,8 @@ Result<SolutionStore> Precompute::Run(const ClusterUniverse& universe,
   }
   int m = universe.answer_set().num_attrs();
 
-  std::vector<int> d_values = options.d_values;
-  if (d_values.empty()) {
-    for (int d = 1; d <= m; ++d) d_values.push_back(d);
-  }
+  const PrecomputeOptions resolved = options.ResolvedFor(m);
+  const std::vector<int>& d_values = resolved.d_values;
   for (int d : d_values) {
     // d = 0 is the explicit "no distance constraint" row (no-op distance
     // phase); the default grid itself is 1..m per §6.2.
@@ -99,8 +120,7 @@ Result<SolutionStore> Precompute::Run(const ClusterUniverse& universe,
     }
   }
 
-  int k_max = options.k_max;
-  if (k_max <= 0) k_max = std::max(options.k_min, 20);
+  int k_max = resolved.k_max;
   if (k_max < options.k_min) {
     return Status::InvalidArgument("k_max must be >= k_min");
   }

@@ -1,6 +1,7 @@
 #ifndef QAGVIEW_CORE_PRECOMPUTE_H_
 #define QAGVIEW_CORE_PRECOMPUTE_H_
 
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -26,6 +27,19 @@ struct PrecomputeOptions {
   /// hardware concurrency; 1 is the exact serial path. The resulting store
   /// is bit-identical for every thread count.
   int num_threads = 0;
+
+  /// Copy with the derived defaults materialized against a schema of
+  /// `num_attrs` grouping attributes: empty `d_values` becomes 1..m and
+  /// `k_max <= 0` becomes max(k_min, 20) — exactly the defaults
+  /// Precompute::Run applies. Two option sets with equal resolved fields
+  /// produce bit-identical stores for a given (universe, top_l).
+  PrecomputeOptions ResolvedFor(int num_attrs) const;
+
+  /// Stable identity of the resolved (top_l, grid-shape) request, used as
+  /// the single-flight coalescing key by core::Session: concurrent
+  /// Guidance calls with equal keys trigger exactly one precompute.
+  /// `num_threads` is excluded — it never changes the resulting store.
+  std::string CacheKey(int top_l, int num_attrs) const;
 };
 
 /// Wall-clock breakdown of one precompute run (Figures 7c-7f bars).

@@ -1,6 +1,8 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "core/solution_store_io.h"
@@ -11,22 +13,18 @@ namespace {
 
 /// Whether a cached store can serve a Guidance request with these options:
 /// every requested D row present, the k range at least as wide on both
-/// ends. (Mirrors the Precompute::Run defaults for empty/zero fields.)
+/// ends. (Defaults are materialized by PrecomputeOptions::ResolvedFor,
+/// mirroring Precompute::Run.)
 bool StoreCoversOptions(const SolutionStore& store, const AnswerSet& s,
                         const PrecomputeOptions& options) {
-  int k_max = options.k_max;
-  if (k_max <= 0) k_max = std::max(options.k_min, 20);
-  if (store.k_max() < k_max) return false;
-  std::vector<int> want = options.d_values;
-  if (want.empty()) {
-    for (int d = 1; d <= s.num_attrs(); ++d) want.push_back(d);
-  }
+  PrecomputeOptions want = options.ResolvedFor(s.num_attrs());
+  if (store.k_max() < want.k_max) return false;
   std::vector<int> have = store.d_values();  // ascending (map keys)
-  for (int d : want) {
+  for (int d : want.d_values) {
     if (!std::binary_search(have.begin(), have.end(), d)) return false;
     // A fresh build merges down to max(k_min, 1); the cached row must
     // reach at least as low.
-    if (store.MinK(d).value() > std::max(options.k_min, 1)) return false;
+    if (store.MinK(d).value() > std::max(want.k_min, 1)) return false;
   }
   return true;
 }
@@ -45,92 +43,214 @@ Result<std::unique_ptr<Session>> Session::FromTable(
   return Create(std::move(answers));
 }
 
-Result<const ClusterUniverse*> Session::UniverseFor(int top_l) {
+Result<const ClusterUniverse*> Session::UniverseFor(int top_l,
+                                                    RequestTrace* trace) {
   if (top_l < 1 || top_l > answers_->size()) {
     return Status::InvalidArgument("L out of range for this session");
   }
-  // Narrowest cached universe with top_l' >= top_l serves the request (its
-  // cluster set is a superset and all algorithms accept params.L <= top_l').
-  auto it = universes_.lower_bound(top_l);
-  if (it != universes_.end()) {
-    ++universe_hits_;
-    return it->second.get();
+  while (true) {
+    // Fast path, shared lock: the narrowest cached universe with
+    // top_l' >= top_l serves the request (its cluster set is a superset
+    // and all algorithms accept params.L <= top_l').
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = universes_.lower_bound(top_l);
+      if (it != universes_.end()) {
+        universe_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
+        return it->second.get();
+      }
+    }
+    // Miss: become the leader for this L, or join an in-flight build for
+    // any L' >= top_l (its result will serve this request too).
+    std::shared_ptr<FlightLatch> flight;
+    bool leader = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      auto it = universes_.lower_bound(top_l);  // recheck under exclusive
+      if (it != universes_.end()) {
+        universe_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
+        return it->second.get();
+      }
+      auto fit = universe_flights_.lower_bound(top_l);
+      if (fit != universe_flights_.end()) {
+        flight = fit->second;
+      } else {
+        flight = std::make_shared<FlightLatch>();
+        universe_flights_.emplace(top_l, flight);
+        leader = true;
+      }
+    }
+    if (!leader) {
+      // Another caller owns the flight — wait, then retry from the cache.
+      universe_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->coalesced = true;
+      Status status = flight->Wait();
+      if (!status.ok()) return status;
+      continue;
+    }
+    // Leader: build outside the lock (concurrent readers stay unblocked),
+    // publish under the exclusive lock, then release the waiters.
+    universe_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) trace->built = true;
+    ClusterUniverse::Options build_options;
+    build_options.num_threads = num_threads();
+    Result<ClusterUniverse> built =
+        ClusterUniverse::Build(answers_.get(), top_l, build_options);
+    const ClusterUniverse* ptr = nullptr;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (built.ok()) {
+        auto owned =
+            std::make_unique<ClusterUniverse>(std::move(built).value());
+        ptr = owned.get();
+        universes_.emplace(top_l, std::move(owned));
+      }
+      universe_flights_.erase(top_l);
+    }
+    flight->Finish(built.ok() ? Status::OK() : built.status());
+    if (!built.ok()) return built.status();
+    return ptr;
   }
-  ++universe_misses_;
-  ClusterUniverse::Options build_options;
-  build_options.num_threads = num_threads_;
-  QAG_ASSIGN_OR_RETURN(
-      ClusterUniverse u,
-      ClusterUniverse::Build(answers_.get(), top_l, build_options));
-  auto owned = std::make_unique<ClusterUniverse>(std::move(u));
-  const ClusterUniverse* ptr = owned.get();
-  universes_.emplace(top_l, std::move(owned));
-  return ptr;
 }
 
 Result<Solution> Session::Summarize(const Params& params,
-                                    const HybridOptions& options) {
+                                    const HybridOptions& options,
+                                    RequestTrace* trace) {
+  return SummarizeWith(params, /*universe_out=*/nullptr, options, trace);
+}
+
+Result<Solution> Session::SummarizeWith(const Params& params,
+                                        const ClusterUniverse** universe_out,
+                                        const HybridOptions& options,
+                                        RequestTrace* trace) {
   QAG_RETURN_IF_ERROR(ValidateParams(*answers_, params));
   QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe,
-                       UniverseFor(params.L));
+                       UniverseFor(params.L, trace));
+  if (universe_out != nullptr) *universe_out = universe;
   return Hybrid::Run(*universe, params, options);
 }
 
-const SolutionStore* Session::StoreFor(int top_l) const {
+const SolutionStore* Session::StoreForLocked(int top_l) const {
   // Mirror of the universe cache policy: the narrowest cached grid with
   // L' >= top_l serves the request (its replays cover the top-L' >= top-L
   // elements, and every stored (k, D) solution remains valid for the
   // narrower coverage request by Proposition 6.1).
   auto it = stores_.lower_bound(top_l);
   if (it == stores_.end()) {
-    ++store_misses_;
+    store_misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++store_hits_;
+  store_hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second.get();
 }
 
-Result<const SolutionStore*> Session::Guidance(
-    int top_l, const PrecomputeOptions& options) {
-  // Serve the narrowest cached grid with L' >= top_l — but only when it
-  // actually covers the requested (k, D) ranges; a wider-L store built
-  // with a narrower grid must not shadow a request for rows it lacks.
+const SolutionStore* Session::CoveringStoreLocked(
+    int top_l, const PrecomputeOptions& options) const {
   for (auto it = stores_.lower_bound(top_l); it != stores_.end(); ++it) {
     if (StoreCoversOptions(*it->second, *answers_, options)) {
-      ++store_hits_;
       return it->second.get();
     }
   }
-  ++store_misses_;
-  QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe, UniverseFor(top_l));
-  PrecomputeOptions run_options = options;
-  if (run_options.num_threads <= 0) run_options.num_threads = num_threads_;
-  QAG_ASSIGN_OR_RETURN(SolutionStore store,
-                       Precompute::Run(*universe, top_l, run_options));
-  auto owned = std::make_unique<SolutionStore>(std::move(store));
-  const SolutionStore* ptr = owned.get();
-  // emplace, never replace: a narrower-grid store at this L may exist and
-  // keeps serving the requests it covers (and pointers previously handed
-  // out must stay valid).
-  stores_.emplace(top_l, std::move(owned));
-  return ptr;
+  return nullptr;
 }
 
-Result<Solution> Session::Retrieve(int top_l, int d, int k) {
+Result<const SolutionStore*> Session::Guidance(
+    int top_l, const PrecomputeOptions& options, RequestTrace* trace) {
+  // The coalescing key is only needed on a miss; computed lazily so warm
+  // cache hits — the interactive serving path — skip its allocations.
+  std::string key;
+  while (true) {
+    // Serve the narrowest cached grid with L' >= top_l — but only when it
+    // actually covers the requested (k, D) ranges; a wider-L store built
+    // with a narrower grid must not shadow a request for rows it lacks.
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      if (const SolutionStore* store = CoveringStoreLocked(top_l, options)) {
+        store_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
+        return store;
+      }
+    }
+    // Miss: coalesce with an identical in-flight precompute, or lead one.
+    if (key.empty()) key = options.CacheKey(top_l, answers_->num_attrs());
+    std::shared_ptr<FlightLatch> flight;
+    bool leader = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (const SolutionStore* store = CoveringStoreLocked(top_l, options)) {
+        store_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
+        return store;
+      }
+      auto fit = store_flights_.find(key);
+      if (fit != store_flights_.end()) {
+        flight = fit->second;
+      } else {
+        flight = std::make_shared<FlightLatch>();
+        store_flights_.emplace(key, flight);
+        leader = true;
+      }
+    }
+    if (!leader) {
+      store_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->coalesced = true;
+      Status status = flight->Wait();
+      if (!status.ok()) return status;
+      continue;
+    }
+    store_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) trace->built = true;
+    // The universe build has its own single-flight; no session lock held.
+    auto build = [&]() -> Result<const SolutionStore*> {
+      QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe,
+                           UniverseFor(top_l));
+      PrecomputeOptions run_options = options;
+      if (run_options.num_threads <= 0) {
+        run_options.num_threads = num_threads();
+      }
+      QAG_ASSIGN_OR_RETURN(SolutionStore store,
+                           Precompute::Run(*universe, top_l, run_options));
+      auto owned = std::make_unique<SolutionStore>(std::move(store));
+      const SolutionStore* ptr = owned.get();
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      // emplace, never replace: a narrower-grid store at this L may exist
+      // and keeps serving the requests it covers (and pointers previously
+      // handed out must stay valid).
+      stores_.emplace(top_l, std::move(owned));
+      return ptr;
+    };
+    Result<const SolutionStore*> outcome = build();
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      store_flights_.erase(key);
+    }
+    flight->Finish(outcome.ok() ? Status::OK() : outcome.status());
+    return outcome;
+  }
+}
+
+Result<Solution> Session::Retrieve(int top_l, int d, int k,
+                                   RequestTrace* trace) {
   // Narrowest store with L' >= top_l that can answer (d, k); a narrower-
   // grid store is skipped if a wider cached one has the row.
   Status first_error = Status::OK();
   bool found_store = false;
-  for (auto it = stores_.lower_bound(top_l); it != stores_.end(); ++it) {
-    found_store = true;
-    Result<Solution> solution = it->second->Retrieve(d, k);
-    if (solution.ok()) {
-      ++store_hits_;
-      return solution;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (auto it = stores_.lower_bound(top_l); it != stores_.end(); ++it) {
+      found_store = true;
+      Result<Solution> solution = it->second->Retrieve(d, k);
+      if (solution.ok()) {
+        store_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr) trace->cache_hit = true;
+        return solution;
+      }
+      if (first_error.ok()) first_error = solution.status();
     }
-    if (first_error.ok()) first_error = solution.status();
   }
-  ++store_misses_;
+  store_misses_.fetch_add(1, std::memory_order_relaxed);
   if (!found_store) {
     return Status::FailedPrecondition(
         "no guidance precomputed covering this L; call Guidance() first");
@@ -139,11 +259,17 @@ Result<Solution> Session::Retrieve(int top_l, int d, int k) {
 }
 
 Status Session::SaveGuidance(int top_l, const std::string& path) const {
-  const SolutionStore* store = StoreFor(top_l);
+  const SolutionStore* store = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    store = StoreForLocked(top_l);
+  }
   if (store == nullptr) {
     return Status::FailedPrecondition(
         "no guidance precomputed covering this L; call Guidance() first");
   }
+  // Stores are immutable and never evicted, so the file write can proceed
+  // outside the lock without blocking concurrent requests.
   return SaveSolutionStore(*store, path);
 }
 
@@ -161,6 +287,7 @@ Status Session::LoadGuidance(int top_l, const std::string& path) {
                        UniverseFor(stored_l));
   QAG_ASSIGN_OR_RETURN(SolutionStore store,
                        LoadSolutionStore(universe, path));
+  std::unique_lock<std::shared_mutex> lock(mu_);
   stores_.emplace(stored_l,
                   std::make_unique<SolutionStore>(std::move(store)));
   return Status::OK();
@@ -168,12 +295,18 @@ Status Session::LoadGuidance(int top_l, const std::string& path) {
 
 Session::CacheStats Session::cache_stats() const {
   CacheStats stats;
-  stats.universes = static_cast<int>(universes_.size());
-  stats.stores = static_cast<int>(stores_.size());
-  stats.universe_hits = universe_hits_;
-  stats.universe_misses = universe_misses_;
-  stats.store_hits = store_hits_;
-  stats.store_misses = store_misses_;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    stats.universes = static_cast<int>(universes_.size());
+    stats.stores = static_cast<int>(stores_.size());
+  }
+  stats.universe_hits = universe_hits_.load(std::memory_order_relaxed);
+  stats.universe_misses = universe_misses_.load(std::memory_order_relaxed);
+  stats.store_hits = store_hits_.load(std::memory_order_relaxed);
+  stats.store_misses = store_misses_.load(std::memory_order_relaxed);
+  stats.universe_coalesced =
+      universe_coalesced_.load(std::memory_order_relaxed);
+  stats.store_coalesced = store_coalesced_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -1,11 +1,14 @@
 #ifndef QAGVIEW_CORE_SESSION_H_
 #define QAGVIEW_CORE_SESSION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "common/result.h"
+#include "common/single_flight.h"
 #include "core/hybrid.h"
 #include "core/precompute.h"
 #include "core/solution_store.h"
@@ -25,6 +28,21 @@ namespace qagview::core {
 ///    the widest cached universe (its cluster set is a superset);
 ///  * precomputed solution stores (the §6.2 grids) are cached per L;
 ///  * Summarize / Retrieve requests then run at interactive speed.
+///
+/// **Thread safety.** Every public method may be called concurrently from
+/// any number of client threads (the contract the `service::QueryService`
+/// layer builds on). The caches are guarded by a shared mutex — reads
+/// (cache hits, Retrieve, Summarize over a built universe) take the lock
+/// shared and proceed in parallel; cache fills take it exclusively only to
+/// publish results. Expensive builds (universe construction, grid
+/// precomputes) run *outside* the lock and are **single-flight**: when N
+/// clients concurrently miss on the same universe L or the same Guidance
+/// (L, options) grid, exactly one performs the build while the others
+/// block on the in-flight entry and then serve from cache — never N
+/// duplicate precomputes. Coalesced waits are counted in `CacheStats`.
+/// Results remain bit-identical to any serial execution order: builds are
+/// deterministic in their (answer set, L, options) inputs alone, and
+/// stores/universes are immutable once published.
 class Session {
  public:
   /// Creates a session over a materialized answer set.
@@ -36,23 +54,53 @@ class Session {
 
   const AnswerSet& answers() const { return *answers_; }
 
+  /// What happened to one request, for per-request service statistics:
+  /// exactly one of the flags is set by UniverseFor / Guidance; Retrieve
+  /// sets `cache_hit` when any cached grid answered.
+  struct RequestTrace {
+    /// Served from an already-cached structure.
+    bool cache_hit = false;
+    /// Waited on another client's identical in-flight build instead of
+    /// duplicating it (single-flight coalescing).
+    bool coalesced = false;
+    /// Performed the build (cache miss, this caller was the leader).
+    bool built = false;
+  };
+
   /// One-off summarization (Hybrid) under the given parameters; builds or
   /// reuses the universe for params.L.
   Result<Solution> Summarize(const Params& params,
-                             const HybridOptions& options = HybridOptions());
+                             const HybridOptions& options = HybridOptions(),
+                             RequestTrace* trace = nullptr);
+
+  /// Summarize variant that also reports which cached universe served the
+  /// request — the universe the returned Solution's cluster ids index
+  /// into. Renderers must use it rather than a second UniverseFor(params.L)
+  /// lookup: under concurrency a narrower universe may be published
+  /// between the two calls, and cluster ids are only meaningful in the
+  /// universe that produced them.
+  Result<Solution> SummarizeWith(const Params& params,
+                                 const ClusterUniverse** universe_out,
+                                 const HybridOptions& options =
+                                     HybridOptions(),
+                                 RequestTrace* trace = nullptr);
 
   /// Ensures a (k, D) grid serving `top_l` is precomputed and returns the
   /// store (owned by the session). Like UniverseFor, a cached grid for any
   /// L' >= top_l serves the request (Proposition 6.1: the wider grid's
   /// solutions cover the narrower request) — but only when it also covers
   /// the requested (k, D) ranges; otherwise a fresh grid is precomputed.
+  /// Concurrent calls with the same (top_l, options) grid shape coalesce
+  /// onto one precompute.
   Result<const SolutionStore*> Guidance(
-      int top_l, const PrecomputeOptions& options = PrecomputeOptions());
+      int top_l, const PrecomputeOptions& options = PrecomputeOptions(),
+      RequestTrace* trace = nullptr);
 
   /// Retrieves a precomputed solution; requires a prior Guidance(L') with
   /// L' >= top_l. The narrowest such store that can answer (d, k) serves
   /// the request, consistent with the universe cache.
-  Result<Solution> Retrieve(int top_l, int d, int k);
+  Result<Solution> Retrieve(int top_l, int d, int k,
+                            RequestTrace* trace = nullptr);
 
   /// Persists the precomputed grid serving `top_l` (the narrowest cached
   /// store with L' >= top_l) to a file; requires a prior Guidance(L') with
@@ -69,8 +117,10 @@ class Session {
   /// `top_l`.
   Status LoadGuidance(int top_l, const std::string& path);
 
-  /// The universe serving requests at coverage level `top_l` (cached).
-  Result<const ClusterUniverse*> UniverseFor(int top_l);
+  /// The universe serving requests at coverage level `top_l` (cached;
+  /// concurrent misses for the same L coalesce onto one build).
+  Result<const ClusterUniverse*> UniverseFor(int top_l,
+                                             RequestTrace* trace = nullptr);
 
   struct CacheStats {
     int universes = 0;
@@ -79,24 +129,43 @@ class Session {
     int64_t universe_misses = 0;
     int64_t store_hits = 0;
     int64_t store_misses = 0;
+    /// Requests that blocked on another caller's identical in-flight build
+    /// instead of starting their own (each subsequently counts a hit when
+    /// it serves from the freshly published cache entry).
+    int64_t universe_coalesced = 0;
+    int64_t store_coalesced = 0;
   };
   CacheStats cache_stats() const;
 
   /// Worker count for universe builds and precomputes issued by this
   /// session. <= 0 (the default) uses the hardware concurrency; explicit
   /// PrecomputeOptions::num_threads still wins for that call.
-  void set_num_threads(int num_threads) { num_threads_ = num_threads; }
-  int num_threads() const { return num_threads_; }
+  void set_num_threads(int num_threads) {
+    num_threads_.store(num_threads, std::memory_order_relaxed);
+  }
+  int num_threads() const {
+    return num_threads_.load(std::memory_order_relaxed);
+  }
 
  private:
   explicit Session(std::unique_ptr<AnswerSet> answers)
       : answers_(std::move(answers)) {}
 
   /// The narrowest cached store with L' >= top_l, or nullptr (counts
-  /// store hits/misses).
-  const SolutionStore* StoreFor(int top_l) const;
+  /// store hits/misses). Caller must hold mu_ (shared suffices).
+  const SolutionStore* StoreForLocked(int top_l) const;
+
+  /// The narrowest cached store with L' >= top_l that covers `options`,
+  /// or nullptr. Caller must hold mu_ (shared suffices); does not touch
+  /// the hit/miss counters.
+  const SolutionStore* CoveringStoreLocked(
+      int top_l, const PrecomputeOptions& options) const;
 
   std::unique_ptr<AnswerSet> answers_;
+
+  /// Guards the two caches and the flight maps below. Shared for lookups,
+  /// exclusive for publishing. Never held across a build or a flight wait.
+  mutable std::shared_mutex mu_;
   // Keyed by the top_l the universe was built for.
   std::map<int, std::unique_ptr<ClusterUniverse>> universes_;
   // Keyed by top_l. A multimap because one L can accumulate several grids
@@ -104,11 +173,19 @@ class Session {
   // within a session, so pointers returned by Guidance stay valid for the
   // session's lifetime.
   std::multimap<int, std::unique_ptr<SolutionStore>> stores_;
-  int num_threads_ = 0;
-  int64_t universe_hits_ = 0;
-  int64_t universe_misses_ = 0;
-  mutable int64_t store_hits_ = 0;
-  mutable int64_t store_misses_ = 0;
+  // In-flight builds: universe flights keyed by top_l (a flight for
+  // L' >= top_l satisfies a waiter at top_l), store flights keyed by
+  // PrecomputeOptions::CacheKey (exact grid-shape identity).
+  std::map<int, std::shared_ptr<FlightLatch>> universe_flights_;
+  std::map<std::string, std::shared_ptr<FlightLatch>> store_flights_;
+
+  std::atomic<int> num_threads_{0};
+  mutable std::atomic<int64_t> universe_hits_{0};
+  mutable std::atomic<int64_t> universe_misses_{0};
+  mutable std::atomic<int64_t> store_hits_{0};
+  mutable std::atomic<int64_t> store_misses_{0};
+  mutable std::atomic<int64_t> universe_coalesced_{0};
+  mutable std::atomic<int64_t> store_coalesced_{0};
 };
 
 }  // namespace qagview::core

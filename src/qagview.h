@@ -46,6 +46,9 @@
 ///               concept hierarchies, session cache
 ///   baselines/  smart drill-down, diversified top-k, DisC, MMR,
 ///               decision trees
+///   service/    thread-safe multi-client QueryService: dataset catalog,
+///               SQL -> cached answer sets, shared sessions with
+///               single-flight builds, per-request statistics
 ///   viz/        parameter grid (Fig 2), Sankey comparison + placement
 ///               optimization (Fig 13-16, A.7)
 ///   study/      simulated-subject user study (Section 8)
@@ -74,6 +77,8 @@
 #include "datagen/answers.h"
 #include "datagen/movielens.h"
 #include "datagen/store_sales.h"
+#include "service/catalog.h"
+#include "service/query_service.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "storage/csv.h"

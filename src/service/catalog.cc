@@ -1,0 +1,61 @@
+#include "service/catalog.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace qagview::service {
+
+Status DatasetCatalog::Register(const std::string& name,
+                                storage::Table table) {
+  std::string key = ToLower(name);
+  if (key.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = tables_.emplace(
+      std::move(key), std::make_unique<storage::Table>(std::move(table)));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrCat("dataset '", name, "' is already registered"));
+  }
+  return Status::OK();
+}
+
+Status DatasetCatalog::RegisterCsvFile(const std::string& name,
+                                       const std::string& path) {
+  QAG_ASSIGN_OR_RETURN(storage::Table table, storage::ReadCsvFile(path));
+  return Register(name, std::move(table));
+}
+
+const storage::Table* DatasetCatalog::Find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> DatasetCatalog::names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;  // map iteration order: already sorted
+}
+
+int DatasetCatalog::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int>(tables_.size());
+}
+
+sql::Catalog DatasetCatalog::SqlCatalog() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  sql::Catalog catalog;
+  for (const auto& [name, table] : tables_) {
+    catalog.Register(name, table.get());
+  }
+  return catalog;
+}
+
+}  // namespace qagview::service

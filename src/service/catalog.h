@@ -1,0 +1,57 @@
+#ifndef QAGVIEW_SERVICE_CATALOG_H_
+#define QAGVIEW_SERVICE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/executor.h"
+#include "storage/table.h"
+
+namespace qagview::service {
+
+/// \brief Thread-safe catalog of the named datasets a QueryService can
+/// query — the service-layer analogue of the paper prototype's database
+/// schema (CSV- or datagen-loaded tables instead of PostgreSQL relations).
+///
+/// Tables are owned by the catalog and **immutable once registered**:
+/// registration under an existing name fails rather than replacing, so
+/// table pointers handed to the SQL executor (or captured by in-flight
+/// queries) stay valid for the catalog's lifetime. Names are
+/// case-insensitive, matching `sql::Catalog`.
+class DatasetCatalog {
+ public:
+  /// Takes ownership of `table` under `name`. AlreadyExists if the name is
+  /// taken (tables are never replaced; see class comment).
+  Status Register(const std::string& name, storage::Table table);
+
+  /// Loads a CSV file (type-inferred, see storage::ReadCsvFile) and
+  /// registers it under `name`.
+  Status RegisterCsvFile(const std::string& name, const std::string& path);
+
+  /// The table registered under `name`, or nullptr. The pointer stays
+  /// valid for the catalog's lifetime.
+  const storage::Table* Find(const std::string& name) const;
+
+  /// Registered names (lower-cased), sorted.
+  std::vector<std::string> names() const;
+
+  int size() const;
+
+  /// A sql::Catalog view over the current tables for one query execution.
+  /// The view holds non-owning pointers; since tables are never removed,
+  /// it stays valid even if other threads register more datasets.
+  sql::Catalog SqlCatalog() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  // Keyed by lower-cased name.
+  std::map<std::string, std::unique_ptr<storage::Table>> tables_;
+};
+
+}  // namespace qagview::service
+
+#endif  // QAGVIEW_SERVICE_CATALOG_H_

@@ -1,0 +1,276 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "sql/executor.h"
+
+namespace qagview::service {
+
+namespace {
+
+/// Converts a core-session trace into the service-facing per-request view.
+RequestStats FromTrace(const core::Session::RequestTrace& trace,
+                       double latency_ms) {
+  RequestStats stats;
+  stats.latency_ms = latency_ms;
+  stats.cache_hit = trace.cache_hit;
+  stats.coalesced = trace.coalesced;
+  stats.built = trace.built;
+  return stats;
+}
+
+}  // namespace
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(std::move(options)) {}
+
+Status QueryService::RegisterTable(const std::string& name,
+                                   storage::Table table) {
+  return datasets_.Register(name, std::move(table));
+}
+
+Status QueryService::RegisterCsvFile(const std::string& name,
+                                     const std::string& path) {
+  return datasets_.RegisterCsvFile(name, path);
+}
+
+std::vector<std::string> QueryService::dataset_names() const {
+  return datasets_.names();
+}
+
+Result<QueryInfo> QueryService::Query(const std::string& sql,
+                                      const std::string& value_column) {
+  WallTimer timer;
+  const std::string trimmed(StripWhitespace(sql));
+  RequestStats rs;
+  if (trimmed.empty()) {
+    rs.latency_ms = timer.ElapsedMillis();
+    Record(RequestKind::kQuery, rs);
+    return Status::InvalidArgument("empty SQL text");
+  }
+  // Session identity: byte-identical SQL (modulo surrounding whitespace)
+  // over the same value column. '\x1f' cannot occur in either part.
+  const std::string key = trimmed + '\x1f' + ToLower(value_column);
+  while (true) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = by_key_.find(key);
+      if (it != by_key_.end()) {
+        const SessionEntry& entry = *entries_[static_cast<size_t>(it->second)];
+        QueryInfo info;
+        info.handle = it->second;
+        info.num_answers = entry.session->answers().size();
+        info.num_attrs = entry.session->answers().num_attrs();
+        if (!rs.coalesced) rs.cache_hit = true;
+        lock.unlock();
+        rs.latency_ms = timer.ElapsedMillis();
+        info.stats = rs;
+        Record(RequestKind::kQuery, rs);
+        return info;
+      }
+    }
+    // Miss: lead the execution, or join an identical in-flight one.
+    std::shared_ptr<FlightLatch> flight;
+    bool leader = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (by_key_.count(key) != 0) continue;  // published since the check
+      auto fit = query_flights_.find(key);
+      if (fit != query_flights_.end()) {
+        flight = fit->second;
+      } else {
+        flight = std::make_shared<FlightLatch>();
+        query_flights_.emplace(key, flight);
+        leader = true;
+      }
+    }
+    if (!leader) {
+      rs.coalesced = true;
+      Status status = flight->Wait();
+      if (!status.ok()) {
+        rs.latency_ms = timer.ElapsedMillis();
+        Record(RequestKind::kQuery, rs);
+        return status;
+      }
+      continue;  // the leader published the session; serve from cache
+    }
+    rs.built = true;
+    // Execute outside the lock: SQL + answer-set materialization are the
+    // expensive part, and the catalog snapshot stays valid regardless of
+    // concurrent dataset registrations (tables are never removed).
+    auto build = [&]() -> Result<QueryHandle> {
+      sql::Catalog catalog = datasets_.SqlCatalog();
+      QAG_ASSIGN_OR_RETURN(storage::Table result,
+                           sql::ExecuteSql(trimmed, catalog));
+      QAG_ASSIGN_OR_RETURN(std::unique_ptr<core::Session> session,
+                           core::Session::FromTable(result, value_column));
+      session->set_num_threads(options_.num_threads);
+      auto entry = std::make_unique<SessionEntry>();
+      entry->session = std::move(session);
+      entry->sql = trimmed;
+      entry->value_column = value_column;
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      QueryHandle handle = static_cast<QueryHandle>(entries_.size());
+      entries_.push_back(std::move(entry));
+      by_key_.emplace(key, handle);
+      return handle;
+    };
+    Result<QueryHandle> outcome = build();
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      query_flights_.erase(key);
+    }
+    flight->Finish(outcome.ok() ? Status::OK() : outcome.status());
+    rs.latency_ms = timer.ElapsedMillis();
+    Record(RequestKind::kQuery, rs);
+    if (!outcome.ok()) return outcome.status();
+    QueryInfo info;
+    info.handle = *outcome;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const SessionEntry& entry = *entries_[static_cast<size_t>(*outcome)];
+      info.num_answers = entry.session->answers().size();
+      info.num_attrs = entry.session->answers().num_attrs();
+    }
+    info.stats = rs;
+    return info;
+  }
+}
+
+Result<const QueryService::SessionEntry*> QueryService::Lookup(
+    QueryHandle handle) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (handle < 0 || handle >= static_cast<QueryHandle>(entries_.size())) {
+    return Status::NotFound(
+        StrCat("unknown query handle ", handle, "; obtain one from Query()"));
+  }
+  const SessionEntry* entry = entries_[static_cast<size_t>(handle)].get();
+  return entry;
+}
+
+Result<core::Solution> QueryService::Summarize(QueryHandle handle,
+                                               const core::Params& params,
+                                               RequestStats* stats) {
+  WallTimer timer;
+  QAG_ASSIGN_OR_RETURN(const SessionEntry* entry, Lookup(handle));
+  core::Session::RequestTrace trace;
+  Result<core::Solution> solution =
+      entry->session->Summarize(params, core::HybridOptions(), &trace);
+  RequestStats rs = FromTrace(trace, timer.ElapsedMillis());
+  Record(RequestKind::kSummarize, rs);
+  if (stats != nullptr) *stats = rs;
+  return solution;
+}
+
+Result<const core::SolutionStore*> QueryService::Guidance(
+    QueryHandle handle, int top_l, const core::PrecomputeOptions& options,
+    RequestStats* stats) {
+  WallTimer timer;
+  QAG_ASSIGN_OR_RETURN(const SessionEntry* entry, Lookup(handle));
+  core::Session::RequestTrace trace;
+  Result<const core::SolutionStore*> store =
+      entry->session->Guidance(top_l, options, &trace);
+  RequestStats rs = FromTrace(trace, timer.ElapsedMillis());
+  Record(RequestKind::kGuidance, rs);
+  if (stats != nullptr) *stats = rs;
+  return store;
+}
+
+Result<core::Solution> QueryService::Retrieve(QueryHandle handle, int top_l,
+                                              int d, int k,
+                                              RequestStats* stats) {
+  WallTimer timer;
+  QAG_ASSIGN_OR_RETURN(const SessionEntry* entry, Lookup(handle));
+  core::Session::RequestTrace trace;
+  Result<core::Solution> solution =
+      entry->session->Retrieve(top_l, d, k, &trace);
+  RequestStats rs = FromTrace(trace, timer.ElapsedMillis());
+  Record(RequestKind::kRetrieve, rs);
+  if (stats != nullptr) *stats = rs;
+  return solution;
+}
+
+Result<ExploreResult> QueryService::Explore(QueryHandle handle,
+                                            const core::Params& params,
+                                            int max_members) {
+  WallTimer timer;
+  QAG_ASSIGN_OR_RETURN(const SessionEntry* entry, Lookup(handle));
+  core::Session::RequestTrace trace;
+  auto run = [&]() -> Result<ExploreResult> {
+    ExploreResult result;
+    // Render against the exact universe that produced the solution — a
+    // second UniverseFor(params.L) lookup could return a narrower
+    // universe published concurrently, in which the solution's cluster
+    // ids would be meaningless.
+    const core::ClusterUniverse* universe = nullptr;
+    QAG_ASSIGN_OR_RETURN(
+        result.solution,
+        entry->session->SummarizeWith(params, &universe,
+                                      core::HybridOptions(), &trace));
+    result.view = core::BuildTwoLayerView(*universe, result.solution);
+    result.summary = core::RenderSummary(*universe, result.solution);
+    result.expanded =
+        core::RenderExpanded(*universe, result.solution, max_members);
+    return result;
+  };
+  Result<ExploreResult> result = run();
+  RequestStats rs = FromTrace(trace, timer.ElapsedMillis());
+  Record(RequestKind::kExplore, rs);
+  if (result.ok()) result->stats = rs;
+  return result;
+}
+
+Result<core::Session*> QueryService::session(QueryHandle handle) const {
+  QAG_ASSIGN_OR_RETURN(const SessionEntry* entry, Lookup(handle));
+  return entry->session.get();
+}
+
+void QueryService::Record(RequestKind kind, const RequestStats& stats) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  switch (kind) {
+    case RequestKind::kQuery:
+      ++stats_.queries;
+      if (stats.cache_hit) ++stats_.query_cache_hits;
+      if (stats.coalesced) ++stats_.query_coalesced;
+      break;
+    case RequestKind::kSummarize:
+      ++stats_.summarize_requests;
+      break;
+    case RequestKind::kGuidance:
+      ++stats_.guidance_requests;
+      break;
+    case RequestKind::kRetrieve:
+      ++stats_.retrieve_requests;
+      break;
+    case RequestKind::kExplore:
+      ++stats_.explore_requests;
+      break;
+  }
+  if (kind != RequestKind::kQuery) {
+    if (stats.cache_hit) ++stats_.cache_hits;
+    if (stats.coalesced) ++stats_.coalesced_waits;
+    if (stats.built) ++stats_.builds;
+  }
+  stats_.total_latency_ms += stats.latency_ms;
+  stats_.max_latency_ms = std::max(stats_.max_latency_ms, stats.latency_ms);
+}
+
+QueryService::Stats QueryService::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.datasets = datasets_.size();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    out.sessions = static_cast<int64_t>(entries_.size());
+  }
+  return out;
+}
+
+}  // namespace qagview::service

@@ -1,0 +1,201 @@
+#ifndef QAGVIEW_SERVICE_QUERY_SERVICE_H_
+#define QAGVIEW_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/single_flight.h"
+#include "core/explore.h"
+#include "core/session.h"
+#include "service/catalog.h"
+
+namespace qagview::service {
+
+/// Service-wide knobs, fixed at construction.
+struct ServiceOptions {
+  /// Worker count handed to every core::Session the service opens (<= 0:
+  /// hardware concurrency). Per-call PrecomputeOptions::num_threads still
+  /// wins for that call.
+  int num_threads = 0;
+};
+
+/// What one request cost and where its answer came from — returned
+/// alongside every response so clients (and the stress harness) can see
+/// cache behaviour per call, not just in aggregate.
+struct RequestStats {
+  double latency_ms = 0.0;
+  /// Served from an already-cached structure (session, universe, or grid).
+  bool cache_hit = false;
+  /// Blocked on another client's identical in-flight work (single-flight
+  /// coalescing) instead of duplicating it.
+  bool coalesced = false;
+  /// This request paid for the build (cache miss, leader).
+  bool built = false;
+};
+
+/// Opaque reference to a cached query answer set; obtained from Query()
+/// and valid for the service's lifetime.
+using QueryHandle = int64_t;
+
+/// Query() response: the handle plus the answer-set shape.
+struct QueryInfo {
+  QueryHandle handle = -1;
+  int num_answers = 0;  // n — ranked tuples in the answer set
+  int num_attrs = 0;    // m — grouping attributes
+  RequestStats stats;   // cache_hit = an existing session was reused
+};
+
+/// Explore() response: the solution with both display layers rendered
+/// (Figures 1b/1c).
+struct ExploreResult {
+  core::Solution solution;
+  core::TwoLayerView view;
+  std::string summary;   // first layer (RenderSummary)
+  std::string expanded;  // second layer (RenderExpanded, bounded members)
+  RequestStats stats;
+};
+
+/// \brief Thread-safe front door to the whole pipeline: datasets → SQL →
+/// cached answer sets → shared interactive sessions.
+///
+/// The paper's prototype is a single-user web app over PostgreSQL
+/// (Appendix A.3); QueryService is the multi-client equivalent the ROADMAP
+/// asks for. It owns a `DatasetCatalog` of named tables, executes
+/// aggregate SQL through `sql::ExecuteSql`, materializes each distinct
+/// (sql, value column) pair into one `core::AnswerSet` + `core::Session`,
+/// and multiplexes any number of concurrent clients onto those shared
+/// sessions:
+///
+///  * every public method may be called from any thread at any time;
+///  * identical concurrent Query() calls coalesce onto one SQL execution
+///    and share the resulting session (single-flight, like the session's
+///    own universe/grid builds);
+///  * Summarize / Guidance / Retrieve / Explore delegate to the
+///    thread-safe `core::Session`, so N clients re-parameterizing the same
+///    answer set trigger at most one universe build and one grid
+///    precompute per distinct shape — everyone else waits and serves from
+///    cache;
+///  * results are bit-identical to a single-threaded execution of the same
+///    requests (sessions and stores are deterministic and immutable once
+///    published); only the statistics depend on interleaving.
+///
+/// Handles, sessions, and store pointers are never evicted; they stay
+/// valid for the service's lifetime.
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = ServiceOptions());
+
+  // --- Dataset catalog -------------------------------------------------
+
+  /// Takes ownership of `table` as dataset `name` (case-insensitive).
+  Status RegisterTable(const std::string& name, storage::Table table);
+
+  /// Loads a CSV file and registers it as dataset `name`.
+  Status RegisterCsvFile(const std::string& name, const std::string& path);
+
+  /// Registered dataset names (lower-cased, sorted).
+  std::vector<std::string> dataset_names() const;
+
+  // --- Query → shared session ------------------------------------------
+
+  /// Executes an aggregate query and opens (or reuses) the session over
+  /// its ranked answers. `value_column` names the aggregate output column
+  /// (the ranking value). Two calls with byte-identical SQL (modulo
+  /// surrounding whitespace) and value column share one session; identical
+  /// concurrent calls run the SQL once.
+  Result<QueryInfo> Query(const std::string& sql,
+                          const std::string& value_column);
+
+  // --- Interactive ops on a handle -------------------------------------
+
+  /// One-off summarization under (k, L, D) — Session::Summarize.
+  Result<core::Solution> Summarize(QueryHandle handle,
+                                   const core::Params& params,
+                                   RequestStats* stats = nullptr);
+
+  /// Ensures the (k, D) grid serving `top_l` exists — Session::Guidance.
+  /// The returned store stays valid for the service's lifetime.
+  Result<const core::SolutionStore*> Guidance(
+      QueryHandle handle, int top_l,
+      const core::PrecomputeOptions& options = core::PrecomputeOptions(),
+      RequestStats* stats = nullptr);
+
+  /// Instant retrieval from a precomputed grid — Session::Retrieve.
+  Result<core::Solution> Retrieve(QueryHandle handle, int top_l, int d,
+                                  int k, RequestStats* stats = nullptr);
+
+  /// Summarize plus both rendered display layers (Figures 1b/1c): the
+  /// two-layer view, the collapsed summary, and the expanded member lists
+  /// (at most `max_members` tuples per cluster; 0 = all).
+  Result<ExploreResult> Explore(QueryHandle handle,
+                                const core::Params& params,
+                                int max_members = 8);
+
+  /// The shared session behind a handle (e.g. for Save/LoadGuidance or
+  /// CacheStats); owned by the service, itself fully thread-safe.
+  Result<core::Session*> session(QueryHandle handle) const;
+
+  // --- Aggregate statistics --------------------------------------------
+
+  /// Monotonic service-wide counters (a superset of what each RequestStats
+  /// reported): request mix, cache behaviour, and latency totals.
+  struct Stats {
+    int64_t datasets = 0;
+    int64_t sessions = 0;           // distinct cached (sql, value) pairs
+    int64_t queries = 0;            // Query() calls
+    int64_t query_cache_hits = 0;   // ... served an existing session
+    int64_t query_coalesced = 0;    // ... waited on an identical in-flight
+    int64_t summarize_requests = 0;
+    int64_t guidance_requests = 0;
+    int64_t retrieve_requests = 0;
+    int64_t explore_requests = 0;
+    int64_t cache_hits = 0;       // per-request traces, summed
+    int64_t coalesced_waits = 0;  // per-request traces, summed
+    int64_t builds = 0;           // per-request traces, summed
+    double total_latency_ms = 0.0;
+    double max_latency_ms = 0.0;
+    int64_t requests() const {
+      return queries + summarize_requests + guidance_requests +
+             retrieve_requests + explore_requests;
+    }
+  };
+  Stats stats() const;
+
+ private:
+  struct SessionEntry {
+    std::unique_ptr<core::Session> session;
+    std::string sql;
+    std::string value_column;
+  };
+
+  /// Entry for a handle, or an error for an unknown one.
+  Result<const SessionEntry*> Lookup(QueryHandle handle) const;
+
+  /// Folds one finished request into the aggregate stats.
+  enum class RequestKind { kQuery, kSummarize, kGuidance, kRetrieve, kExplore };
+  void Record(RequestKind kind, const RequestStats& stats);
+
+  const ServiceOptions options_;
+  DatasetCatalog datasets_;
+
+  /// Guards the session registry and query flights. Never held across SQL
+  /// execution, session construction, or a flight wait.
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<SessionEntry>> entries_;  // handle = index
+  std::map<std::string, QueryHandle> by_key_;  // query key → handle
+  // In-flight Query() executions concurrent identical calls wait on.
+  std::map<std::string, std::shared_ptr<FlightLatch>> query_flights_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace qagview::service
+
+#endif  // QAGVIEW_SERVICE_QUERY_SERVICE_H_

@@ -69,6 +69,11 @@ TEST(BuildSmokeTest, OneTypePerLayer) {
   baselines::SmartDrilldownOptions drill_options;
   (void)drill_options;
 
+  // service/
+  service::QueryService svc;
+  EXPECT_EQ(svc.stats().requests(), 0);
+  EXPECT_TRUE(svc.dataset_names().empty());
+
   // viz/
   viz::ParamGrid grid;
   (void)grid;

@@ -1,0 +1,231 @@
+// API coverage for service::QueryService and service::DatasetCatalog: the
+// dataset catalog, SQL → session caching, the interactive ops, per-request
+// statistics, and error paths. Concurrency is exercised separately in
+// service_stress_test.cc.
+
+#include <cstdio>
+#include <memory>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/explore.h"
+#include "service/query_service.h"
+#include "sql/executor.h"
+#include "storage/csv.h"
+#include "test_util.h"
+
+namespace qagview::service {
+namespace {
+
+constexpr char kSqlCoarse[] =
+    "SELECT g0, g1, g2, avg(rating) AS val FROM ratings "
+    "GROUP BY g0, g1, g2 HAVING count(*) > 3 ORDER BY val DESC";
+constexpr char kSqlFine[] =
+    "SELECT g0, g1, g2, g3, avg(rating) AS val FROM ratings "
+    "GROUP BY g0, g1, g2, g3 HAVING count(*) > 2 ORDER BY val DESC";
+
+std::unique_ptr<QueryService> MakeService(uint64_t seed = 71,
+                                           int rows = 4000) {
+  auto service = std::make_unique<QueryService>();
+  QAG_CHECK_OK(service->RegisterTable("ratings",
+                                      testutil::MakeRatingsTable(seed, rows)));
+  return service;
+}
+
+TEST(DatasetCatalogTest, RegisterFindAndSnapshot) {
+  DatasetCatalog catalog;
+  ASSERT_TRUE(catalog.Register("Ratings", testutil::MakeRatingsTable(3, 50))
+                  .ok());
+  EXPECT_EQ(catalog.size(), 1);
+  // Case-insensitive lookup, like sql::Catalog.
+  EXPECT_NE(catalog.Find("ratings"), nullptr);
+  EXPECT_NE(catalog.Find("RATINGS"), nullptr);
+  EXPECT_EQ(catalog.Find("other"), nullptr);
+  EXPECT_EQ(catalog.names(), std::vector<std::string>{"ratings"});
+
+  // Names are unique; tables are never replaced (pointer stability).
+  const storage::Table* first = catalog.Find("ratings");
+  EXPECT_EQ(catalog.Register("ratings", testutil::MakeRatingsTable(4, 10))
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.Find("ratings"), first);
+  EXPECT_FALSE(catalog.Register("", testutil::MakeRatingsTable(5, 10)).ok());
+
+  // The SQL view resolves to the same tables.
+  sql::Catalog sql_catalog = catalog.SqlCatalog();
+  EXPECT_EQ(sql_catalog.Find("ratings"), first);
+}
+
+TEST(QueryServiceTest, QueryCachesSessionsPerSqlAndValueColumn) {
+  auto service = MakeService();
+  auto first = service->Query(kSqlCoarse, "val");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->handle, 0);
+  EXPECT_GT(first->num_answers, 20);
+  EXPECT_EQ(first->num_attrs, 3);
+  EXPECT_TRUE(first->stats.built);
+  EXPECT_FALSE(first->stats.cache_hit);
+
+  // Identical SQL (modulo surrounding whitespace) reuses the session.
+  auto again = service->Query(std::string("  ") + kSqlCoarse + "\n", "val");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->handle, first->handle);
+  EXPECT_TRUE(again->stats.cache_hit);
+  EXPECT_FALSE(again->stats.built);
+
+  // A different query opens a second session.
+  auto fine = service->Query(kSqlFine, "val");
+  ASSERT_TRUE(fine.ok()) << fine.status().ToString();
+  EXPECT_NE(fine->handle, first->handle);
+  EXPECT_EQ(fine->num_attrs, 4);
+
+  QueryService::Stats stats = service->stats();
+  EXPECT_EQ(stats.datasets, 1);
+  EXPECT_EQ(stats.sessions, 2);
+  EXPECT_EQ(stats.queries, 3);
+  EXPECT_EQ(stats.query_cache_hits, 1);
+}
+
+TEST(QueryServiceTest, QueryErrorPaths) {
+  auto service = MakeService();
+  EXPECT_FALSE(service->Query("", "val").ok());
+  EXPECT_FALSE(service->Query("   \n ", "val").ok());
+  // Unknown table.
+  EXPECT_FALSE(
+      service->Query("SELECT g0, avg(rating) AS val FROM nope GROUP BY g0",
+                    "val")
+          .ok());
+  // Unparseable SQL.
+  EXPECT_FALSE(service->Query("SELEC oops", "val").ok());
+  // Missing value column in the result.
+  EXPECT_FALSE(service->Query(kSqlCoarse, "no_such_column").ok());
+  // Failed queries are not cached (no session entries).
+  EXPECT_EQ(service->stats().sessions, 0);
+  EXPECT_EQ(service->stats().queries, 5);
+}
+
+TEST(QueryServiceTest, SummarizeMatchesDirectCorePipeline) {
+  auto service = MakeService();
+  auto query = service->Query(kSqlCoarse, "val");
+  ASSERT_TRUE(query.ok());
+  core::Params params{4, 10, 1};
+  RequestStats stats;
+  auto via_service = service->Summarize(query->handle, params, &stats);
+  ASSERT_TRUE(via_service.ok()) << via_service.status().ToString();
+  EXPECT_TRUE(stats.built);  // first request built the universe
+  EXPECT_GE(stats.latency_ms, 0.0);
+
+  // Same pipeline assembled by hand must agree bit-for-bit.
+  sql::Catalog catalog;
+  storage::Table ratings = testutil::MakeRatingsTable(71, 4000);
+  catalog.Register("ratings", &ratings);
+  auto result = sql::ExecuteSql(kSqlCoarse, catalog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto session = core::Session::FromTable(*result, "val");
+  ASSERT_TRUE(session.ok());
+  auto direct = (*session)->Summarize(params);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_service->cluster_ids, direct->cluster_ids);
+  EXPECT_EQ(via_service->average, direct->average);
+
+  // Second request over the same parameters is a cache hit.
+  RequestStats second;
+  ASSERT_TRUE(service->Summarize(query->handle, params, &second).ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_FALSE(second.built);
+}
+
+TEST(QueryServiceTest, GuidanceRetrieveAndExplore) {
+  auto service = MakeService();
+  auto query = service->Query(kSqlCoarse, "val");
+  ASSERT_TRUE(query.ok());
+
+  core::PrecomputeOptions options;
+  options.k_min = 2;
+  options.k_max = 8;
+  options.d_values = {1, 2};
+  RequestStats guidance_stats;
+  auto store =
+      service->Guidance(query->handle, 12, options, &guidance_stats);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(guidance_stats.built);
+
+  RequestStats retrieve_stats;
+  auto retrieved =
+      service->Retrieve(query->handle, 12, 2, 5, &retrieve_stats);
+  ASSERT_TRUE(retrieved.ok()) << retrieved.status().ToString();
+  EXPECT_TRUE(retrieve_stats.cache_hit);
+  auto from_store = (*store)->Retrieve(2, 5);
+  ASSERT_TRUE(from_store.ok());
+  EXPECT_EQ(retrieved->cluster_ids, from_store->cluster_ids);
+
+  // Retrieve without a covering grid fails through the service too.
+  EXPECT_FALSE(service->Retrieve(query->handle, 30, 2, 5).ok());
+
+  core::Params params{4, 12, 2};
+  auto explored = service->Explore(query->handle, params, /*max_members=*/3);
+  ASSERT_TRUE(explored.ok()) << explored.status().ToString();
+  auto solution = service->Summarize(query->handle, params);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(explored->solution.cluster_ids, solution->cluster_ids);
+  EXPECT_EQ(explored->view.clusters.size(),
+            explored->solution.cluster_ids.size());
+  EXPECT_FALSE(explored->summary.empty());
+  EXPECT_FALSE(explored->expanded.empty());
+  // The rendered layers name the grouping attributes from the SQL result.
+  EXPECT_NE(explored->summary.find("g0"), std::string::npos);
+
+  QueryService::Stats stats = service->stats();
+  EXPECT_EQ(stats.guidance_requests, 1);
+  EXPECT_EQ(stats.retrieve_requests, 2);
+  EXPECT_EQ(stats.explore_requests, 1);
+  EXPECT_GE(stats.requests(), 6);
+  EXPECT_GE(stats.total_latency_ms, 0.0);
+  EXPECT_GE(stats.max_latency_ms, 0.0);
+}
+
+TEST(QueryServiceTest, SessionAccessorAllowsGuidancePersistence) {
+  auto service = MakeService();
+  auto query = service->Query(kSqlCoarse, "val");
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE(service->Guidance(query->handle, 10).ok());
+
+  auto session = service->session(query->handle);
+  ASSERT_TRUE(session.ok());
+  std::string path = testing::TempDir() + "/qagview_service_guidance.txt";
+  EXPECT_TRUE((*session)->SaveGuidance(10, path).ok());
+  EXPECT_GE((*session)->cache_stats().stores, 1);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(service->session(99).ok());
+  EXPECT_FALSE(service->session(-1).ok());
+  EXPECT_FALSE(service->Summarize(99, {4, 8, 1}).ok());
+}
+
+TEST(QueryServiceTest, RegisterCsvFileEndToEnd) {
+  std::string path = testing::TempDir() + "/qagview_service_ratings.csv";
+  {
+    storage::Table table = testutil::MakeRatingsTable(77, 600);
+    QAG_CHECK_OK(storage::WriteCsvFile(table, path));
+  }
+  QueryService service;
+  ASSERT_TRUE(service.RegisterCsvFile("csv_ratings", path).ok());
+  EXPECT_EQ(service.dataset_names(),
+            std::vector<std::string>{"csv_ratings"});
+  auto query = service.Query(
+      "SELECT g0, g1, avg(rating) AS val FROM csv_ratings "
+      "GROUP BY g0, g1 ORDER BY val DESC",
+      "val");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_GT(query->num_answers, 5);
+  auto solution = service.Summarize(query->handle, {3, 6, 1});
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+
+  EXPECT_FALSE(service.RegisterCsvFile("missing", path + ".nope").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qagview::service

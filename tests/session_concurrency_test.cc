@@ -1,0 +1,248 @@
+// Concurrency coverage for core::Session: N client threads sharing one
+// session must (a) never race (the TSan CI job runs this binary), (b) get
+// results bit-identical to a serial execution, and (c) coalesce identical
+// concurrent builds onto a single precompute (single-flight).
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "test_util.h"
+
+namespace qagview::core {
+namespace {
+
+constexpr int kThreads = 8;
+
+std::unique_ptr<Session> MakeSession(uint64_t seed = 41, int n = 120) {
+  auto session =
+      Session::Create(testutil::MakeRandomAnswerSet(seed, n, 5, 3));
+  QAG_CHECK(session.ok());
+  return std::move(session).value();
+}
+
+PrecomputeOptions GridOptions(int k_max, std::vector<int> d_values) {
+  PrecomputeOptions options;
+  options.k_min = 2;
+  options.k_max = k_max;
+  options.d_values = std::move(d_values);
+  return options;
+}
+
+TEST(SessionConcurrencyTest, ConcurrentUniverseForCoalesces) {
+  auto session = MakeSession();
+  testutil::StartLatch latch(kThreads);
+  std::vector<const ClusterUniverse*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      latch.ArriveAndWait();
+      auto universe = session->UniverseFor(15);
+      ASSERT_TRUE(universe.ok()) << universe.status().ToString();
+      seen[static_cast<size_t>(t)] = *universe;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Exactly one build happened; every thread got the same universe.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+  Session::CacheStats stats = session->cache_stats();
+  EXPECT_EQ(stats.universes, 1);
+  EXPECT_EQ(stats.universe_misses, 1);
+  // The non-leader threads each count one hit — either directly or after a
+  // coalesced wait on the leader's build.
+  EXPECT_EQ(stats.universe_hits, kThreads - 1);
+  EXPECT_LE(stats.universe_coalesced, kThreads - 1);
+}
+
+TEST(SessionConcurrencyTest, ConcurrentGuidanceSingleFlight) {
+  auto session = MakeSession(43);
+  PrecomputeOptions options = GridOptions(8, {1, 2});
+  testutil::StartLatch latch(kThreads);
+  std::vector<const SolutionStore*> seen(kThreads, nullptr);
+  std::vector<Session::RequestTrace> traces(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      latch.ArriveAndWait();
+      auto store =
+          session->Guidance(12, options, &traces[static_cast<size_t>(t)]);
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      seen[static_cast<size_t>(t)] = *store;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+  Session::CacheStats stats = session->cache_stats();
+  EXPECT_EQ(stats.stores, 1);       // one grid, not kThreads
+  EXPECT_EQ(stats.store_misses, 1);  // exactly one precompute ran
+  EXPECT_EQ(stats.store_hits, kThreads - 1);
+  // Trace flags partition the callers: one built, the rest hit or
+  // coalesced (and every coalesced wait is counted in CacheStats).
+  int built = 0, coalesced = 0, hits = 0;
+  for (const auto& trace : traces) {
+    built += trace.built ? 1 : 0;
+    coalesced += trace.coalesced ? 1 : 0;
+    hits += trace.cache_hit ? 1 : 0;
+  }
+  EXPECT_EQ(built, 1);
+  EXPECT_EQ(built + coalesced + hits, kThreads);
+  EXPECT_EQ(stats.store_coalesced, coalesced);
+}
+
+TEST(SessionConcurrencyTest, GuidanceErrorPropagatesToAllWaiters) {
+  auto session = MakeSession(47);
+  PrecomputeOptions bad = GridOptions(8, {1});
+  bad.k_min = 0;  // rejected by Precompute::Run
+  testutil::StartLatch latch(4);
+  std::vector<Status> statuses(4, Status::OK());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      latch.ArriveAndWait();
+      statuses[static_cast<size_t>(t)] =
+          session->Guidance(12, bad).status();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& status : statuses) EXPECT_FALSE(status.ok());
+  EXPECT_EQ(session->cache_stats().stores, 0);
+  // A failed flight leaves no residue: a correct request now succeeds.
+  EXPECT_TRUE(session->Guidance(12, GridOptions(8, {1})).ok());
+}
+
+// The satellite-task workload: N threads × mixed Guidance / Retrieve /
+// SaveGuidance (plus Summarize) on ONE session, asserted bit-identical to
+// the same requests executed serially on an identical session.
+TEST(SessionConcurrencyTest, MixedWorkloadBitIdenticalToSerial) {
+  constexpr uint64_t kSeed = 53;
+  constexpr int kN = 140;
+  constexpr int kTopL = 25;  // pre-warmed; serves every narrower request
+  const PrecomputeOptions kGridA = GridOptions(10, {1, 2});
+  const PrecomputeOptions kGridB = GridOptions(8, {1, 2, 3});
+
+  // The finite request set every thread draws from. Pre-warming the widest
+  // universe pins the serving universe (and so the cluster-id space) to be
+  // identical in the serial and concurrent executions; without it the
+  // narrowest-covering-universe policy would make ids depend on which
+  // universes happen to exist, even though the chosen clusters don't.
+  struct Expected {
+    std::vector<int> ids;
+    double average = 0.0;
+    int count = 0;
+  };
+  auto run_op = [&](Session& session, int op) -> Result<Solution> {
+    switch (op) {
+      case 0:
+        QAG_RETURN_IF_ERROR(session.Guidance(20, kGridA).status());
+        return session.Retrieve(20, 2, 6);
+      case 1:
+        QAG_RETURN_IF_ERROR(session.Guidance(15, kGridB).status());
+        return session.Retrieve(15, 3, 5);
+      case 2:
+        return session.Summarize({4, 12, 2});
+      case 3:
+        return session.Summarize({6, 18, 1});
+      default:
+        QAG_RETURN_IF_ERROR(session.Guidance(20, kGridA).status());
+        return session.Retrieve(20, 1, 8);
+    }
+  };
+  constexpr int kOps = 5;
+
+  // Serial ground truth.
+  std::map<int, Expected> expected;
+  {
+    auto serial = MakeSession(kSeed, kN);
+    serial->set_num_threads(1);
+    ASSERT_TRUE(serial->UniverseFor(kTopL).ok());
+    for (int op = 0; op < kOps; ++op) {
+      auto solution = run_op(*serial, op);
+      ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+      expected[op] = {solution->cluster_ids, solution->average,
+                      solution->covered_count};
+    }
+  }
+
+  // Concurrent run: every thread issues every op several times, plus a
+  // SaveGuidance into its own file.
+  auto shared = MakeSession(kSeed, kN);
+  ASSERT_TRUE(shared->UniverseFor(kTopL).ok());
+  testutil::StartLatch latch(kThreads);
+  std::vector<std::string> save_paths(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    save_paths[static_cast<size_t>(t)] =
+        testing::TempDir() + "/qagview_conc_" + std::to_string(t) + ".txt";
+    threads.emplace_back([&, t] {
+      latch.ArriveAndWait();
+      for (int round = 0; round < 3; ++round) {
+        for (int op = 0; op < kOps; ++op) {
+          int my_op = (op + t) % kOps;  // different interleavings per thread
+          auto solution = run_op(*shared, my_op);
+          ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+          const Expected& want = expected.at(my_op);
+          EXPECT_EQ(solution->cluster_ids, want.ids) << "op " << my_op;
+          EXPECT_EQ(solution->average, want.average) << "op " << my_op;
+          EXPECT_EQ(solution->covered_count, want.count) << "op " << my_op;
+        }
+        ASSERT_TRUE(
+            shared->SaveGuidance(15, save_paths[static_cast<size_t>(t)]).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Exactly one precompute per distinct grid shape, regardless of how many
+  // of the kThreads × 3 rounds requested each.
+  Session::CacheStats stats = shared->cache_stats();
+  EXPECT_EQ(stats.stores, 2);
+  EXPECT_EQ(stats.store_misses, 2);
+  EXPECT_EQ(stats.universes, 1);  // the pre-warmed kTopL universe
+
+  // Files written under concurrency round-trip into a fresh session and
+  // serve the same solutions.
+  auto fresh = MakeSession(kSeed, kN);
+  ASSERT_TRUE(fresh->LoadGuidance(15, save_paths[0]).ok());
+  auto loaded = fresh->Retrieve(15, 3, 5);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->average, expected[1].average);
+  EXPECT_EQ(loaded->covered_count, expected[1].count);
+  for (const std::string& path : save_paths) std::remove(path.c_str());
+}
+
+TEST(SessionConcurrencyTest, ConcurrentSummarizeSharesOneUniverse) {
+  auto session = MakeSession(59);
+  testutil::StartLatch latch(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      latch.ArriveAndWait();
+      for (int round = 0; round < 4; ++round) {
+        auto solution = session->Summarize({4, 12, 2});
+        ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+        auto universe = session->UniverseFor(12);
+        ASSERT_TRUE(universe.ok());
+        EXPECT_TRUE(
+            CheckFeasible(**universe, solution->cluster_ids, {4, 12, 2}).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(session->cache_stats().universes, 1);
+  EXPECT_EQ(session->cache_stats().universe_misses, 1);
+}
+
+}  // namespace
+}  // namespace qagview::core

@@ -259,6 +259,22 @@ TEST(SessionTest, NumThreadsKnobPreservesResults) {
   }
 }
 
+TEST(SessionTest, SummarizeWithReportsTheServingUniverse) {
+  // The returned Solution's cluster ids index into the universe handed
+  // back by SummarizeWith — which, under the narrowest-covering policy,
+  // is not necessarily one built for params.L.
+  auto session = MakeSession(23);
+  ASSERT_TRUE(session->UniverseFor(25).ok());  // widest, serves everything
+  const ClusterUniverse* used = nullptr;
+  Params params{4, 10, 2};
+  auto solution = session->SummarizeWith(params, &used);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  ASSERT_NE(used, nullptr);
+  EXPECT_EQ(used->top_l(), 25);  // served by the pre-built wide universe
+  EXPECT_TRUE(CheckFeasible(*used, solution->cluster_ids, params).ok());
+  EXPECT_EQ(session->cache_stats().universes, 1);
+}
+
 TEST(SessionTest, ValidatesParams) {
   auto session = MakeSession(13);
   EXPECT_FALSE(session->Summarize({0, 10, 2}).ok());

@@ -1,7 +1,9 @@
 #ifndef QAGVIEW_TESTS_TEST_UTIL_H_
 #define QAGVIEW_TESTS_TEST_UTIL_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -103,6 +105,60 @@ inline core::AnswerSet MakeMovieExample() {
   QAG_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).value();
 }
+
+/// A synthetic base table for service-layer tests: `rows` rating events
+/// over four categorical columns (g0..g3, Zipf-skewed domains 6/5/4/3) and
+/// a `rating` value with a planted signal on low codes, so aggregate
+/// queries produce ranked answer sets with shared top patterns. The same
+/// seed always builds the same table.
+inline storage::Table MakeRatingsTable(uint64_t seed, int rows) {
+  storage::Schema schema({{"g0", storage::ValueType::kString},
+                          {"g1", storage::ValueType::kString},
+                          {"g2", storage::ValueType::kString},
+                          {"g3", storage::ValueType::kString},
+                          {"rating", storage::ValueType::kDouble}});
+  storage::Table table(schema);
+  const int domains[4] = {6, 5, 4, 3};
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    int codes[4];
+    double signal = 0.0;
+    for (int a = 0; a < 4; ++a) {
+      codes[a] = static_cast<int>(rng.Zipf(domains[a], 0.7));
+      signal += (domains[a] - codes[a]) / (4.0 * domains[a]);
+    }
+    QAG_CHECK_OK(table.AppendRow(
+        {storage::Value::Str(StrCat("g0v", codes[0])),
+         storage::Value::Str(StrCat("g1v", codes[1])),
+         storage::Value::Str(StrCat("g2v", codes[2])),
+         storage::Value::Str(StrCat("g3v", codes[3])),
+         storage::Value::Real(2.0 + 2.0 * signal +
+                              rng.Gaussian(0.0, 0.25))}));
+  }
+  return table;
+}
+
+/// One-shot start barrier for concurrency tests (std::barrier is C++20):
+/// every participant blocks in ArriveAndWait() until `count` threads have
+/// arrived, maximizing the overlap window the test wants to exercise.
+class StartLatch {
+ public:
+  explicit StartLatch(int count) : remaining_(count) {}
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--remaining_ == 0) {
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+};
 
 }  // namespace qagview::testutil
 
