@@ -1,12 +1,26 @@
 #include "core/answer_set.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <unordered_map>
 
+#include "common/hash.h"
 #include "common/string_util.h"
 
 namespace qagview::core {
+
+namespace {
+
+/// The exact bit pattern of a double, so fingerprint equality means
+/// bit-identity (distinguishes -0.0 from 0.0, unlike operator==).
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
 
 Result<AnswerSet> AnswerSet::FromTable(const storage::Table& table,
                                        const std::string& value_column) {
@@ -100,6 +114,40 @@ void AnswerSet::SortAndFinalize() {
   double sum = 0.0;
   for (const Element& e : elements_) sum += e.value;
   trivial_average_ = sum / static_cast<double>(elements_.size());
+
+  // Domain fingerprint: the attribute/value-name hierarchy (code space).
+  size_t h = 0;
+  HashCombine(&h, attr_names_.size());
+  for (const std::string& name : attr_names_) HashCombine(&h, name);
+  for (const auto& names : value_names_) {
+    HashCombine(&h, names.size());
+    for (const std::string& name : names) HashCombine(&h, name);
+  }
+  domain_fingerprint_ = static_cast<uint64_t>(h);
+
+  // Content fingerprint: the domain plus every ranked element.
+  HashCombine(&h, elements_.size());
+  for (const Element& e : elements_) {
+    for (int32_t code : e.attrs) HashCombine(&h, code);
+    HashCombine(&h, DoubleBits(e.value));
+  }
+  content_fingerprint_ = static_cast<uint64_t>(h);
+}
+
+bool AnswerSet::SameContent(const AnswerSet& other) const {
+  if (attr_names_ != other.attr_names_ ||
+      value_names_ != other.value_names_ ||
+      elements_.size() != other.elements_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].attrs != other.elements_[i].attrs ||
+        DoubleBits(elements_[i].value) !=
+            DoubleBits(other.elements_[i].value)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 const std::string& AnswerSet::ValueName(int a, int32_t code) const {

@@ -74,6 +74,24 @@ class AnswerSet {
   /// covering exactly the top L).
   double TopAverage(int l) const;
 
+  /// 64-bit content hash of the whole answer set: attribute names, the
+  /// per-attribute value-name tables, and every element's codes and value
+  /// bits in ranked order. This is the input fingerprint the refresh path
+  /// compares — a cached structure built from an answer set with the same
+  /// fingerprint (confirmed by SameContent) can be reused verbatim.
+  uint64_t content_fingerprint() const { return content_fingerprint_; }
+
+  /// Hash of the attribute/value-name hierarchy alone (names and domains,
+  /// no elements): the code space. Two answer sets with equal domain
+  /// fingerprints intern every attribute value to the same code even when
+  /// the ranked elements differ.
+  uint64_t domain_fingerprint() const { return domain_fingerprint_; }
+
+  /// Exact equality of names, domains, and elements (codes plus value bit
+  /// patterns). Refresh pairs this with content_fingerprint() so cache
+  /// reuse is provable, never probabilistic.
+  bool SameContent(const AnswerSet& other) const;
+
   /// Renders the top and bottom `edge` ranked tuples (Figure 1a style).
   std::string ToString(int edge = 8) const;
 
@@ -82,6 +100,8 @@ class AnswerSet {
   std::vector<std::vector<std::string>> value_names_;  // per attr: code->name
   std::vector<Element> elements_;                      // sorted desc by value
   double trivial_average_ = 0.0;
+  uint64_t content_fingerprint_ = 0;
+  uint64_t domain_fingerprint_ = 0;
 
   void SortAndFinalize();
 };

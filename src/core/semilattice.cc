@@ -93,6 +93,7 @@ Result<ClusterUniverse> ClusterUniverse::Build(const AnswerSet* s, int top_l,
   u.answer_set_ = s;
   u.top_l_ = top_l;
   u.packed_ = !options.force_unpacked && CanPack(*s);
+  u.input_fingerprint_ = s->content_fingerprint();
   // Cluster generation stays serial (ids must be assigned in discovery
   // order); a pool is spun up only by the sharded coverage-scan branches.
   const int num_threads = options.num_threads > 0

@@ -43,12 +43,67 @@ Result<std::unique_ptr<Session>> Session::FromTable(
   return Create(std::move(answers));
 }
 
+const AnswerSet& Session::answers() const { return *current_answers(); }
+
+const AnswerSet* Session::current_answers() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return answers_.get();
+}
+
+Status Session::Refresh(AnswerSet answers, RefreshStats* stats) {
+  RefreshStats local;
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t new_fp = answers.content_fingerprint();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  local.hierarchy_reused =
+      answers.domain_fingerprint() == answers_->domain_fingerprint() &&
+      answers.attr_names() == answers_->attr_names();
+  if (new_fp == answers_->content_fingerprint() &&
+      answers.SameContent(*answers_)) {
+    // Provably unchanged: every cached structure's input fingerprint still
+    // matches, so the whole session keeps serving warm; the freshly built
+    // copy is discarded.
+    local.universes_reused = static_cast<int>(universes_.size());
+    local.stores_reused = static_cast<int>(stores_.size());
+    refresh_full_reuses_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+  // Content changed: every cached entry was built from the outgoing
+  // answer set (the cache-admission invariant below), so all of them are
+  // stale by the proof above — retire the lot into the graveyard (pointers
+  // handed out earlier stay valid; in-flight readers drain, they are never
+  // torn down), then install the new answer set. Note this deliberately
+  // does not reuse-by-fingerprint here: a 64-bit collision must not keep a
+  // stale grid serving, so the authoritative identity is the answer-set
+  // object itself.
+  local.refreshed = true;
+  local.universes_retired = static_cast<int>(universes_.size());
+  for (auto& [l, universe] : universes_) {
+    retired_universes_.push_back(std::move(universe));
+  }
+  universes_.clear();
+  local.stores_retired = static_cast<int>(stores_.size());
+  for (auto& [l, store] : stores_) {
+    retired_stores_.push_back(std::move(store));
+  }
+  stores_.clear();
+  retired_answers_.push_back(std::move(answers_));
+  answers_ = std::make_unique<AnswerSet>(std::move(answers));
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
 Result<const ClusterUniverse*> Session::UniverseFor(int top_l,
                                                     RequestTrace* trace) {
-  if (top_l < 1 || top_l > answers_->size()) {
+  if (top_l < 1 || top_l > current_answers()->size()) {
     return Status::InvalidArgument("L out of range for this session");
   }
   while (true) {
+    // Re-captured per attempt: after a refresh supersedes an in-flight
+    // build, retrying waiters must build from (and cache for) the live
+    // answer set, not the one they first observed.
+    const AnswerSet* answers = current_answers();
     // Fast path, shared lock: the narrowest cached universe with
     // top_l' >= top_l serves the request (its cluster set is a superset
     // and all algorithms accept params.L <= top_l').
@@ -97,7 +152,7 @@ Result<const ClusterUniverse*> Session::UniverseFor(int top_l,
     ClusterUniverse::Options build_options;
     build_options.num_threads = num_threads();
     Result<ClusterUniverse> built =
-        ClusterUniverse::Build(answers_.get(), top_l, build_options);
+        ClusterUniverse::Build(answers, top_l, build_options);
     const ClusterUniverse* ptr = nullptr;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
@@ -105,7 +160,17 @@ Result<const ClusterUniverse*> Session::UniverseFor(int top_l,
         auto owned =
             std::make_unique<ClusterUniverse>(std::move(built).value());
         ptr = owned.get();
-        universes_.emplace(top_l, std::move(owned));
+        // Cache-admission invariant: only structures built from the
+        // *current* answer-set object enter the cache (exact pointer
+        // identity — no fingerprint collisions).
+        if (&owned->answer_set() == answers_.get()) {
+          universes_.emplace(top_l, std::move(owned));
+        } else {
+          // A refresh superseded this build mid-flight: the result still
+          // serves this (overlapping, hence linearizable) request, but it
+          // goes to the graveyard instead of the cache.
+          retired_universes_.push_back(std::move(owned));
+        }
       }
       universe_flights_.erase(top_l);
     }
@@ -125,7 +190,7 @@ Result<Solution> Session::SummarizeWith(const Params& params,
                                         const ClusterUniverse** universe_out,
                                         const HybridOptions& options,
                                         RequestTrace* trace) {
-  QAG_RETURN_IF_ERROR(ValidateParams(*answers_, params));
+  QAG_RETURN_IF_ERROR(ValidateParams(*current_answers(), params));
   QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe,
                        UniverseFor(params.L, trace));
   if (universe_out != nullptr) *universe_out = universe;
@@ -174,7 +239,9 @@ Result<const SolutionStore*> Session::Guidance(
       }
     }
     // Miss: coalesce with an identical in-flight precompute, or lead one.
-    if (key.empty()) key = options.CacheKey(top_l, answers_->num_attrs());
+    if (key.empty()) {
+      key = options.CacheKey(top_l, current_answers()->num_attrs());
+    }
     std::shared_ptr<FlightLatch> flight;
     bool leader = false;
     {
@@ -215,10 +282,16 @@ Result<const SolutionStore*> Session::Guidance(
       auto owned = std::make_unique<SolutionStore>(std::move(store));
       const SolutionStore* ptr = owned.get();
       std::unique_lock<std::shared_mutex> lock(mu_);
-      // emplace, never replace: a narrower-grid store at this L may exist
-      // and keeps serving the requests it covers (and pointers previously
-      // handed out must stay valid).
-      stores_.emplace(top_l, std::move(owned));
+      if (&ptr->universe()->answer_set() == answers_.get()) {
+        // emplace, never replace: a narrower-grid store at this L may
+        // exist and keeps serving the requests it covers (and pointers
+        // previously handed out must stay valid).
+        stores_.emplace(top_l, std::move(owned));
+      } else {
+        // Superseded by a refresh mid-precompute: serve the overlapping
+        // request from the graveyard instead of caching a stale grid.
+        retired_stores_.push_back(std::move(owned));
+      }
       return ptr;
     };
     Result<const SolutionStore*> outcome = build();
@@ -287,9 +360,15 @@ Status Session::LoadGuidance(int top_l, const std::string& path) {
                        UniverseFor(stored_l));
   QAG_ASSIGN_OR_RETURN(SolutionStore store,
                        LoadSolutionStore(universe, path));
+  auto owned = std::make_unique<SolutionStore>(std::move(store));
   std::unique_lock<std::shared_mutex> lock(mu_);
-  stores_.emplace(stored_l,
-                  std::make_unique<SolutionStore>(std::move(store)));
+  if (&owned->universe()->answer_set() == answers_.get()) {
+    stores_.emplace(stored_l, std::move(owned));
+  } else {
+    // A refresh raced the load; the file's grid no longer matches the
+    // current answer set, so it must not enter the serving cache.
+    retired_stores_.push_back(std::move(owned));
+  }
   return Status::OK();
 }
 
@@ -299,6 +378,8 @@ Session::CacheStats Session::cache_stats() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     stats.universes = static_cast<int>(universes_.size());
     stats.stores = static_cast<int>(stores_.size());
+    stats.retired_universes = static_cast<int>(retired_universes_.size());
+    stats.retired_stores = static_cast<int>(retired_stores_.size());
   }
   stats.universe_hits = universe_hits_.load(std::memory_order_relaxed);
   stats.universe_misses = universe_misses_.load(std::memory_order_relaxed);
@@ -307,6 +388,9 @@ Session::CacheStats Session::cache_stats() const {
   stats.universe_coalesced =
       universe_coalesced_.load(std::memory_order_relaxed);
   stats.store_coalesced = store_coalesced_.load(std::memory_order_relaxed);
+  stats.refreshes = refreshes_.load(std::memory_order_relaxed);
+  stats.refresh_full_reuses =
+      refresh_full_reuses_.load(std::memory_order_relaxed);
   return stats;
 }
 

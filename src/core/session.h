@@ -6,6 +6,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/single_flight.h"
@@ -43,6 +44,25 @@ namespace qagview::core {
 /// Results remain bit-identical to any serial execution order: builds are
 /// deterministic in their (answer set, L, options) inputs alone, and
 /// stores/universes are immutable once published.
+///
+/// **Versioned refresh.** The answer set is no longer fixed for the
+/// session's lifetime: Refresh() installs the answer set re-executed
+/// against a newer table snapshot. Every cached structure records the
+/// content fingerprint of the answer set it was built from
+/// (`ClusterUniverse::input_fingerprint`,
+/// `SolutionStore::input_fingerprint`); when the fingerprints match and
+/// an exact content check confirms the re-executed answer set is
+/// unchanged, every cache is reused verbatim. When content changed, the
+/// caches are *retired* — moved to an internal graveyard, not destroyed —
+/// so pointers previously returned by UniverseFor / Guidance / answers()
+/// stay valid for the session's lifetime and in-flight readers drain
+/// naturally instead of being torn down. Cache admission is guarded by
+/// answer-set object identity (exact, collision-free): a build that races
+/// a refresh publishes into the graveyard instead of the cache (its
+/// result still serves the overlapping request: a linearizable
+/// pre-refresh view). The graveyard grows by one generation per
+/// content-changing refresh — the price of never invalidating a handed-
+/// out pointer; see ROADMAP for refcounted eviction.
 class Session {
  public:
   /// Creates a session over a materialized answer set.
@@ -52,7 +72,37 @@ class Session {
   static Result<std::unique_ptr<Session>> FromTable(
       const storage::Table& table, const std::string& value_column);
 
-  const AnswerSet& answers() const { return *answers_; }
+  /// The current answer set. The reference stays valid for the session's
+  /// lifetime even across Refresh() (superseded answer sets are retired,
+  /// never destroyed), but after a content-changing refresh it names the
+  /// outgoing data — re-call for the current view.
+  const AnswerSet& answers() const;
+
+  /// What one Refresh() reused versus rebuilt, for service statistics and
+  /// the differential harness.
+  struct RefreshStats {
+    /// The content fingerprint changed: the new answer set was installed
+    /// and mismatched caches were retired. False = provably unchanged,
+    /// everything reused, the session keeps serving warm.
+    bool refreshed = false;
+    /// The attribute/value-name hierarchy (code space) is unchanged, even
+    /// if element values moved.
+    bool hierarchy_reused = false;
+    int universes_reused = 0;
+    int universes_retired = 0;
+    int stores_reused = 0;
+    int stores_retired = 0;
+  };
+
+  /// Incremental refresh: hands the session the answer set re-executed
+  /// against a newer table snapshot. Compares input fingerprints plus an
+  /// exact content check — reuse is provable, not probabilistic: when
+  /// unchanged, the new copy is discarded and every cache stays warm; when
+  /// changed, the new answer set is installed and every cached universe /
+  /// store (all built from the outgoing answer set, by the cache-admission
+  /// invariant) is retired into the graveyard. Results after Refresh are
+  /// bit-identical to a fresh session built from the same answer set.
+  Status Refresh(AnswerSet answers, RefreshStats* stats = nullptr);
 
   /// What happened to one request, for per-request service statistics:
   /// exactly one of the flags is set by UniverseFor / Guidance; Retrieve
@@ -134,6 +184,13 @@ class Session {
     /// it serves from the freshly published cache entry).
     int64_t universe_coalesced = 0;
     int64_t store_coalesced = 0;
+    /// Refresh() calls, and the subset that proved the answer set
+    /// unchanged and reused every cache.
+    int64_t refreshes = 0;
+    int64_t refresh_full_reuses = 0;
+    /// Structures superseded by refreshes, kept alive in the graveyard.
+    int retired_universes = 0;
+    int retired_stores = 0;
   };
   CacheStats cache_stats() const;
 
@@ -161,6 +218,13 @@ class Session {
   const SolutionStore* CoveringStoreLocked(
       int top_l, const PrecomputeOptions& options) const;
 
+  /// The current answer set as a raw pointer (shared lock). The pointee
+  /// outlives the session regardless of refreshes, so ops capture it once
+  /// at entry and use it consistently.
+  const AnswerSet* current_answers() const;
+
+  /// Replaced only by Refresh() under an exclusive lock; superseded answer
+  /// sets move to retired_answers_.
   std::unique_ptr<AnswerSet> answers_;
 
   /// Guards the two caches and the flight maps below. Shared for lookups,
@@ -179,6 +243,14 @@ class Session {
   std::map<int, std::shared_ptr<FlightLatch>> universe_flights_;
   std::map<std::string, std::shared_ptr<FlightLatch>> store_flights_;
 
+  // Graveyard: structures superseded by Refresh(), kept alive (drained,
+  // never torn down) because pointers previously handed to clients promise
+  // session-lifetime validity. Stores reference universes, universes
+  // reference answer sets — all three generations retire together.
+  std::vector<std::unique_ptr<AnswerSet>> retired_answers_;
+  std::vector<std::unique_ptr<ClusterUniverse>> retired_universes_;
+  std::vector<std::unique_ptr<SolutionStore>> retired_stores_;
+
   std::atomic<int> num_threads_{0};
   mutable std::atomic<int64_t> universe_hits_{0};
   mutable std::atomic<int64_t> universe_misses_{0};
@@ -186,6 +258,8 @@ class Session {
   mutable std::atomic<int64_t> store_misses_{0};
   mutable std::atomic<int64_t> universe_coalesced_{0};
   mutable std::atomic<int64_t> store_coalesced_{0};
+  mutable std::atomic<int64_t> refreshes_{0};
+  mutable std::atomic<int64_t> refresh_full_reuses_{0};
 };
 
 }  // namespace qagview::core

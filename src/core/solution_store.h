@@ -69,6 +69,17 @@ class SolutionStore {
 
   int l() const { return l_; }
   int k_max() const { return k_max_; }
+  /// The universe this store's cluster ids index into — the store's
+  /// transitive input. The session's cache-admission check compares its
+  /// answer-set identity.
+  const ClusterUniverse* universe() const { return universe_; }
+  /// Content fingerprint of the answer set behind the universe this store
+  /// was built (or deserialized) against, recorded for refresh
+  /// observability (the authoritative staleness test is answer-set
+  /// identity via universe()).
+  uint64_t input_fingerprint() const {
+    return universe_->input_fingerprint();
+  }
   /// Attribute count of the underlying answer set (serialization header).
   int num_attrs() const;
   /// The pattern of a stored cluster id (serialization renders patterns,

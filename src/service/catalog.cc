@@ -1,6 +1,5 @@
 #include "service/catalog.h"
 
-#include <mutex>
 #include <utility>
 
 #include "common/string_util.h"
@@ -15,12 +14,15 @@ Status DatasetCatalog::Register(const std::string& name,
     return Status::InvalidArgument("dataset name must be non-empty");
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
-  auto [it, inserted] = tables_.emplace(
-      std::move(key), std::make_unique<storage::Table>(std::move(table)));
-  if (!inserted) {
+  if (tables_.count(key) != 0) {
     return Status::AlreadyExists(
         StrCat("dataset '", name, "' is already registered"));
   }
+  Entry entry;
+  entry.snapshot.table = std::make_shared<storage::Table>(std::move(table));
+  entry.snapshot.version = ++version_;
+  entry.writer = std::make_shared<std::mutex>();
+  tables_.emplace(std::move(key), std::move(entry));
   return Status::OK();
 }
 
@@ -30,17 +32,100 @@ Status DatasetCatalog::RegisterCsvFile(const std::string& name,
   return Register(name, std::move(table));
 }
 
-const storage::Table* DatasetCatalog::Find(const std::string& name) const {
+Result<uint64_t> DatasetCatalog::AppendRows(
+    const std::string& name,
+    const std::vector<std::vector<storage::Value>>& rows) {
+  std::string key = ToLower(name);
+  // The dataset's writer mutex serializes the whole read-clone-publish
+  // window (lost-update guard) without blocking writers to other datasets.
+  // Readers never wait on it, and mu_ is held only for the map accesses.
+  std::shared_ptr<std::mutex> writer;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = tables_.find(key);
+    if (it == tables_.end()) {
+      return Status::NotFound(
+          StrCat("dataset '", name, "' is not registered"));
+    }
+    writer = it->second.writer;
+  }
+  std::lock_guard<std::mutex> write_lock(*writer);
+  TableSnapshot current;
+  {
+    // Re-read under the writer lock: another writer may have published a
+    // newer snapshot between the lookup and the lock acquisition.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    current = tables_.at(key).snapshot;
+  }
+  storage::Table next = current.table->Clone();
+  QAG_RETURN_IF_ERROR(next.AppendRows(rows));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Entry& entry = tables_.at(key);
+  entry.snapshot.table = std::make_shared<storage::Table>(std::move(next));
+  entry.snapshot.version = ++version_;  // old snapshot lives on via pins
+  return entry.snapshot.version;
+}
+
+Result<uint64_t> DatasetCatalog::ReplaceTable(const std::string& name,
+                                              storage::Table table) {
+  std::string key = ToLower(name);
+  if (key.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  auto snapshot = std::make_shared<storage::Table>(std::move(table));
+  while (true) {
+    std::shared_ptr<std::mutex> writer;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = tables_.find(key);
+      if (it != tables_.end()) writer = it->second.writer;
+    }
+    if (writer == nullptr) {
+      // Creating: publish under the exclusive lock, unless another writer
+      // registered the name meanwhile (then retry with its writer mutex).
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (tables_.count(key) != 0) continue;
+      Entry entry;
+      entry.snapshot.table = snapshot;
+      entry.snapshot.version = ++version_;
+      entry.writer = std::make_shared<std::mutex>();
+      uint64_t version = entry.snapshot.version;
+      tables_.emplace(std::move(key), std::move(entry));
+      return version;
+    }
+    // Replacing: hold the dataset's writer mutex so a concurrent
+    // AppendRows clone cannot publish over this replacement (lost update).
+    std::lock_guard<std::mutex> write_lock(*writer);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    Entry& entry = tables_.at(key);
+    entry.snapshot.table = snapshot;
+    entry.snapshot.version = ++version_;
+    return entry.snapshot.version;
+  }
+}
+
+TableSnapshot DatasetCatalog::Find(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(ToLower(name));
-  return it == tables_.end() ? nullptr : it->second.get();
+  return it == tables_.end() ? TableSnapshot() : it->second.snapshot;
+}
+
+uint64_t DatasetCatalog::TableVersion(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? 0 : it->second.snapshot.version;
+}
+
+uint64_t DatasetCatalog::version() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return version_;
 }
 
 std::vector<std::string> DatasetCatalog::names() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
-  for (const auto& [name, table] : tables_) out.push_back(name);
+  for (const auto& [name, entry] : tables_) out.push_back(name);
   return out;  // map iteration order: already sorted
 }
 
@@ -49,13 +134,17 @@ int DatasetCatalog::size() const {
   return static_cast<int>(tables_.size());
 }
 
-sql::Catalog DatasetCatalog::SqlCatalog() const {
+CatalogSnapshot DatasetCatalog::Snapshot() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  sql::Catalog catalog;
-  for (const auto& [name, table] : tables_) {
-    catalog.Register(name, table.get());
+  CatalogSnapshot out;
+  out.catalog_version = version_;
+  out.pins.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) {
+    out.sql.Register(name, entry.snapshot.table.get());
+    out.versions.emplace(name, entry.snapshot.version);
+    out.pins.push_back(entry.snapshot.table);
   }
-  return catalog;
+  return out;
 }
 
 }  // namespace qagview::service

@@ -1,8 +1,10 @@
 #ifndef QAGVIEW_SERVICE_CATALOG_H_
 #define QAGVIEW_SERVICE_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -13,43 +15,97 @@
 
 namespace qagview::service {
 
-/// \brief Thread-safe catalog of the named datasets a QueryService can
-/// query — the service-layer analogue of the paper prototype's database
-/// schema (CSV- or datagen-loaded tables instead of PostgreSQL relations).
+/// One immutable table snapshot plus the catalog version it was published
+/// at. `table == nullptr` means the dataset is absent.
+struct TableSnapshot {
+  std::shared_ptr<const storage::Table> table;
+  uint64_t version = 0;
+};
+
+/// Point-in-time view of the whole catalog for one SQL execution: a
+/// sql::Catalog of raw table pointers, the shared_ptr pins keeping those
+/// snapshots alive while the query runs, and the per-table versions the
+/// refresh layer records as the query's dependencies.
+struct CatalogSnapshot {
+  sql::Catalog sql;
+  uint64_t catalog_version = 0;
+  /// Lower-cased name -> version, for every table in the snapshot.
+  std::map<std::string, uint64_t> versions;
+  /// Keeps every table in `sql` alive for the snapshot's lifetime.
+  std::vector<std::shared_ptr<const storage::Table>> pins;
+};
+
+/// \brief Thread-safe, versioned catalog of the named datasets a
+/// QueryService can query — the service-layer analogue of the paper
+/// prototype's database schema, extended with live updates.
 ///
-/// Tables are owned by the catalog and **immutable once registered**:
-/// registration under an existing name fails rather than replacing, so
-/// table pointers handed to the SQL executor (or captured by in-flight
-/// queries) stay valid for the catalog's lifetime. Names are
-/// case-insensitive, matching `sql::Catalog`.
+/// Every dataset is an **immutable snapshot**: AppendRows and ReplaceTable
+/// never mutate a published table, they publish a new snapshot under the
+/// next monotonically increasing catalog version, and readers holding the
+/// previous snapshot (in-flight queries, pinned CatalogSnapshots) keep it
+/// alive for as long as they need it. Names are case-insensitive, matching
+/// `sql::Catalog`.
 class DatasetCatalog {
  public:
-  /// Takes ownership of `table` under `name`. AlreadyExists if the name is
-  /// taken (tables are never replaced; see class comment).
+  /// Takes ownership of `table` under `name` as version snapshot 1 of the
+  /// dataset. AlreadyExists if the name is taken (use ReplaceTable to
+  /// swap a dataset wholesale).
   Status Register(const std::string& name, storage::Table table);
 
   /// Loads a CSV file (type-inferred, see storage::ReadCsvFile) and
   /// registers it under `name`.
   Status RegisterCsvFile(const std::string& name, const std::string& path);
 
-  /// The table registered under `name`, or nullptr. The pointer stays
-  /// valid for the catalog's lifetime.
-  const storage::Table* Find(const std::string& name) const;
+  /// Publishes a new snapshot of `name` with `rows` appended (atomic:
+  /// either every row is appended or the dataset is unchanged). Existing
+  /// readers keep their old snapshot. Returns the new version. NotFound
+  /// if the dataset does not exist.
+  Result<uint64_t> AppendRows(
+      const std::string& name,
+      const std::vector<std::vector<storage::Value>>& rows);
+
+  /// Publishes `table` as the new snapshot of `name` (the schema may
+  /// change), creating the dataset if absent. Existing readers keep their
+  /// old snapshot. Returns the new version.
+  Result<uint64_t> ReplaceTable(const std::string& name,
+                                storage::Table table);
+
+  /// The current snapshot of `name`; `.table == nullptr` if absent. The
+  /// returned shared_ptr keeps the snapshot alive across later updates.
+  TableSnapshot Find(const std::string& name) const;
+
+  /// The current version of `name`, or 0 if absent.
+  uint64_t TableVersion(const std::string& name) const;
+
+  /// Catalog-wide version: bumps on every Register / AppendRows /
+  /// ReplaceTable. 0 = empty, never mutated.
+  uint64_t version() const;
 
   /// Registered names (lower-cased), sorted.
   std::vector<std::string> names() const;
 
   int size() const;
 
-  /// A sql::Catalog view over the current tables for one query execution.
-  /// The view holds non-owning pointers; since tables are never removed,
-  /// it stays valid even if other threads register more datasets.
-  sql::Catalog SqlCatalog() const;
+  /// A pinned point-in-time view of all current tables for one query
+  /// execution: the sql::Catalog plus the versions and pins described on
+  /// CatalogSnapshot.
+  CatalogSnapshot Snapshot() const;
 
  private:
+  struct Entry {
+    TableSnapshot snapshot;
+    /// Serializes writers to THIS dataset across the read-clone-publish
+    /// window of AppendRows/ReplaceTable (lost-update guard) without
+    /// blocking writers to other datasets; readers only ever take mu_.
+    /// Shared so a writer can hold it while mu_ is released.
+    std::shared_ptr<std::mutex> writer;
+  };
+
   mutable std::shared_mutex mu_;
-  // Keyed by lower-cased name.
-  std::map<std::string, std::unique_ptr<storage::Table>> tables_;
+  uint64_t version_ = 0;  // guarded by mu_
+  // Keyed by lower-cased name. Entries are never erased, so a writer
+  // mutex fetched under mu_ stays the dataset's writer mutex forever.
+  std::map<std::string, Entry> tables_;
 };
 
 }  // namespace qagview::service

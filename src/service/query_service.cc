@@ -12,15 +12,12 @@ namespace qagview::service {
 
 namespace {
 
-/// Converts a core-session trace into the service-facing per-request view.
-RequestStats FromTrace(const core::Session::RequestTrace& trace,
-                       double latency_ms) {
-  RequestStats stats;
-  stats.latency_ms = latency_ms;
-  stats.cache_hit = trace.cache_hit;
-  stats.coalesced = trace.coalesced;
-  stats.built = trace.built;
-  return stats;
+/// Folds a core-session trace into the request's stats (which may already
+/// carry refresh/coalesce flags from EnsureFresh).
+void MergeTrace(const core::Session::RequestTrace& trace, RequestStats* rs) {
+  rs->cache_hit = trace.cache_hit;
+  rs->coalesced = rs->coalesced || trace.coalesced;
+  rs->built = trace.built;
 }
 
 }  // namespace
@@ -38,8 +35,23 @@ Status QueryService::RegisterCsvFile(const std::string& name,
   return datasets_.RegisterCsvFile(name, path);
 }
 
+Result<uint64_t> QueryService::AppendRows(
+    const std::string& name,
+    const std::vector<std::vector<storage::Value>>& rows) {
+  return datasets_.AppendRows(name, rows);
+}
+
+Result<uint64_t> QueryService::ReplaceTable(const std::string& name,
+                                            storage::Table table) {
+  return datasets_.ReplaceTable(name, std::move(table));
+}
+
 std::vector<std::string> QueryService::dataset_names() const {
   return datasets_.names();
+}
+
+uint64_t QueryService::catalog_version() const {
+  return datasets_.version();
 }
 
 Result<QueryInfo> QueryService::Query(const std::string& sql,
@@ -57,16 +69,30 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
   const std::string key = trimmed + '\x1f' + ToLower(value_column);
   while (true) {
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
-      auto it = by_key_.find(key);
-      if (it != by_key_.end()) {
-        const SessionEntry& entry = *entries_[static_cast<size_t>(it->second)];
+      SessionEntry* entry = nullptr;
+      QueryHandle handle = -1;
+      {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        auto it = by_key_.find(key);
+        if (it != by_key_.end()) {
+          handle = it->second;
+          entry = entries_[static_cast<size_t>(handle)].get();
+        }
+      }
+      if (entry != nullptr) {
+        // Bring a stale handle up to date before reporting its shape.
+        Status fresh = EnsureFresh(entry, &rs);
+        if (!fresh.ok()) {
+          rs.latency_ms = timer.ElapsedMillis();
+          Record(RequestKind::kQuery, rs);
+          return fresh;
+        }
         QueryInfo info;
-        info.handle = it->second;
-        info.num_answers = entry.session->answers().size();
-        info.num_attrs = entry.session->answers().num_attrs();
-        if (!rs.coalesced) rs.cache_hit = true;
-        lock.unlock();
+        info.handle = handle;
+        const core::AnswerSet& answers = entry->session->answers();
+        info.num_answers = answers.size();
+        info.num_attrs = answers.num_attrs();
+        if (!rs.coalesced && !rs.refreshed) rs.cache_hit = true;
         rs.latency_ms = timer.ElapsedMillis();
         info.stats = rs;
         Record(RequestKind::kQuery, rs);
@@ -100,12 +126,12 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
     }
     rs.built = true;
     // Execute outside the lock: SQL + answer-set materialization are the
-    // expensive part, and the catalog snapshot stays valid regardless of
-    // concurrent dataset registrations (tables are never removed).
+    // expensive part, and the pinned catalog snapshot stays valid
+    // regardless of concurrent dataset updates (snapshots are immutable).
     auto build = [&]() -> Result<QueryHandle> {
-      sql::Catalog catalog = datasets_.SqlCatalog();
+      CatalogSnapshot snapshot = datasets_.Snapshot();
       QAG_ASSIGN_OR_RETURN(storage::Table result,
-                           sql::ExecuteSql(trimmed, catalog));
+                           sql::ExecuteSql(trimmed, snapshot.sql));
       QAG_ASSIGN_OR_RETURN(std::unique_ptr<core::Session> session,
                            core::Session::FromTable(result, value_column));
       session->set_num_threads(options_.num_threads);
@@ -113,6 +139,11 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
       entry->session = std::move(session);
       entry->sql = trimmed;
       entry->value_column = value_column;
+      // The tables the execution actually resolved, at the versions the
+      // snapshot pinned: the handle's staleness condition.
+      for (const std::string& name : snapshot.sql.accessed()) {
+        entry->deps.emplace(name, snapshot.versions.at(name));
+      }
       std::unique_lock<std::shared_mutex> lock(mu_);
       QueryHandle handle = static_cast<QueryHandle>(entries_.size());
       entries_.push_back(std::move(entry));
@@ -141,26 +172,114 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
   }
 }
 
-Result<const QueryService::SessionEntry*> QueryService::Lookup(
+Result<QueryService::SessionEntry*> QueryService::Lookup(
     QueryHandle handle) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (handle < 0 || handle >= static_cast<QueryHandle>(entries_.size())) {
     return Status::NotFound(
         StrCat("unknown query handle ", handle, "; obtain one from Query()"));
   }
-  const SessionEntry* entry = entries_[static_cast<size_t>(handle)].get();
+  SessionEntry* entry = entries_[static_cast<size_t>(handle)].get();
   return entry;
+}
+
+Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
+  while (true) {
+    // Fast path: every dependency still at the version the answer set was
+    // executed against. This is the per-request cost of versioning — a
+    // shared-lock dep copy plus one catalog version lookup per table.
+    bool stale = false;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      for (const auto& [name, version] : entry->deps) {
+        if (datasets_.TableVersion(name) != version) {
+          stale = true;
+          break;
+        }
+      }
+    }
+    if (!stale) return Status::OK();
+    // Stale: lead the refresh, or coalesce onto the one in flight.
+    std::shared_ptr<FlightLatch> flight;
+    bool leader = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      // Recheck under the exclusive lock: a refresh that completed since
+      // the fast check already updated the deps.
+      stale = false;
+      for (const auto& [name, version] : entry->deps) {
+        if (datasets_.TableVersion(name) != version) {
+          stale = true;
+          break;
+        }
+      }
+      if (!stale) return Status::OK();
+      if (entry->refresh_flight != nullptr) {
+        flight = entry->refresh_flight;
+      } else {
+        flight = std::make_shared<FlightLatch>();
+        entry->refresh_flight = flight;
+        leader = true;
+      }
+    }
+    if (!leader) {
+      if (rs != nullptr) rs->coalesced = true;
+      Status status = flight->Wait();
+      if (!status.ok()) return status;
+      continue;  // re-check: the catalog may have moved again meanwhile
+    }
+    if (rs != nullptr) rs->refreshed = true;
+    // Re-execute the SQL against a fresh pinned snapshot and hand the new
+    // answer set to the session, which reuses every cache whose input
+    // fingerprint is provably unchanged. All outside the lock.
+    core::Session::RefreshStats refresh_stats;
+    auto refresh = [&]() -> Status {
+      CatalogSnapshot snapshot = datasets_.Snapshot();
+      QAG_ASSIGN_OR_RETURN(storage::Table result,
+                           sql::ExecuteSql(entry->sql, snapshot.sql));
+      QAG_ASSIGN_OR_RETURN(
+          core::AnswerSet answers,
+          core::AnswerSet::FromTable(result, entry->value_column));
+      QAG_RETURN_IF_ERROR(
+          entry->session->Refresh(std::move(answers), &refresh_stats));
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      entry->deps.clear();
+      for (const std::string& name : snapshot.sql.accessed()) {
+        entry->deps.emplace(name, snapshot.versions.at(name));
+      }
+      return Status::OK();
+    };
+    Status outcome = refresh();
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      entry->refresh_flight.reset();
+    }
+    flight->Finish(outcome);
+    if (outcome.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.refreshes;
+      if (!refresh_stats.refreshed) ++stats_.refresh_full_reuses;
+    }
+    return outcome;
+  }
 }
 
 Result<core::Solution> QueryService::Summarize(QueryHandle handle,
                                                const core::Params& params,
                                                RequestStats* stats) {
   WallTimer timer;
-  QAG_ASSIGN_OR_RETURN(const SessionEntry* entry, Lookup(handle));
-  core::Session::RequestTrace trace;
-  Result<core::Solution> solution =
-      entry->session->Summarize(params, core::HybridOptions(), &trace);
-  RequestStats rs = FromTrace(trace, timer.ElapsedMillis());
+  RequestStats rs;
+  auto run = [&]() -> Result<core::Solution> {
+    QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
+    QAG_RETURN_IF_ERROR(EnsureFresh(entry, &rs));
+    core::Session::RequestTrace trace;
+    Result<core::Solution> solution =
+        entry->session->Summarize(params, core::HybridOptions(), &trace);
+    MergeTrace(trace, &rs);
+    return solution;
+  };
+  Result<core::Solution> solution = run();
+  rs.latency_ms = timer.ElapsedMillis();
   Record(RequestKind::kSummarize, rs);
   if (stats != nullptr) *stats = rs;
   return solution;
@@ -170,11 +289,18 @@ Result<const core::SolutionStore*> QueryService::Guidance(
     QueryHandle handle, int top_l, const core::PrecomputeOptions& options,
     RequestStats* stats) {
   WallTimer timer;
-  QAG_ASSIGN_OR_RETURN(const SessionEntry* entry, Lookup(handle));
-  core::Session::RequestTrace trace;
-  Result<const core::SolutionStore*> store =
-      entry->session->Guidance(top_l, options, &trace);
-  RequestStats rs = FromTrace(trace, timer.ElapsedMillis());
+  RequestStats rs;
+  auto run = [&]() -> Result<const core::SolutionStore*> {
+    QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
+    QAG_RETURN_IF_ERROR(EnsureFresh(entry, &rs));
+    core::Session::RequestTrace trace;
+    Result<const core::SolutionStore*> store =
+        entry->session->Guidance(top_l, options, &trace);
+    MergeTrace(trace, &rs);
+    return store;
+  };
+  Result<const core::SolutionStore*> store = run();
+  rs.latency_ms = timer.ElapsedMillis();
   Record(RequestKind::kGuidance, rs);
   if (stats != nullptr) *stats = rs;
   return store;
@@ -184,11 +310,18 @@ Result<core::Solution> QueryService::Retrieve(QueryHandle handle, int top_l,
                                               int d, int k,
                                               RequestStats* stats) {
   WallTimer timer;
-  QAG_ASSIGN_OR_RETURN(const SessionEntry* entry, Lookup(handle));
-  core::Session::RequestTrace trace;
-  Result<core::Solution> solution =
-      entry->session->Retrieve(top_l, d, k, &trace);
-  RequestStats rs = FromTrace(trace, timer.ElapsedMillis());
+  RequestStats rs;
+  auto run = [&]() -> Result<core::Solution> {
+    QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
+    QAG_RETURN_IF_ERROR(EnsureFresh(entry, &rs));
+    core::Session::RequestTrace trace;
+    Result<core::Solution> solution =
+        entry->session->Retrieve(top_l, d, k, &trace);
+    MergeTrace(trace, &rs);
+    return solution;
+  };
+  Result<core::Solution> solution = run();
+  rs.latency_ms = timer.ElapsedMillis();
   Record(RequestKind::kRetrieve, rs);
   if (stats != nullptr) *stats = rs;
   return solution;
@@ -198,9 +331,11 @@ Result<ExploreResult> QueryService::Explore(QueryHandle handle,
                                             const core::Params& params,
                                             int max_members) {
   WallTimer timer;
-  QAG_ASSIGN_OR_RETURN(const SessionEntry* entry, Lookup(handle));
-  core::Session::RequestTrace trace;
+  RequestStats rs;
   auto run = [&]() -> Result<ExploreResult> {
+    QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
+    QAG_RETURN_IF_ERROR(EnsureFresh(entry, &rs));
+    core::Session::RequestTrace trace;
     ExploreResult result;
     // Render against the exact universe that produced the solution — a
     // second UniverseFor(params.L) lookup could return a narrower
@@ -215,17 +350,19 @@ Result<ExploreResult> QueryService::Explore(QueryHandle handle,
     result.summary = core::RenderSummary(*universe, result.solution);
     result.expanded =
         core::RenderExpanded(*universe, result.solution, max_members);
+    MergeTrace(trace, &rs);
     return result;
   };
   Result<ExploreResult> result = run();
-  RequestStats rs = FromTrace(trace, timer.ElapsedMillis());
+  rs.latency_ms = timer.ElapsedMillis();
   Record(RequestKind::kExplore, rs);
   if (result.ok()) result->stats = rs;
   return result;
 }
 
-Result<core::Session*> QueryService::session(QueryHandle handle) const {
-  QAG_ASSIGN_OR_RETURN(const SessionEntry* entry, Lookup(handle));
+Result<core::Session*> QueryService::session(QueryHandle handle) {
+  QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
+  QAG_RETURN_IF_ERROR(EnsureFresh(entry, /*rs=*/nullptr));
   return entry->session.get();
 }
 

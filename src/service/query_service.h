@@ -37,6 +37,11 @@ struct RequestStats {
   bool coalesced = false;
   /// This request paid for the build (cache miss, leader).
   bool built = false;
+  /// This request found its handle stale (the catalog moved past the
+  /// versions the session was built from) and led the refresh: SQL
+  /// re-executed against the new snapshot, caches reused or rebuilt by
+  /// input fingerprint (core::Session::Refresh).
+  bool refreshed = false;
 };
 
 /// Opaque reference to a cached query answer set; obtained from Query()
@@ -85,8 +90,22 @@ struct ExploreResult {
 ///    requests (sessions and stores are deterministic and immutable once
 ///    published); only the statistics depend on interleaving.
 ///
+/// **Versioned updates.** Datasets evolve through AppendRows /
+/// ReplaceTable, each publishing a new immutable snapshot under the next
+/// catalog version. Every cached handle records the table versions its SQL
+/// was executed against; on the next use of a stale handle the service
+/// transparently re-executes the SQL against the newest snapshot
+/// (single-flight — concurrent users of the handle coalesce onto one
+/// refresh) and hands the result to `core::Session::Refresh`, which reuses
+/// every cache whose input fingerprint is provably unchanged and retires
+/// (drains, never tears down under readers) the rest. The refresh
+/// invariant, enforced by the differential harness: any sequence of
+/// appends and queries yields responses bit-identical to a fresh service
+/// built from the final table state.
+///
 /// Handles, sessions, and store pointers are never evicted; they stay
-/// valid for the service's lifetime.
+/// valid for the service's lifetime (superseded structures are retired
+/// into the session graveyard, not destroyed).
 class QueryService {
  public:
   explicit QueryService(ServiceOptions options = ServiceOptions());
@@ -99,8 +118,24 @@ class QueryService {
   /// Loads a CSV file and registers it as dataset `name`.
   Status RegisterCsvFile(const std::string& name, const std::string& path);
 
+  /// Appends rows to dataset `name`, publishing a new immutable snapshot
+  /// (existing readers keep theirs). Handles over queries that read the
+  /// dataset become stale and refresh transparently on next use. Returns
+  /// the new catalog version.
+  Result<uint64_t> AppendRows(
+      const std::string& name,
+      const std::vector<std::vector<storage::Value>>& rows);
+
+  /// Replaces dataset `name` wholesale (schema may change), creating it if
+  /// absent; same staleness semantics as AppendRows.
+  Result<uint64_t> ReplaceTable(const std::string& name,
+                                storage::Table table);
+
   /// Registered dataset names (lower-cased, sorted).
   std::vector<std::string> dataset_names() const;
+
+  /// Current catalog version (bumps on every dataset mutation).
+  uint64_t catalog_version() const;
 
   // --- Query → shared session ------------------------------------------
 
@@ -138,8 +173,10 @@ class QueryService {
                                 int max_members = 8);
 
   /// The shared session behind a handle (e.g. for Save/LoadGuidance or
-  /// CacheStats); owned by the service, itself fully thread-safe.
-  Result<core::Session*> session(QueryHandle handle) const;
+  /// CacheStats); owned by the service, itself fully thread-safe. Like
+  /// every other per-handle op, refreshes the handle first if the catalog
+  /// has moved past the versions it was built from.
+  Result<core::Session*> session(QueryHandle handle);
 
   // --- Aggregate statistics --------------------------------------------
 
@@ -158,6 +195,11 @@ class QueryService {
     int64_t cache_hits = 0;       // per-request traces, summed
     int64_t coalesced_waits = 0;  // per-request traces, summed
     int64_t builds = 0;           // per-request traces, summed
+    /// Stale-handle refreshes led (SQL re-executions after catalog moved),
+    /// and the subset that proved the answer set unchanged and reused
+    /// every session cache.
+    int64_t refreshes = 0;
+    int64_t refresh_full_reuses = 0;
     double total_latency_ms = 0.0;
     double max_latency_ms = 0.0;
     int64_t requests() const {
@@ -170,12 +212,26 @@ class QueryService {
  private:
   struct SessionEntry {
     std::unique_ptr<core::Session> session;
+    // Immutable after construction (safe to read without mu_).
     std::string sql;
     std::string value_column;
+    /// Lower-cased table name -> version the current answer set was
+    /// executed against (the query's dependency set). Guarded by mu_;
+    /// rewritten by the refresh leader.
+    std::map<std::string, uint64_t> deps;
+    /// In-flight stale-handle refresh concurrent users coalesce onto.
+    /// Guarded by mu_.
+    std::shared_ptr<FlightLatch> refresh_flight;
   };
 
   /// Entry for a handle, or an error for an unknown one.
-  Result<const SessionEntry*> Lookup(QueryHandle handle) const;
+  Result<SessionEntry*> Lookup(QueryHandle handle) const;
+
+  /// Brings a handle up to date with the catalog before serving from it:
+  /// cheap version check first; when stale, single-flight SQL re-execution
+  /// against a fresh catalog snapshot handed to core::Session::Refresh.
+  /// `rs` (optional) gets the coalesced/refreshed flags.
+  Status EnsureFresh(SessionEntry* entry, RequestStats* rs);
 
   /// Folds one finished request into the aggregate stats.
   enum class RequestKind { kQuery, kSummarize, kGuidance, kRetrieve, kExplore };

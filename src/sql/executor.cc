@@ -22,8 +22,14 @@ void Catalog::Register(const std::string& name, const Table* table) {
 }
 
 const Table* Catalog::Find(const std::string& name) const {
-  auto it = tables_.find(ToLower(name));
-  return it == tables_.end() ? nullptr : it->second;
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) return nullptr;
+  if (std::find(accessed_.begin(), accessed_.end(), key) ==
+      accessed_.end()) {
+    accessed_.push_back(std::move(key));
+  }
+  return it->second;
 }
 
 namespace {

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "sql/ast.h"
@@ -12,17 +13,28 @@ namespace qagview::sql {
 
 /// \brief Name → table registry the executor resolves FROM clauses against.
 ///
-/// The catalog does not own tables; registered tables must outlive it.
+/// The catalog does not own tables; registered tables must outlive it. A
+/// Catalog instance is built per execution and is not thread-safe (the
+/// service layer snapshots one per query).
 class Catalog {
  public:
   /// Registers (or replaces) a table under a case-insensitive name.
   void Register(const std::string& name, const storage::Table* table);
 
-  /// Looks a table up; nullptr if absent.
+  /// Looks a table up; nullptr if absent. Successful lookups are recorded
+  /// in accessed().
   const storage::Table* Find(const std::string& name) const;
+
+  /// Lower-cased names of the tables Find() resolved so far, in
+  /// first-access order, deduplicated — the dependency set of the queries
+  /// executed against this catalog instance. The versioned-refresh layer
+  /// uses it to know which table versions a cached answer set was built
+  /// from.
+  const std::vector<std::string>& accessed() const { return accessed_; }
 
  private:
   std::unordered_map<std::string, const storage::Table*> tables_;
+  mutable std::vector<std::string> accessed_;
 };
 
 /// \brief Executes a parsed SELECT against the catalog.

@@ -7,6 +7,16 @@ Column::Column(ValueType type) : type_(type) {
   if (type_ == ValueType::kString) dict_ = std::make_unique<Dictionary>();
 }
 
+Column Column::Clone() const {
+  Column out(type_);
+  out.ints_ = ints_;
+  out.doubles_ = doubles_;
+  out.codes_ = codes_;
+  if (dict_ != nullptr) out.dict_ = std::make_unique<Dictionary>(*dict_);
+  out.valid_ = valid_;
+  return out;
+}
+
 void Column::Append(const Value& v) {
   if (v.is_null()) {
     AppendNull();

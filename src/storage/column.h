@@ -23,6 +23,11 @@ class Column {
   ValueType type() const { return type_; }
   int64_t size() const { return static_cast<int64_t>(valid_.size()); }
 
+  /// Deep copy of the column (data plus dictionary). Explicit — Column is
+  /// not copy-constructible, so sizable copies never happen by accident;
+  /// the snapshot-producing catalog mutations are the intended caller.
+  Column Clone() const;
+
   /// Appends a value; NULL is always accepted, otherwise the value type must
   /// match the column type (int64 is accepted into double columns).
   void Append(const Value& v);

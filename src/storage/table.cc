@@ -14,7 +14,17 @@ Table::Table(Schema schema) : schema_(std::move(schema)) {
   }
 }
 
-Status Table::AppendRow(const std::vector<Value>& values) {
+Table Table::Clone() const {
+  Table out(schema_);
+  for (int i = 0; i < num_columns(); ++i) {
+    *out.columns_[static_cast<size_t>(i)] =
+        columns_[static_cast<size_t>(i)]->Clone();
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+Status Table::ValidateRow(const std::vector<Value>& values) const {
   if (static_cast<int>(values.size()) != num_columns()) {
     return Status::InvalidArgument(
         StrCat("row has ", values.size(), " values, table has ",
@@ -34,10 +44,32 @@ Status Table::AppendRow(const std::vector<Value>& values) {
       }
     }
   }
+  return Status::OK();
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  QAG_RETURN_IF_ERROR(ValidateRow(values));
   for (int i = 0; i < num_columns(); ++i) {
     columns_[static_cast<size_t>(i)]->Append(values[static_cast<size_t>(i)]);
   }
   ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::AppendRows(const std::vector<std::vector<Value>>& rows) {
+  for (size_t r = 0; r < rows.size(); ++r) {
+    Status status = ValidateRow(rows[r]);
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          StrCat("batch row ", r, ": ", status.message()));
+    }
+  }
+  for (const std::vector<Value>& row : rows) {
+    for (int i = 0; i < num_columns(); ++i) {
+      columns_[static_cast<size_t>(i)]->Append(row[static_cast<size_t>(i)]);
+    }
+    ++num_rows_;
+  }
   return Status::OK();
 }
 

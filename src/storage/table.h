@@ -33,9 +33,18 @@ class Table {
   const Column& column(int i) const { return *columns_[static_cast<size_t>(i)]; }
   Column* mutable_column(int i) { return columns_[static_cast<size_t>(i)].get(); }
 
+  /// Deep copy of the schema and all column data. Explicit — Table stays
+  /// move-only so accidental copies never compile; the versioned dataset
+  /// catalog clones the current snapshot before applying an update.
+  Table Clone() const;
+
   /// Appends one row; `values.size()` must equal the number of columns and
   /// each value must match its column type.
   Status AppendRow(const std::vector<Value>& values);
+
+  /// Appends a batch of rows atomically: every row is validated before any
+  /// is appended, so on error the table is unchanged (no partial batch).
+  Status AppendRows(const std::vector<std::vector<Value>>& rows);
 
   /// Boxed cell access.
   Value Get(int64_t row, int col) const { return column(col).Get(row); }
@@ -47,6 +56,9 @@ class Table {
   std::string ToString(int64_t max_rows = 20) const;
 
  private:
+  /// Shape/type checks of AppendRow, without mutating anything.
+  Status ValidateRow(const std::vector<Value>& values) const;
+
   Schema schema_;
   std::vector<std::unique_ptr<Column>> columns_;
   int64_t num_rows_ = 0;

@@ -40,6 +40,27 @@ namespace {
   (*session)->SaveGuidance(8, "guidance.store");
 }
 
+// The README "live data: append and refresh automatically" snippet,
+// verbatim modulo the elided SQL text. Compiling it pins the versioned
+// catalog API the README promises (AppendRows batch shape, stats fields).
+// If this function stops building, fix README.md to match.
+[[maybe_unused]] void AppendRefreshSnippetFromReadme() {
+  service::QueryService svc;
+  svc.RegisterCsvFile("ratings", "ratings.csv");
+  svc.AppendRows("ratings",
+                 {{storage::Value::Str("1995"), storage::Value::Str("20s"),
+                   storage::Value::Str("F"), storage::Value::Str("Writer"),
+                   storage::Value::Real(4.5)}});
+  // Next use of the handle re-executes the SQL against the new snapshot
+  // and reuses every cache the append provably did not touch:
+  auto refreshed = svc.Query("SELECT gender, avg(rating) AS val "
+                             "FROM ratings GROUP BY gender", "val");
+  if (refreshed.ok()) {
+    (void)refreshed->stats.refreshed;
+    (void)svc.stats().refreshes;
+  }
+}
+
 TEST(BuildSmokeTest, OneTypePerLayer) {
   // common/ (pulled in transitively by every layer).
   Status ok = Status::OK();

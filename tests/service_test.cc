@@ -39,23 +39,78 @@ TEST(DatasetCatalogTest, RegisterFindAndSnapshot) {
   ASSERT_TRUE(catalog.Register("Ratings", testutil::MakeRatingsTable(3, 50))
                   .ok());
   EXPECT_EQ(catalog.size(), 1);
+  EXPECT_EQ(catalog.version(), 1u);
   // Case-insensitive lookup, like sql::Catalog.
-  EXPECT_NE(catalog.Find("ratings"), nullptr);
-  EXPECT_NE(catalog.Find("RATINGS"), nullptr);
-  EXPECT_EQ(catalog.Find("other"), nullptr);
+  EXPECT_NE(catalog.Find("ratings").table, nullptr);
+  EXPECT_NE(catalog.Find("RATINGS").table, nullptr);
+  EXPECT_EQ(catalog.Find("other").table, nullptr);
+  EXPECT_EQ(catalog.Find("other").version, 0u);
   EXPECT_EQ(catalog.names(), std::vector<std::string>{"ratings"});
 
-  // Names are unique; tables are never replaced (pointer stability).
-  const storage::Table* first = catalog.Find("ratings");
+  // Names are unique; Register never replaces (snapshot stability).
+  const storage::Table* first = catalog.Find("ratings").table.get();
   EXPECT_EQ(catalog.Register("ratings", testutil::MakeRatingsTable(4, 10))
                 .code(),
             StatusCode::kAlreadyExists);
-  EXPECT_EQ(catalog.Find("ratings"), first);
+  EXPECT_EQ(catalog.Find("ratings").table.get(), first);
+  EXPECT_EQ(catalog.TableVersion("ratings"), 1u);
   EXPECT_FALSE(catalog.Register("", testutil::MakeRatingsTable(5, 10)).ok());
 
-  // The SQL view resolves to the same tables.
-  sql::Catalog sql_catalog = catalog.SqlCatalog();
-  EXPECT_EQ(sql_catalog.Find("ratings"), first);
+  // The pinned SQL view resolves to the same snapshot.
+  CatalogSnapshot snapshot = catalog.Snapshot();
+  EXPECT_EQ(snapshot.sql.Find("ratings"), first);
+  EXPECT_EQ(snapshot.catalog_version, 1u);
+  EXPECT_EQ(snapshot.versions.at("ratings"), 1u);
+  // The executor records resolved tables as the query's dependency set.
+  EXPECT_EQ(snapshot.sql.accessed(),
+            std::vector<std::string>{"ratings"});
+}
+
+TEST(DatasetCatalogTest, AppendRowsPublishesNewSnapshotOldReadersKeepTheirs) {
+  DatasetCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Register("ratings", testutil::MakeRatingsTable(3, 50)).ok());
+  TableSnapshot before = catalog.Find("ratings");
+  ASSERT_NE(before.table, nullptr);
+  EXPECT_EQ(before.version, 1u);
+
+  auto version = catalog.AppendRows(
+      "ratings", {{storage::Value::Str("g0v0"), storage::Value::Str("g1v0"),
+                   storage::Value::Str("g2v0"), storage::Value::Str("g3v0"),
+                   storage::Value::Real(4.5)}});
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(*version, 2u);
+  EXPECT_EQ(catalog.version(), 2u);
+
+  // The old snapshot is untouched; the new one has the row.
+  EXPECT_EQ(before.table->num_rows(), 50);
+  TableSnapshot after = catalog.Find("ratings");
+  EXPECT_EQ(after.table->num_rows(), 51);
+  EXPECT_NE(after.table.get(), before.table.get());
+  EXPECT_EQ(after.version, 2u);
+
+  // Atomicity: a batch with one bad row changes nothing.
+  auto bad = catalog.AppendRows(
+      "ratings", {{storage::Value::Str("g0v0"), storage::Value::Str("g1v0"),
+                   storage::Value::Str("g2v0"), storage::Value::Str("g3v0"),
+                   storage::Value::Real(1.0)},
+                  {storage::Value::Real(1.0)}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(catalog.Find("ratings").table->num_rows(), 51);
+  EXPECT_EQ(catalog.version(), 2u);
+
+  // Unknown dataset.
+  EXPECT_EQ(catalog.AppendRows("nope", {}).status().code(),
+            StatusCode::kNotFound);
+
+  // ReplaceTable swaps wholesale (and may create).
+  ASSERT_TRUE(
+      catalog.ReplaceTable("ratings", testutil::MakeRatingsTable(9, 7)).ok());
+  EXPECT_EQ(catalog.Find("ratings").table->num_rows(), 7);
+  EXPECT_EQ(catalog.version(), 3u);
+  ASSERT_TRUE(
+      catalog.ReplaceTable("fresh", testutil::MakeRatingsTable(9, 3)).ok());
+  EXPECT_EQ(catalog.size(), 2);
 }
 
 TEST(QueryServiceTest, QueryCachesSessionsPerSqlAndValueColumn) {

@@ -106,36 +106,68 @@ inline core::AnswerSet MakeMovieExample() {
   return std::move(result).value();
 }
 
-/// A synthetic base table for service-layer tests: `rows` rating events
-/// over four categorical columns (g0..g3, Zipf-skewed domains 6/5/4/3) and
-/// a `rating` value with a planted signal on low codes, so aggregate
-/// queries produce ranked answer sets with shared top patterns. The same
-/// seed always builds the same table.
-inline storage::Table MakeRatingsTable(uint64_t seed, int rows) {
-  storage::Schema schema({{"g0", storage::ValueType::kString},
-                          {"g1", storage::ValueType::kString},
-                          {"g2", storage::ValueType::kString},
-                          {"g3", storage::ValueType::kString},
-                          {"rating", storage::ValueType::kDouble}});
-  storage::Table table(schema);
-  const int domains[4] = {6, 5, 4, 3};
-  Rng rng(seed);
-  for (int i = 0; i < rows; ++i) {
-    int codes[4];
-    double signal = 0.0;
-    for (int a = 0; a < 4; ++a) {
-      codes[a] = static_cast<int>(rng.Zipf(domains[a], 0.7));
-      signal += (domains[a] - codes[a]) / (4.0 * domains[a]);
+/// Shape of a synthetic base table: one Zipf-skewed categorical grouping
+/// column g0..g{m-1} per domain entry, plus a `rating` double with a
+/// planted signal on low codes — so aggregate queries produce ranked
+/// answer sets with shared top patterns. This is the one seeded generator
+/// every table-level harness shares (service tests, the refresh
+/// differential oracle, bench_refresh); keep ad-hoc copies out of tests.
+struct RandomTableSpec {
+  std::vector<int> domains = {6, 5, 4, 3};
+  double zipf_theta = 0.7;
+  double noise_stddev = 0.25;
+
+  storage::Schema MakeSchema() const {
+    std::vector<storage::Field> fields;
+    for (size_t a = 0; a < domains.size(); ++a) {
+      fields.push_back({StrCat("g", a), storage::ValueType::kString});
     }
-    QAG_CHECK_OK(table.AppendRow(
-        {storage::Value::Str(StrCat("g0v", codes[0])),
-         storage::Value::Str(StrCat("g1v", codes[1])),
-         storage::Value::Str(StrCat("g2v", codes[2])),
-         storage::Value::Str(StrCat("g3v", codes[3])),
-         storage::Value::Real(2.0 + 2.0 * signal +
-                              rng.Gaussian(0.0, 0.25))}));
+    fields.push_back({"rating", storage::ValueType::kDouble});
+    return storage::Schema(std::move(fields));
   }
+};
+
+/// One batch of `count` random rows for the spec — directly usable as a
+/// table/catalog append batch. A given (spec, seed, count) always produces
+/// the same rows, and the batch for seed s is the same whether generated
+/// alone or as a prefix of a longer batch.
+inline std::vector<std::vector<storage::Value>> MakeRandomRows(
+    const RandomTableSpec& spec, uint64_t seed, int count) {
+  const int m = static_cast<int>(spec.domains.size());
+  Rng rng(seed);
+  std::vector<std::vector<storage::Value>> rows;
+  rows.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    std::vector<storage::Value> row;
+    row.reserve(static_cast<size_t>(m) + 1);
+    double signal = 0.0;
+    for (int a = 0; a < m; ++a) {
+      int domain = spec.domains[static_cast<size_t>(a)];
+      int code = static_cast<int>(rng.Zipf(domain, spec.zipf_theta));
+      signal += (domain - code) / (static_cast<double>(m) * domain);
+      row.push_back(storage::Value::Str(StrCat("g", a, "v", code)));
+    }
+    row.push_back(storage::Value::Real(
+        2.0 + 2.0 * signal + rng.Gaussian(0.0, spec.noise_stddev)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// A full random table: MakeRandomRows over a fresh table of the spec's
+/// schema.
+inline storage::Table MakeRandomTable(const RandomTableSpec& spec,
+                                      uint64_t seed, int rows) {
+  storage::Table table(spec.MakeSchema());
+  QAG_CHECK_OK(table.AppendRows(MakeRandomRows(spec, seed, rows)));
   return table;
+}
+
+/// The default-shaped table (g0..g3, domains 6/5/4/3) the service tests
+/// use. Same seed, same table — byte-identical to the pre-factoring
+/// generator.
+inline storage::Table MakeRatingsTable(uint64_t seed, int rows) {
+  return MakeRandomTable(RandomTableSpec(), seed, rows);
 }
 
 /// One-shot start barrier for concurrency tests (std::barrier is C++20):

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Line-coverage summary over a QAGVIEW_COVERAGE=ON build, gcov only.
+
+Runs gcov on every .gcda the instrumented ctest run produced, keeps the
+results for first-party sources (src/ by default), and prints a per-file
+and total line-coverage table. No gcovr/lcov dependency — the CI coverage
+job and a bare container both have plain gcov.
+
+Usage (from the repo root, after building with -DQAGVIEW_COVERAGE=ON and
+running ctest in <build-dir>):
+
+    python3 tools/coverage_summary.py --build-dir build-cov [--source src]
+            [--output coverage.txt]
+
+Exit status: 0 on success (coverage is reported, not gated — see
+CONTRIBUTING.md), 2 when no coverage data is found.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        # Absolute paths: gcov runs with cwd=build_dir, where paths
+        # relative to the caller's cwd would not resolve.
+        out.extend(os.path.abspath(os.path.join(root, f))
+                   for f in files if f.endswith(".gcda"))
+    return out
+
+
+def run_gcov(gcda_files, build_dir):
+    """Runs gcov in intermediate-text mode; returns {source: (covered, total)}."""
+    stats = {}
+    # Batch to keep command lines bounded.
+    for start in range(0, len(gcda_files), 64):
+        batch = gcda_files[start:start + 64]
+        proc = subprocess.run(
+            ["gcov", "--stdout", "--source-prefix", os.getcwd()] + batch,
+            cwd=build_dir, capture_output=True, text=True, check=False)
+        current = None
+        for line in proc.stdout.splitlines():
+            m = re.match(r"^\s*-:\s*0:Source:(.*)$", line)
+            if m:
+                current = m.group(1)
+                continue
+            m = re.match(r"^\s*([^:]+):\s*(\d+):", line)
+            if m and current is not None:
+                count, lineno = m.group(1).strip(), int(m.group(2))
+                if lineno == 0:
+                    continue
+                covered, total = stats.get(current, (set(), set()))
+                if count != "-":
+                    total.add(lineno)
+                    if count not in ("#####", "====="):
+                        covered.add(lineno)
+                stats[current] = (covered, total)
+    return stats
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build-cov")
+    parser.add_argument("--source", default="src",
+                        help="first-party prefix to report (default: src)")
+    parser.add_argument("--output", default=None,
+                        help="also write the table to this file")
+    args = parser.parse_args()
+
+    gcda = find_gcda(args.build_dir)
+    if not gcda:
+        print(f"error: no .gcda files under {args.build_dir} — build with "
+              f"-DQAGVIEW_COVERAGE=ON and run ctest first", file=sys.stderr)
+        return 2
+
+    stats = run_gcov(gcda, args.build_dir)
+    rows = []
+    grand_covered = grand_total = 0
+    for source, (covered, total) in sorted(stats.items()):
+        rel = os.path.relpath(source) if os.path.isabs(source) else source
+        norm = rel.replace("\\", "/")
+        if not norm.startswith(args.source.rstrip("/") + "/"):
+            continue
+        if not total:
+            continue
+        rows.append((norm, len(covered), len(total)))
+        grand_covered += len(covered)
+        grand_total += len(total)
+
+    if grand_total == 0:
+        print(f"error: no coverage rows matched prefix '{args.source}'",
+              file=sys.stderr)
+        return 2
+
+    lines = [f"{'file':<44} {'lines':>7} {'covered':>8} {'%':>7}"]
+    for name, covered, total in rows:
+        lines.append(f"{name:<44} {total:>7} {covered:>8} "
+                     f"{100.0 * covered / total:>6.1f}%")
+    lines.append("-" * 68)
+    lines.append(f"{'TOTAL':<44} {grand_total:>7} {grand_covered:>8} "
+                 f"{100.0 * grand_covered / grand_total:>6.1f}%")
+    table = "\n".join(lines)
+    print(table)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(table + "\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
