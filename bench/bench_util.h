@@ -96,16 +96,29 @@ class JsonReporter {
   }
 
   /// Records one timed row. Params are numeric by design (k, L, N, D,
-  /// threads, ...); variant names belong in `name`.
+  /// threads, ...) and form the regression gate's join key; variant names
+  /// belong in `name`. `extras` are measured outputs reported alongside
+  /// (e.g. memory/occupancy counters) — deliberately outside the join key
+  /// so their run-to-run variation never un-gates the timing comparison.
   void Add(const std::string& name,
            const std::vector<std::pair<std::string, double>>& params,
-           const TimingStats& t) {
+           const TimingStats& t,
+           const std::vector<std::pair<std::string, double>>& extras = {}) {
     std::string row = "    {\"name\": \"" + name + "\", \"params\": {";
     for (size_t i = 0; i < params.size(); ++i) {
       if (i > 0) row += ", ";
       row += "\"" + params[i].first + "\": " + Num(params[i].second);
     }
-    row += "}, \"median_ms\": " + Num(t.median_ms) +
+    row += "}";
+    if (!extras.empty()) {
+      row += ", \"extras\": {";
+      for (size_t i = 0; i < extras.size(); ++i) {
+        if (i > 0) row += ", ";
+        row += "\"" + extras[i].first + "\": " + Num(extras[i].second);
+      }
+      row += "}";
+    }
+    row += ", \"median_ms\": " + Num(t.median_ms) +
            ", \"min_ms\": " + Num(t.min_ms) +
            ", \"reps\": " + std::to_string(t.reps) + "}";
     rows_.push_back(std::move(row));

@@ -65,7 +65,7 @@ int main() {
     std::cerr << session.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "answer set: n=" << (*session)->answers().size() << "\n\n";
+  std::cout << "answer set: n=" << (*session)->answers()->size() << "\n\n";
 
   // --- 4. Summarize (Figure 1b). ---
   core::Params params{4, 8, 2};

@@ -89,7 +89,7 @@ class Explorer {
     } else if (command == "top") {
       int n = 8;
       in >> n;
-      if (RequireSession()) std::cout << session_->answers().ToString(n);
+      if (RequireSession()) std::cout << session_->answers()->ToString(n);
     } else if (command == "grid") {
       Grid(in);
     } else if (command == "compare") {
@@ -175,8 +175,8 @@ class Explorer {
       return;
     }
     session_ = std::move(session).value();
-    std::cout << "answer set: n=" << session_->answers().size() << " over m="
-              << session_->answers().num_attrs() << " attributes\n";
+    std::cout << "answer set: n=" << session_->answers()->size() << " over m="
+              << session_->answers()->num_attrs() << " attributes\n";
   }
 
   bool RequireSession() {

@@ -23,9 +23,11 @@ int main() {
   service::QueryService svc;
   datagen::MovieLensOptions gen_options;
   gen_options.num_ratings = 150000;
-  Status registered = svc.RegisterTable(
-      "RatingTable",
-      datagen::MovieLensGenerator(gen_options).GenerateRatingTable());
+  storage::Table ratings =
+      datagen::MovieLensGenerator(gen_options).GenerateRatingTable();
+  // One real row, kept aside for the live-update step below.
+  const std::vector<storage::Value> delta_row = ratings.GetRow(0);
+  Status registered = svc.RegisterTable("RatingTable", std::move(ratings));
   if (!registered.ok()) {
     std::cerr << registered.ToString() << "\n";
     return 1;
@@ -93,7 +95,24 @@ int main() {
               explored->stats.latency_ms,
               explored->stats.cache_hit ? "yes" : "no");
 
-  // 5. What the service did for those clients.
+  // 5. Live data: an append retires the served generation on next use.
+  //    The superseded caches are evicted the moment their last reader
+  //    handle drops (drain-then-evict) — the generation counters below
+  //    show the graveyard staying empty once everyone re-queried.
+  auto appended = svc.AppendRows("RatingTable", {delta_row});
+  if (!appended.ok()) {
+    std::cerr << "append failed: " << appended.status().ToString() << "\n";
+    return 1;
+  }
+  auto refreshed = svc.Query(kSql, "val");
+  if (refreshed.ok()) {
+    std::printf("\nappend published catalog v%llu; next Query refreshed the "
+                "handle in place (refreshed: %s)\n",
+                static_cast<unsigned long long>(svc.catalog_version()),
+                refreshed->stats.refreshed ? "yes" : "no");
+  }
+
+  // 6. What the service did for those clients.
   service::QueryService::Stats stats = svc.stats();
   std::printf(
       "\n=== ServiceStats ===\n"
@@ -101,6 +120,9 @@ int main() {
       "queries %lld (cache hits %lld, coalesced %lld)\n"
       "summarize %lld | guidance %lld | retrieve %lld | explore %lld\n"
       "request cache hits %lld | coalesced waits %lld | builds %lld\n"
+      "refreshes %lld (full reuses %lld)\n"
+      "generations: live %lld | graveyard %lld (reader-pinned) | "
+      "evicted %lld\n"
       "latency: total %.1f ms, max %.1f ms\n",
       static_cast<long long>(stats.datasets),
       static_cast<long long>(stats.sessions),
@@ -114,8 +136,13 @@ int main() {
       static_cast<long long>(stats.explore_requests),
       static_cast<long long>(stats.cache_hits),
       static_cast<long long>(stats.coalesced_waits),
-      static_cast<long long>(stats.builds), stats.total_latency_ms,
-      stats.max_latency_ms);
+      static_cast<long long>(stats.builds),
+      static_cast<long long>(stats.refreshes),
+      static_cast<long long>(stats.refresh_full_reuses),
+      static_cast<long long>(stats.live_generations),
+      static_cast<long long>(stats.graveyard_size),
+      static_cast<long long>(stats.generations_evicted),
+      stats.total_latency_ms, stats.max_latency_ms);
 
   core::Session::CacheStats cache = (*svc.session(query->handle))->cache_stats();
   std::printf(

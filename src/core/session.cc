@@ -31,6 +31,11 @@ bool StoreCoversOptions(const SolutionStore& store, const AnswerSet& s,
 
 }  // namespace
 
+Session::Session(std::unique_ptr<AnswerSet> answers)
+    : live_(std::make_shared<Generation>()) {
+  live_->answers = std::move(answers);
+}
+
 Result<std::unique_ptr<Session>> Session::Create(AnswerSet answers) {
   return std::unique_ptr<Session>(
       new Session(std::make_unique<AnswerSet>(std::move(answers))));
@@ -43,11 +48,14 @@ Result<std::unique_ptr<Session>> Session::FromTable(
   return Create(std::move(answers));
 }
 
-const AnswerSet& Session::answers() const { return *current_answers(); }
-
-const AnswerSet* Session::current_answers() const {
+std::shared_ptr<const AnswerSet> Session::answers() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return answers_.get();
+  return std::shared_ptr<const AnswerSet>(live_, live_->answers.get());
+}
+
+std::shared_ptr<Session::Generation> Session::live_generation() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return live_;
 }
 
 Status Session::Refresh(AnswerSet answers, RefreshStats* stats) {
@@ -55,11 +63,12 @@ Status Session::Refresh(AnswerSet answers, RefreshStats* stats) {
   refreshes_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t new_fp = answers.content_fingerprint();
   std::unique_lock<std::shared_mutex> lock(mu_);
+  const AnswerSet& current = *live_->answers;
   local.hierarchy_reused =
-      answers.domain_fingerprint() == answers_->domain_fingerprint() &&
-      answers.attr_names() == answers_->attr_names();
-  if (new_fp == answers_->content_fingerprint() &&
-      answers.SameContent(*answers_)) {
+      answers.domain_fingerprint() == current.domain_fingerprint() &&
+      answers.attr_names() == current.attr_names();
+  if (new_fp == current.content_fingerprint() &&
+      answers.SameContent(current)) {
     // Provably unchanged: every cached structure's input fingerprint still
     // matches, so the whole session keeps serving warm; the freshly built
     // copy is discarded.
@@ -69,41 +78,53 @@ Status Session::Refresh(AnswerSet answers, RefreshStats* stats) {
     if (stats != nullptr) *stats = local;
     return Status::OK();
   }
-  // Content changed: every cached entry was built from the outgoing
-  // answer set (the cache-admission invariant below), so all of them are
-  // stale by the proof above — retire the lot into the graveyard (pointers
-  // handed out earlier stay valid; in-flight readers drain, they are never
-  // torn down), then install the new answer set. Note this deliberately
-  // does not reuse-by-fingerprint here: a 64-bit collision must not keep a
-  // stale grid serving, so the authoritative identity is the answer-set
-  // object itself.
+  // Content changed: every cached entry belongs to the outgoing generation
+  // (the cache-admission invariant), so all of them are stale by the proof
+  // above — drop the serving caches and retire the generation. Its only
+  // remaining strong references are external handles: it is destroyed the
+  // moment the last one drops (possibly right here, if none exist). Note
+  // this deliberately does not reuse-by-fingerprint: a 64-bit collision
+  // must not keep a stale grid serving, so the authoritative identity is
+  // the generation object itself.
   local.refreshed = true;
   local.universes_retired = static_cast<int>(universes_.size());
-  for (auto& [l, universe] : universes_) {
-    retired_universes_.push_back(std::move(universe));
-  }
-  universes_.clear();
   local.stores_retired = static_cast<int>(stores_.size());
-  for (auto& [l, store] : stores_) {
-    retired_stores_.push_back(std::move(store));
-  }
+  universes_.clear();
   stores_.clear();
-  retired_answers_.push_back(std::move(answers_));
-  answers_ = std::make_unique<AnswerSet>(std::move(answers));
+  graveyard_.emplace_back(live_);
+  ++generations_retired_;
+  auto next = std::make_shared<Generation>();
+  next->answers = std::make_unique<AnswerSet>(std::move(answers));
+  live_ = std::move(next);  // drops the session's ref to the outgoing gen
+  // Prune ledger entries whose generation already drained, so the ledger
+  // itself stays bounded under sustained updates.
+  graveyard_.erase(
+      std::remove_if(graveyard_.begin(), graveyard_.end(),
+                     [](const std::weak_ptr<Generation>& g) {
+                       return g.expired();
+                     }),
+      graveyard_.end());
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }
 
-Result<const ClusterUniverse*> Session::UniverseFor(int top_l,
-                                                    RequestTrace* trace) {
-  if (top_l < 1 || top_l > current_answers()->size()) {
+Result<std::shared_ptr<const ClusterUniverse>> Session::UniverseFor(
+    int top_l, RequestTrace* trace) {
+  QAG_ASSIGN_OR_RETURN(PinnedUniverse pinned, PinnedUniverseFor(top_l, trace));
+  return std::shared_ptr<const ClusterUniverse>(std::move(pinned.generation),
+                                                pinned.universe);
+}
+
+Result<Session::PinnedUniverse> Session::PinnedUniverseFor(
+    int top_l, RequestTrace* trace) {
+  if (top_l < 1 || top_l > live_generation()->answers->size()) {
     return Status::InvalidArgument("L out of range for this session");
   }
   while (true) {
-    // Re-captured per attempt: after a refresh supersedes an in-flight
-    // build, retrying waiters must build from (and cache for) the live
-    // answer set, not the one they first observed.
-    const AnswerSet* answers = current_answers();
+    // The generation is re-captured per attempt: after a refresh
+    // supersedes an in-flight build, retrying waiters must build from (and
+    // cache for) the live generation, not the one they first observed.
+    std::shared_ptr<Generation> gen;
     // Fast path, shared lock: the narrowest cached universe with
     // top_l' >= top_l serves the request (its cluster set is a superset
     // and all algorithms accept params.L <= top_l').
@@ -113,8 +134,9 @@ Result<const ClusterUniverse*> Session::UniverseFor(int top_l,
       if (it != universes_.end()) {
         universe_hits_.fetch_add(1, std::memory_order_relaxed);
         if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
-        return it->second.get();
+        return PinnedUniverse{live_, it->second};
       }
+      gen = live_;
     }
     // Miss: become the leader for this L, or join an in-flight build for
     // any L' >= top_l (its result will serve this request too).
@@ -126,8 +148,9 @@ Result<const ClusterUniverse*> Session::UniverseFor(int top_l,
       if (it != universes_.end()) {
         universe_hits_.fetch_add(1, std::memory_order_relaxed);
         if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
-        return it->second.get();
+        return PinnedUniverse{live_, it->second};
       }
+      gen = live_;  // the freshest view before committing to a build
       auto fit = universe_flights_.lower_bound(top_l);
       if (fit != universe_flights_.end()) {
         flight = fit->second;
@@ -146,13 +169,14 @@ Result<const ClusterUniverse*> Session::UniverseFor(int top_l,
       continue;
     }
     // Leader: build outside the lock (concurrent readers stay unblocked),
-    // publish under the exclusive lock, then release the waiters.
+    // publish under the exclusive lock, then release the waiters. The
+    // captured generation pins the answer set for the build's duration.
     universe_misses_.fetch_add(1, std::memory_order_relaxed);
     if (trace != nullptr) trace->built = true;
     ClusterUniverse::Options build_options;
     build_options.num_threads = num_threads();
     Result<ClusterUniverse> built =
-        ClusterUniverse::Build(answers, top_l, build_options);
+        ClusterUniverse::Build(gen->answers.get(), top_l, build_options);
     const ClusterUniverse* ptr = nullptr;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
@@ -160,23 +184,22 @@ Result<const ClusterUniverse*> Session::UniverseFor(int top_l,
         auto owned =
             std::make_unique<ClusterUniverse>(std::move(built).value());
         ptr = owned.get();
-        // Cache-admission invariant: only structures built from the
-        // *current* answer-set object enter the cache (exact pointer
-        // identity — no fingerprint collisions).
-        if (&owned->answer_set() == answers_.get()) {
-          universes_.emplace(top_l, std::move(owned));
-        } else {
-          // A refresh superseded this build mid-flight: the result still
-          // serves this (overlapping, hence linearizable) request, but it
-          // goes to the graveyard instead of the cache.
-          retired_universes_.push_back(std::move(owned));
+        // The universe joins the generation it was built from either way;
+        // only the *current* generation's structures enter the serving
+        // cache (exact generation identity — no fingerprint collisions).
+        gen->universes.push_back(std::move(owned));
+        if (gen == live_) {
+          universes_.emplace(top_l, ptr);
         }
+        // else: a refresh superseded this build mid-flight. The result
+        // still serves this (overlapping, hence linearizable) request,
+        // pinned by the returned handle, and dies when that handle drops.
       }
       universe_flights_.erase(top_l);
     }
     flight->Finish(built.ok() ? Status::OK() : built.status());
     if (!built.ok()) return built.status();
-    return ptr;
+    return PinnedUniverse{std::move(gen), ptr};
   }
 }
 
@@ -186,15 +209,15 @@ Result<Solution> Session::Summarize(const Params& params,
   return SummarizeWith(params, /*universe_out=*/nullptr, options, trace);
 }
 
-Result<Solution> Session::SummarizeWith(const Params& params,
-                                        const ClusterUniverse** universe_out,
-                                        const HybridOptions& options,
-                                        RequestTrace* trace) {
-  QAG_RETURN_IF_ERROR(ValidateParams(*current_answers(), params));
-  QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe,
+Result<Solution> Session::SummarizeWith(
+    const Params& params, std::shared_ptr<const ClusterUniverse>* universe_out,
+    const HybridOptions& options, RequestTrace* trace) {
+  QAG_RETURN_IF_ERROR(ValidateParams(*live_generation()->answers, params));
+  QAG_ASSIGN_OR_RETURN(std::shared_ptr<const ClusterUniverse> universe,
                        UniverseFor(params.L, trace));
-  if (universe_out != nullptr) *universe_out = universe;
-  return Hybrid::Run(*universe, params, options);
+  Result<Solution> solution = Hybrid::Run(*universe, params, options);
+  if (universe_out != nullptr) *universe_out = std::move(universe);
+  return solution;
 }
 
 const SolutionStore* Session::StoreForLocked(int top_l) const {
@@ -208,20 +231,20 @@ const SolutionStore* Session::StoreForLocked(int top_l) const {
     return nullptr;
   }
   store_hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second.get();
+  return it->second;
 }
 
 const SolutionStore* Session::CoveringStoreLocked(
     int top_l, const PrecomputeOptions& options) const {
   for (auto it = stores_.lower_bound(top_l); it != stores_.end(); ++it) {
-    if (StoreCoversOptions(*it->second, *answers_, options)) {
-      return it->second.get();
+    if (StoreCoversOptions(*it->second, *live_->answers, options)) {
+      return it->second;
     }
   }
   return nullptr;
 }
 
-Result<const SolutionStore*> Session::Guidance(
+Result<std::shared_ptr<const SolutionStore>> Session::Guidance(
     int top_l, const PrecomputeOptions& options, RequestTrace* trace) {
   // The coalescing key is only needed on a miss; computed lazily so warm
   // cache hits — the interactive serving path — skip its allocations.
@@ -235,12 +258,12 @@ Result<const SolutionStore*> Session::Guidance(
       if (const SolutionStore* store = CoveringStoreLocked(top_l, options)) {
         store_hits_.fetch_add(1, std::memory_order_relaxed);
         if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
-        return store;
+        return std::shared_ptr<const SolutionStore>(live_, store);
       }
     }
     // Miss: coalesce with an identical in-flight precompute, or lead one.
     if (key.empty()) {
-      key = options.CacheKey(top_l, current_answers()->num_attrs());
+      key = options.CacheKey(top_l, live_generation()->answers->num_attrs());
     }
     std::shared_ptr<FlightLatch> flight;
     bool leader = false;
@@ -249,7 +272,7 @@ Result<const SolutionStore*> Session::Guidance(
       if (const SolutionStore* store = CoveringStoreLocked(top_l, options)) {
         store_hits_.fetch_add(1, std::memory_order_relaxed);
         if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
-        return store;
+        return std::shared_ptr<const SolutionStore>(live_, store);
       }
       auto fit = store_flights_.find(key);
       if (fit != store_flights_.end()) {
@@ -270,31 +293,34 @@ Result<const SolutionStore*> Session::Guidance(
     store_misses_.fetch_add(1, std::memory_order_relaxed);
     if (trace != nullptr) trace->built = true;
     // The universe build has its own single-flight; no session lock held.
-    auto build = [&]() -> Result<const SolutionStore*> {
-      QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe,
-                           UniverseFor(top_l));
+    // The store is derived from (and attached to) the same generation the
+    // universe belongs to, so the two always retire and die together.
+    auto build = [&]() -> Result<std::shared_ptr<const SolutionStore>> {
+      QAG_ASSIGN_OR_RETURN(PinnedUniverse pinned,
+                           PinnedUniverseFor(top_l, /*trace=*/nullptr));
       PrecomputeOptions run_options = options;
       if (run_options.num_threads <= 0) {
         run_options.num_threads = num_threads();
       }
-      QAG_ASSIGN_OR_RETURN(SolutionStore store,
-                           Precompute::Run(*universe, top_l, run_options));
+      QAG_ASSIGN_OR_RETURN(
+          SolutionStore store,
+          Precompute::Run(*pinned.universe, top_l, run_options));
       auto owned = std::make_unique<SolutionStore>(std::move(store));
       const SolutionStore* ptr = owned.get();
       std::unique_lock<std::shared_mutex> lock(mu_);
-      if (&ptr->universe()->answer_set() == answers_.get()) {
+      pinned.generation->stores.push_back(std::move(owned));
+      if (pinned.generation == live_) {
         // emplace, never replace: a narrower-grid store at this L may
-        // exist and keeps serving the requests it covers (and pointers
-        // previously handed out must stay valid).
-        stores_.emplace(top_l, std::move(owned));
-      } else {
-        // Superseded by a refresh mid-precompute: serve the overlapping
-        // request from the graveyard instead of caching a stale grid.
-        retired_stores_.push_back(std::move(owned));
+        // exist and keeps serving the requests it covers.
+        stores_.emplace(top_l, ptr);
       }
-      return ptr;
+      // else: superseded by a refresh mid-precompute — the handle serves
+      // the overlapping request from the retired generation, which drains
+      // when the last reader drops.
+      return std::shared_ptr<const SolutionStore>(std::move(pinned.generation),
+                                                  ptr);
     };
-    Result<const SolutionStore*> outcome = build();
+    Result<std::shared_ptr<const SolutionStore>> outcome = build();
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
       store_flights_.erase(key);
@@ -307,7 +333,8 @@ Result<const SolutionStore*> Session::Guidance(
 Result<Solution> Session::Retrieve(int top_l, int d, int k,
                                    RequestTrace* trace) {
   // Narrowest store with L' >= top_l that can answer (d, k); a narrower-
-  // grid store is skipped if a wider cached one has the row.
+  // grid store is skipped if a wider cached one has the row. Cached stores
+  // belong to the live generation, which the shared lock keeps published.
   Status first_error = Status::OK();
   bool found_store = false;
   {
@@ -332,17 +359,19 @@ Result<Solution> Session::Retrieve(int top_l, int d, int k,
 }
 
 Status Session::SaveGuidance(int top_l, const std::string& path) const {
-  const SolutionStore* store = nullptr;
+  std::shared_ptr<const SolutionStore> store;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    store = StoreForLocked(top_l);
+    if (const SolutionStore* found = StoreForLocked(top_l)) {
+      store = std::shared_ptr<const SolutionStore>(live_, found);
+    }
   }
   if (store == nullptr) {
     return Status::FailedPrecondition(
         "no guidance precomputed covering this L; call Guidance() first");
   }
-  // Stores are immutable and never evicted, so the file write can proceed
-  // outside the lock without blocking concurrent requests.
+  // The handle pins the store's generation, so the file write can proceed
+  // outside the lock even if a refresh retires the store meanwhile.
   return SaveSolutionStore(*store, path);
 }
 
@@ -356,19 +385,20 @@ Status Session::LoadGuidance(int top_l, const std::string& path) {
         StrCat("file holds a grid for L=", stored_l,
                ", too narrow for requested L=", top_l));
   }
-  QAG_ASSIGN_OR_RETURN(const ClusterUniverse* universe,
-                       UniverseFor(stored_l));
+  QAG_ASSIGN_OR_RETURN(PinnedUniverse pinned,
+                       PinnedUniverseFor(stored_l, /*trace=*/nullptr));
   QAG_ASSIGN_OR_RETURN(SolutionStore store,
-                       LoadSolutionStore(universe, path));
+                       LoadSolutionStore(pinned.universe, path));
   auto owned = std::make_unique<SolutionStore>(std::move(store));
+  const SolutionStore* ptr = owned.get();
   std::unique_lock<std::shared_mutex> lock(mu_);
-  if (&owned->universe()->answer_set() == answers_.get()) {
-    stores_.emplace(stored_l, std::move(owned));
-  } else {
-    // A refresh raced the load; the file's grid no longer matches the
-    // current answer set, so it must not enter the serving cache.
-    retired_stores_.push_back(std::move(owned));
+  pinned.generation->stores.push_back(std::move(owned));
+  if (pinned.generation == live_) {
+    stores_.emplace(stored_l, ptr);
   }
+  // else: a refresh raced the load; the file's grid no longer matches the
+  // live answer set, so it must not enter the serving cache — it drains
+  // with its retired generation.
   return Status::OK();
 }
 
@@ -378,8 +408,20 @@ Session::CacheStats Session::cache_stats() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     stats.universes = static_cast<int>(universes_.size());
     stats.stores = static_cast<int>(stores_.size());
-    stats.retired_universes = static_cast<int>(retired_universes_.size());
-    stats.retired_stores = static_cast<int>(retired_stores_.size());
+    // Count what the graveyard still retains by probing the ledger's weak
+    // references: an entry that no longer locks has been evicted (its
+    // readers drained and the generation was destroyed).
+    int alive = 0;
+    for (const std::weak_ptr<Generation>& entry : graveyard_) {
+      if (std::shared_ptr<Generation> gen = entry.lock()) {
+        ++alive;
+        stats.retired_universes += static_cast<int>(gen->universes.size());
+        stats.retired_stores += static_cast<int>(gen->stores.size());
+      }
+    }
+    stats.graveyard_size = alive;
+    stats.live_generations = alive + 1;
+    stats.generations_evicted = generations_retired_ - alive;
   }
   stats.universe_hits = universe_hits_.load(std::memory_order_relaxed);
   stats.universe_misses = universe_misses_.load(std::memory_order_relaxed);

@@ -45,24 +45,27 @@ namespace qagview::core {
 /// deterministic in their (answer set, L, options) inputs alone, and
 /// stores/universes are immutable once published.
 ///
-/// **Versioned refresh.** The answer set is no longer fixed for the
-/// session's lifetime: Refresh() installs the answer set re-executed
-/// against a newer table snapshot. Every cached structure records the
-/// content fingerprint of the answer set it was built from
-/// (`ClusterUniverse::input_fingerprint`,
-/// `SolutionStore::input_fingerprint`); when the fingerprints match and
-/// an exact content check confirms the re-executed answer set is
-/// unchanged, every cache is reused verbatim. When content changed, the
-/// caches are *retired* — moved to an internal graveyard, not destroyed —
-/// so pointers previously returned by UniverseFor / Guidance / answers()
-/// stay valid for the session's lifetime and in-flight readers drain
-/// naturally instead of being torn down. Cache admission is guarded by
-/// answer-set object identity (exact, collision-free): a build that races
-/// a refresh publishes into the graveyard instead of the cache (its
-/// result still serves the overlapping request: a linearizable
-/// pre-refresh view). The graveyard grows by one generation per
-/// content-changing refresh — the price of never invalidating a handed-
-/// out pointer; see ROADMAP for refcounted eviction.
+/// **Versioned refresh and handle lifetime.** The answer set is no longer
+/// fixed for the session's lifetime: Refresh() installs the answer set
+/// re-executed against a newer table snapshot. Every structure the session
+/// hands out — answer sets, cluster universes, solution stores — is
+/// returned as a `std::shared_ptr` **handle** whose control block pins the
+/// *generation* it belongs to (the answer set plus every universe/store
+/// built from it; they reference each other internally and live or die
+/// together). When a content-changing refresh supersedes a generation, it
+/// is *retired*: dropped from the serving caches and tracked in a
+/// graveyard ledger, but kept alive exactly as long as at least one
+/// external handle still references it. The moment the last handle drops,
+/// the retired generation is destroyed (**drain-then-evict**) — in-flight
+/// readers are never torn down, and a session under sustained updates no
+/// longer accumulates superseded generations without bound. Cache
+/// admission is guarded by generation identity (exact, collision-free): a
+/// build that races a refresh publishes into its own — now retired —
+/// generation instead of the cache (its result still serves the
+/// overlapping request: a linearizable pre-refresh view, pinned by the
+/// returned handle). The ownership rule for callers: **never store a raw
+/// pointer obtained from a handle; hold the shared_ptr for as long as the
+/// structure is read.**
 class Session {
  public:
   /// Creates a session over a materialized answer set.
@@ -72,11 +75,11 @@ class Session {
   static Result<std::unique_ptr<Session>> FromTable(
       const storage::Table& table, const std::string& value_column);
 
-  /// The current answer set. The reference stays valid for the session's
-  /// lifetime even across Refresh() (superseded answer sets are retired,
-  /// never destroyed), but after a content-changing refresh it names the
-  /// outgoing data — re-call for the current view.
-  const AnswerSet& answers() const;
+  /// A handle to the current answer set. The handle pins its generation:
+  /// it stays valid (and bit-identical) after a content-changing Refresh,
+  /// but then names the outgoing data — re-call for the current view, and
+  /// drop stale handles so retired generations can be evicted.
+  std::shared_ptr<const AnswerSet> answers() const;
 
   /// What one Refresh() reused versus rebuilt, for service statistics and
   /// the differential harness.
@@ -98,10 +101,11 @@ class Session {
   /// against a newer table snapshot. Compares input fingerprints plus an
   /// exact content check — reuse is provable, not probabilistic: when
   /// unchanged, the new copy is discarded and every cache stays warm; when
-  /// changed, the new answer set is installed and every cached universe /
-  /// store (all built from the outgoing answer set, by the cache-admission
-  /// invariant) is retired into the graveyard. Results after Refresh are
-  /// bit-identical to a fresh session built from the same answer set.
+  /// changed, the new answer set is installed and the outgoing generation
+  /// (every cached universe / store, by the cache-admission invariant) is
+  /// retired — it survives precisely until its last external handle drops,
+  /// then is evicted. Results after Refresh are bit-identical to a fresh
+  /// session built from the same answer set.
   Status Refresh(AnswerSet answers, RefreshStats* stats = nullptr);
 
   /// What happened to one request, for per-request service statistics:
@@ -129,20 +133,21 @@ class Session {
   /// lookup: under concurrency a narrower universe may be published
   /// between the two calls, and cluster ids are only meaningful in the
   /// universe that produced them.
-  Result<Solution> SummarizeWith(const Params& params,
-                                 const ClusterUniverse** universe_out,
-                                 const HybridOptions& options =
-                                     HybridOptions(),
-                                 RequestTrace* trace = nullptr);
+  Result<Solution> SummarizeWith(
+      const Params& params,
+      std::shared_ptr<const ClusterUniverse>* universe_out,
+      const HybridOptions& options = HybridOptions(),
+      RequestTrace* trace = nullptr);
 
-  /// Ensures a (k, D) grid serving `top_l` is precomputed and returns the
-  /// store (owned by the session). Like UniverseFor, a cached grid for any
-  /// L' >= top_l serves the request (Proposition 6.1: the wider grid's
-  /// solutions cover the narrower request) — but only when it also covers
-  /// the requested (k, D) ranges; otherwise a fresh grid is precomputed.
+  /// Ensures a (k, D) grid serving `top_l` is precomputed and returns a
+  /// handle to the store. Like UniverseFor, a cached grid for any L' >=
+  /// top_l serves the request (Proposition 6.1: the wider grid's solutions
+  /// cover the narrower request) — but only when it also covers the
+  /// requested (k, D) ranges; otherwise a fresh grid is precomputed.
   /// Concurrent calls with the same (top_l, options) grid shape coalesce
-  /// onto one precompute.
-  Result<const SolutionStore*> Guidance(
+  /// onto one precompute. The handle pins the store's generation across
+  /// refreshes; drop it when done reading.
+  Result<std::shared_ptr<const SolutionStore>> Guidance(
       int top_l, const PrecomputeOptions& options = PrecomputeOptions(),
       RequestTrace* trace = nullptr);
 
@@ -167,10 +172,11 @@ class Session {
   /// `top_l`.
   Status LoadGuidance(int top_l, const std::string& path);
 
-  /// The universe serving requests at coverage level `top_l` (cached;
-  /// concurrent misses for the same L coalesce onto one build).
-  Result<const ClusterUniverse*> UniverseFor(int top_l,
-                                             RequestTrace* trace = nullptr);
+  /// A handle to the universe serving requests at coverage level `top_l`
+  /// (cached; concurrent misses for the same L coalesce onto one build).
+  /// The handle pins the universe's generation across refreshes.
+  Result<std::shared_ptr<const ClusterUniverse>> UniverseFor(
+      int top_l, RequestTrace* trace = nullptr);
 
   struct CacheStats {
     int universes = 0;
@@ -188,9 +194,18 @@ class Session {
     /// unchanged and reused every cache.
     int64_t refreshes = 0;
     int64_t refresh_full_reuses = 0;
-    /// Structures superseded by refreshes, kept alive in the graveyard.
+    /// Superseded structures still retained because an external handle
+    /// pins their generation (0 once every reader drained).
     int retired_universes = 0;
     int retired_stores = 0;
+    /// Retired generations currently retained by external handles.
+    int graveyard_size = 0;
+    /// Generations currently alive: graveyard_size plus the live one.
+    int live_generations = 0;
+    /// Retired generations whose readers drained — destroyed, memory
+    /// reclaimed. Monotonic; graveyard_size + generations_evicted equals
+    /// the number of content-changing refreshes.
+    int64_t generations_evicted = 0;
   };
   CacheStats cache_stats() const;
 
@@ -205,8 +220,33 @@ class Session {
   }
 
  private:
-  explicit Session(std::unique_ptr<AnswerSet> answers)
-      : answers_(std::move(answers)) {}
+  /// One answer-set generation and everything built from it. Universes
+  /// point at the answer set and stores point at universes, so the three
+  /// layers retire and die together; every handle the session returns is a
+  /// shared_ptr aliased to the owning Generation's control block.
+  struct Generation {
+    std::unique_ptr<AnswerSet> answers;
+    std::vector<std::unique_ptr<ClusterUniverse>> universes;
+    std::vector<std::unique_ptr<SolutionStore>> stores;
+  };
+
+  /// A universe plus the generation that owns it — the internal currency
+  /// of the build paths, which must attach derived structures (stores) to
+  /// the same generation they read from.
+  struct PinnedUniverse {
+    std::shared_ptr<Generation> generation;
+    const ClusterUniverse* universe = nullptr;
+  };
+
+  explicit Session(std::unique_ptr<AnswerSet> answers);
+
+  /// UniverseFor, with the owning generation exposed for internal callers
+  /// (Guidance / LoadGuidance) that derive stores from the universe.
+  Result<PinnedUniverse> PinnedUniverseFor(int top_l, RequestTrace* trace);
+
+  /// The current generation (shared lock). Pins the answer set for the
+  /// duration of one operation even if a refresh lands concurrently.
+  std::shared_ptr<Generation> live_generation() const;
 
   /// The narrowest cached store with L' >= top_l, or nullptr (counts
   /// store hits/misses). Caller must hold mu_ (shared suffices).
@@ -218,38 +258,43 @@ class Session {
   const SolutionStore* CoveringStoreLocked(
       int top_l, const PrecomputeOptions& options) const;
 
-  /// The current answer set as a raw pointer (shared lock). The pointee
-  /// outlives the session regardless of refreshes, so ops capture it once
-  /// at entry and use it consistently.
-  const AnswerSet* current_answers() const;
-
-  /// Replaced only by Refresh() under an exclusive lock; superseded answer
-  /// sets move to retired_answers_.
-  std::unique_ptr<AnswerSet> answers_;
-
-  /// Guards the two caches and the flight maps below. Shared for lookups,
-  /// exclusive for publishing. Never held across a build or a flight wait.
+  /// Guards the generation pointer, the caches, the graveyard ledger, and
+  /// the flight maps below. Shared for lookups, exclusive for publishing.
+  /// Never held across a build or a flight wait.
   mutable std::shared_mutex mu_;
+
+  /// The generation currently serving; replaced only by a content-changing
+  /// Refresh() under an exclusive lock. The session's own strong reference
+  /// — external handles hold the others.
+  std::shared_ptr<Generation> live_;
+
+  /// Serving caches: non-owning views into live_. Invariant: every entry
+  /// points into live_ (admission compares generation identity), so a
+  /// cache hit returns a handle aliased to live_'s control block. Cleared
+  /// wholesale when a refresh retires the generation.
   // Keyed by the top_l the universe was built for.
-  std::map<int, std::unique_ptr<ClusterUniverse>> universes_;
+  std::map<int, const ClusterUniverse*> universes_;
   // Keyed by top_l. A multimap because one L can accumulate several grids
-  // (different (k, D) option sets); stores are never evicted or replaced
-  // within a session, so pointers returned by Guidance stay valid for the
-  // session's lifetime.
-  std::multimap<int, std::unique_ptr<SolutionStore>> stores_;
+  // (different (k, D) option sets); within a generation stores are never
+  // replaced, so narrower-grid stores keep serving what they cover.
+  std::multimap<int, const SolutionStore*> stores_;
+
   // In-flight builds: universe flights keyed by top_l (a flight for
   // L' >= top_l satisfies a waiter at top_l), store flights keyed by
   // PrecomputeOptions::CacheKey (exact grid-shape identity).
   std::map<int, std::shared_ptr<FlightLatch>> universe_flights_;
   std::map<std::string, std::shared_ptr<FlightLatch>> store_flights_;
 
-  // Graveyard: structures superseded by Refresh(), kept alive (drained,
-  // never torn down) because pointers previously handed to clients promise
-  // session-lifetime validity. Stores reference universes, universes
-  // reference answer sets — all three generations retire together.
-  std::vector<std::unique_ptr<AnswerSet>> retired_answers_;
-  std::vector<std::unique_ptr<ClusterUniverse>> retired_universes_;
-  std::vector<std::unique_ptr<SolutionStore>> retired_stores_;
+  /// Graveyard ledger: weak references to retired generations. Holding
+  /// them weak is the eviction mechanism — a retired generation's only
+  /// strong references are external handles, so it is destroyed (on
+  /// whichever thread drops the last handle) the instant its readers
+  /// drain; the ledger only observes that for statistics. Expired entries
+  /// are pruned on each refresh.
+  std::vector<std::weak_ptr<Generation>> graveyard_;
+  /// Content-changing refreshes so far = generations ever retired.
+  /// generations_evicted is derived: retired minus still-alive.
+  int64_t generations_retired_ = 0;
 
   std::atomic<int> num_threads_{0};
   mutable std::atomic<int64_t> universe_hits_{0};

@@ -89,9 +89,10 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
         }
         QueryInfo info;
         info.handle = handle;
-        const core::AnswerSet& answers = entry->session->answers();
-        info.num_answers = answers.size();
-        info.num_attrs = answers.num_attrs();
+        std::shared_ptr<const core::AnswerSet> answers =
+            entry->session->answers();
+        info.num_answers = answers->size();
+        info.num_attrs = answers->num_attrs();
         if (!rs.coalesced && !rs.refreshed) rs.cache_hit = true;
         rs.latency_ms = timer.ElapsedMillis();
         info.stats = rs;
@@ -164,8 +165,10 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
       const SessionEntry& entry = *entries_[static_cast<size_t>(*outcome)];
-      info.num_answers = entry.session->answers().size();
-      info.num_attrs = entry.session->answers().num_attrs();
+      std::shared_ptr<const core::AnswerSet> answers =
+          entry.session->answers();
+      info.num_answers = answers->size();
+      info.num_attrs = answers->num_attrs();
     }
     info.stats = rs;
     return info;
@@ -285,21 +288,21 @@ Result<core::Solution> QueryService::Summarize(QueryHandle handle,
   return solution;
 }
 
-Result<const core::SolutionStore*> QueryService::Guidance(
+Result<std::shared_ptr<const core::SolutionStore>> QueryService::Guidance(
     QueryHandle handle, int top_l, const core::PrecomputeOptions& options,
     RequestStats* stats) {
   WallTimer timer;
   RequestStats rs;
-  auto run = [&]() -> Result<const core::SolutionStore*> {
+  auto run = [&]() -> Result<std::shared_ptr<const core::SolutionStore>> {
     QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
     QAG_RETURN_IF_ERROR(EnsureFresh(entry, &rs));
     core::Session::RequestTrace trace;
-    Result<const core::SolutionStore*> store =
+    Result<std::shared_ptr<const core::SolutionStore>> store =
         entry->session->Guidance(top_l, options, &trace);
     MergeTrace(trace, &rs);
     return store;
   };
-  Result<const core::SolutionStore*> store = run();
+  Result<std::shared_ptr<const core::SolutionStore>> store = run();
   rs.latency_ms = timer.ElapsedMillis();
   Record(RequestKind::kGuidance, rs);
   if (stats != nullptr) *stats = rs;
@@ -340,8 +343,9 @@ Result<ExploreResult> QueryService::Explore(QueryHandle handle,
     // Render against the exact universe that produced the solution — a
     // second UniverseFor(params.L) lookup could return a narrower
     // universe published concurrently, in which the solution's cluster
-    // ids would be meaningless.
-    const core::ClusterUniverse* universe = nullptr;
+    // ids would be meaningless. The handle also pins the universe's
+    // generation while the layers render, even if a refresh lands.
+    std::shared_ptr<const core::ClusterUniverse> universe;
     QAG_ASSIGN_OR_RETURN(
         result.solution,
         entry->session->SummarizeWith(params, &universe,
@@ -406,6 +410,14 @@ QueryService::Stats QueryService::stats() const {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     out.sessions = static_cast<int64_t>(entries_.size());
+    // Generation-lifetime counters are summed at read time from each
+    // session (lock order service → session is the one used everywhere).
+    for (const std::unique_ptr<SessionEntry>& entry : entries_) {
+      core::Session::CacheStats cache = entry->session->cache_stats();
+      out.graveyard_size += cache.graveyard_size;
+      out.live_generations += cache.live_generations;
+      out.generations_evicted += cache.generations_evicted;
+    }
   }
   return out;
 }

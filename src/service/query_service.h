@@ -44,8 +44,13 @@ struct RequestStats {
   bool refreshed = false;
 };
 
-/// Opaque reference to a cached query answer set; obtained from Query()
-/// and valid for the service's lifetime.
+/// Opaque reference to a cached query answer set; obtained from Query().
+/// The handle itself (and the session behind it) stays valid for the
+/// service's lifetime — but the structures reached *through* it follow
+/// drain-then-evict semantics: Guidance returns a shared_ptr that pins its
+/// answer-set generation, and once a dataset update retires a generation
+/// it is destroyed as soon as the last such handle drops. Never store raw
+/// pointers extracted from those handles.
 using QueryHandle = int64_t;
 
 /// Query() response: the handle plus the answer-set shape.
@@ -98,14 +103,18 @@ struct ExploreResult {
 /// (single-flight — concurrent users of the handle coalesce onto one
 /// refresh) and hands the result to `core::Session::Refresh`, which reuses
 /// every cache whose input fingerprint is provably unchanged and retires
-/// (drains, never tears down under readers) the rest. The refresh
-/// invariant, enforced by the differential harness: any sequence of
-/// appends and queries yields responses bit-identical to a fresh service
-/// built from the final table state.
+/// the rest. The refresh invariant, enforced by the differential harness:
+/// any sequence of appends and queries yields responses bit-identical to a
+/// fresh service built from the final table state.
 ///
-/// Handles, sessions, and store pointers are never evicted; they stay
-/// valid for the service's lifetime (superseded structures are retired
-/// into the session graveyard, not destroyed).
+/// **Lifetime (drain-then-evict).** Query handles and their sessions stay
+/// valid for the service's lifetime. Structures served through them do
+/// not: Guidance returns a `shared_ptr` handle pinning the answer-set
+/// generation it belongs to, and a generation retired by a refresh is
+/// destroyed as soon as its last external handle drops — in-flight readers
+/// drain safely, and memory stays bounded under sustained updates
+/// (`Stats::graveyard_size` / `generations_evicted` observe this). Hold
+/// the shared_ptr for as long as you read; never store the raw pointer.
 class QueryService {
  public:
   explicit QueryService(ServiceOptions options = ServiceOptions());
@@ -155,8 +164,10 @@ class QueryService {
                                    RequestStats* stats = nullptr);
 
   /// Ensures the (k, D) grid serving `top_l` exists — Session::Guidance.
-  /// The returned store stays valid for the service's lifetime.
-  Result<const core::SolutionStore*> Guidance(
+  /// The returned handle pins the store (and its whole answer-set
+  /// generation) across dataset refreshes; drop it when done reading so a
+  /// superseded generation can be evicted.
+  Result<std::shared_ptr<const core::SolutionStore>> Guidance(
       QueryHandle handle, int top_l,
       const core::PrecomputeOptions& options = core::PrecomputeOptions(),
       RequestStats* stats = nullptr);
@@ -200,6 +211,14 @@ class QueryService {
     /// every session cache.
     int64_t refreshes = 0;
     int64_t refresh_full_reuses = 0;
+    /// Generation lifetime across all sessions (core::Session::CacheStats
+    /// summed at read time): retired generations still pinned by external
+    /// handles, generations currently alive (graveyard + one live per
+    /// session), and retired generations whose readers drained and whose
+    /// memory was reclaimed.
+    int64_t graveyard_size = 0;
+    int64_t live_generations = 0;
+    int64_t generations_evicted = 0;
     double total_latency_ms = 0.0;
     double max_latency_ms = 0.0;
     int64_t requests() const {

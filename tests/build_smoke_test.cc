@@ -28,15 +28,19 @@ namespace {
   auto session = core::Session::FromTable(*result, "val");
   auto solution = (*session)->Summarize({/*k=*/4, /*L=*/8, /*D=*/2});
 
-  // 4. Display the two layers (Figures 1b/1c).
+  // 4. Display the two layers (Figures 1b/1c). UniverseFor returns a
+  //    shared_ptr handle pinning the universe while you render.
   auto universe = (*session)->UniverseFor(8);
   std::cout << core::RenderSummary(**universe, *solution)
             << core::RenderExpanded(**universe, *solution);
 
   // 5. Interactive exploration: precompute the (k, D) grid once,
   //    retrieve any combination instantly, chart it, persist it.
-  (*session)->Guidance(8);
-  auto alt = (*session)->Retrieve(8, /*D=*/1, /*k=*/6);
+  //    Hold the handle, never a raw pointer extracted from it: the
+  //    handle keeps the grid valid across live-data refreshes, and
+  //    dropping it lets a superseded generation be evicted.
+  auto guidance = (*session)->Guidance(8);
+  auto alt = (*guidance)->Retrieve(/*d=*/1, /*k=*/6);
   (*session)->SaveGuidance(8, "guidance.store");
 }
 

@@ -48,7 +48,7 @@ TEST(IntegrationTest, CsvToSummaryPipeline) {
       core::CheckFeasible(**universe, solution->cluster_ids, params).ok());
   // The top-4 are all 'east' or corp/web patterns; summary average must
   // beat the trivial average by a wide margin on this polarized data.
-  EXPECT_GT(solution->average, (*session)->answers().TrivialAverage() + 1.0);
+  EXPECT_GT(solution->average, (*session)->answers()->TrivialAverage() + 1.0);
   std::string rendered = core::RenderSummary(**universe, *solution);
   EXPECT_NE(rendered.find("avg val"), std::string::npos);
 }
@@ -175,7 +175,7 @@ TEST(IntegrationTest, PersistedGuidanceSurvivesTheFullPipeline) {
 
   auto a = core::Session::FromTable(*result, "val");
   ASSERT_TRUE(a.ok());
-  int top_l = std::min(15, (*a)->answers().size());
+  int top_l = std::min(15, (*a)->answers()->size());
   ASSERT_GE(top_l, 5);
   core::PrecomputeOptions options;
   options.k_min = 2;

@@ -239,7 +239,8 @@ TEST(ServiceStressTest, ConcurrentGuidanceOnSharedSessionSingleFlight) {
   ASSERT_TRUE(info.ok());
   testutil::StartLatch latch(kClients);
   std::vector<RequestStats> stats(kClients);
-  std::vector<const core::SolutionStore*> stores(kClients, nullptr);
+  // Handles, not raw pointers: each client pins the store it was served.
+  std::vector<std::shared_ptr<const core::SolutionStore>> stores(kClients);
   std::vector<std::thread> threads;
   for (int t = 0; t < kClients; ++t) {
     threads.emplace_back([&, t] {

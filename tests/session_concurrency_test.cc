@@ -38,7 +38,7 @@ PrecomputeOptions GridOptions(int k_max, std::vector<int> d_values) {
 TEST(SessionConcurrencyTest, ConcurrentUniverseForCoalesces) {
   auto session = MakeSession();
   testutil::StartLatch latch(kThreads);
-  std::vector<const ClusterUniverse*> seen(kThreads, nullptr);
+  std::vector<std::shared_ptr<const ClusterUniverse>> seen(kThreads);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
@@ -67,7 +67,7 @@ TEST(SessionConcurrencyTest, ConcurrentGuidanceSingleFlight) {
   auto session = MakeSession(43);
   PrecomputeOptions options = GridOptions(8, {1, 2});
   testutil::StartLatch latch(kThreads);
-  std::vector<const SolutionStore*> seen(kThreads, nullptr);
+  std::vector<std::shared_ptr<const SolutionStore>> seen(kThreads);
   std::vector<Session::RequestTrace> traces(kThreads);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {

@@ -265,7 +265,7 @@ TEST(SessionTest, SummarizeWithReportsTheServingUniverse) {
   // is not necessarily one built for params.L.
   auto session = MakeSession(23);
   ASSERT_TRUE(session->UniverseFor(25).ok());  // widest, serves everything
-  const ClusterUniverse* used = nullptr;
+  std::shared_ptr<const ClusterUniverse> used;
   Params params{4, 10, 2};
   auto solution = session->SummarizeWith(params, &used);
   ASSERT_TRUE(solution.ok()) << solution.status().ToString();
@@ -295,7 +295,7 @@ TEST(SessionTest, FromTableEndToEnd) {
   }
   auto session = Session::FromTable(t, "val");
   ASSERT_TRUE(session.ok()) << session.status().ToString();
-  EXPECT_EQ((*session)->answers().size(), 40);
+  EXPECT_EQ((*session)->answers()->size(), 40);
   auto solution = (*session)->Summarize({3, 8, 1});
   ASSERT_TRUE(solution.ok());
 }
