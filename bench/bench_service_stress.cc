@@ -6,10 +6,18 @@
 // Sections:
 //   1. per-op serving latency, cold (first client pays the build) vs warm
 //      (everything cached — the paper's interactive regime);
-//   2. mixed-workload throughput with 1/2/4/8 concurrent clients on one
-//      shared session, asserting on every run that the concurrent results
-//      are bit-identical to the single-client run (the determinism
-//      invariant the service layer guarantees).
+//   2. mixed-workload throughput with 1/2/4/8/16/32 concurrent clients on
+//      one shared session, reporting aggregate ops/sec plus per-op p50/p99
+//      latency, asserting on every run that the concurrent results are
+//      bit-identical to the single-client run (the determinism invariant
+//      the service layer guarantees), and that adding clients never
+//      collapses aggregate throughput below half the single-client rate
+//      (the anti-regression guard for the lock-free warm read path — the
+//      old shared-mutex path collapsed to ~0.5x at 2+ clients). Absolute
+//      scaling depends on the machine: ~1x flat on a single hardware
+//      thread, approaching the core count on multi-core; the recorded
+//      ops_per_sec / p50_ms / p99_ms extras are gated per-machine-class
+//      against bench/baselines by check_regression.py.
 //
 // Emits BENCH_service_stress.json next to the text output; see
 // bench/README.md for the schema. QAGVIEW_BENCH_SMOKE=1 shrinks the
@@ -183,13 +191,17 @@ int main() {
     std::printf("%-22s median %8.3f\n", name, t.median_ms);
   }
 
-  // --- Section 2: mixed-workload throughput, 1..8 clients. --------------
+  // --- Section 2: mixed-workload throughput, 1..32 clients. -------------
   std::printf(
       "\n-- mixed throughput: %d ops/client, shared session, warm --\n",
       ops_per_client);
   std::vector<Footprint> serial_footprints;
-  for (int threads : {1, 2, 4, 8}) {
+  double single_client_ops_per_sec = 0.0;
+  for (int threads : {1, 2, 4, 8, 16, 32}) {
     std::vector<std::vector<Footprint>> per_client(
+        static_cast<size_t>(threads));
+    // Per-op wall times, pooled across clients and reps → p50/p99.
+    std::vector<std::vector<double>> per_client_ms(
         static_cast<size_t>(threads));
     benchutil::TimingStats t = benchutil::TimeStats(
         [&] {
@@ -198,9 +210,12 @@ int main() {
           for (int c = 0; c < threads; ++c) {
             clients.emplace_back([&, c] {
               auto& mine = per_client[static_cast<size_t>(c)];
+              auto& mine_ms = per_client_ms[static_cast<size_t>(c)];
               mine.reserve(static_cast<size_t>(ops_per_client));
               for (int op = 0; op < ops_per_client; ++op) {
+                WallTimer op_timer;
                 mine.push_back(RunOp(*svc, handle, w, op));
+                mine_ms.push_back(op_timer.ElapsedMillis());
               }
             });
           }
@@ -218,16 +233,46 @@ int main() {
         }
       }
     }
-    double total_ops = static_cast<double>(threads) * ops_per_client;
+    std::vector<double> latencies;
+    for (const auto& client_ms : per_client_ms) {
+      latencies.insert(latencies.end(), client_ms.begin(), client_ms.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    auto percentile = [&latencies](double q) {
+      size_t idx = static_cast<size_t>(q *
+                                       static_cast<double>(latencies.size() - 1));
+      return latencies[idx];
+    };
+    const double p50_ms = percentile(0.50);
+    const double p99_ms = percentile(0.99);
+    const double total_ops = static_cast<double>(threads) * ops_per_client;
+    const double ops_per_sec = total_ops / (t.median_ms / 1e3);
+    if (threads == 1) single_client_ops_per_sec = ops_per_sec;
     std::printf(
-        "clients %d: median %8.2f ms  (%8.0f req/s)\n", threads,
-        t.median_ms, total_ops / (t.median_ms / 1e3));
+        "clients %2d: median %8.2f ms  %8.0f ops/s  (%5.2fx vs 1)  "
+        "p50 %7.3f ms  p99 %7.3f ms\n",
+        threads, t.median_ms, ops_per_sec,
+        ops_per_sec / single_client_ops_per_sec, p50_ms, p99_ms);
     json.Add("mixed_throughput",
              {{"threads", threads},
               {"ops_per_client", ops_per_client},
               {"N", w.num_ratings},
               {"L", w.top_l}},
-             t);
+             t,
+             {{"ops_per_sec", ops_per_sec},
+              {"p50_ms", p50_ms},
+              {"p99_ms", p99_ms}});
+    // Collapse guard: the warm read path is lock-free, so piling on
+    // clients must never push aggregate throughput below half the
+    // single-client rate — the failure signature of a shared lock on the
+    // hot path (which this workload exhibited before the RCU read path:
+    // ~0.5x from 2 clients on). Machine-independent by design; the
+    // machine-dependent scaling *gain* is gated via the recorded
+    // ops_per_sec baselines instead.
+    QAG_CHECK(ops_per_sec >= 0.5 * single_client_ops_per_sec)
+        << "aggregate throughput collapsed at " << threads << " clients: "
+        << ops_per_sec << " ops/s vs " << single_client_ops_per_sec
+        << " ops/s single-client";
   }
   std::printf("bit-identity: concurrent results match the serial run\n");
 

@@ -17,6 +17,14 @@ Design choices, tuned for a CI gate rather than a lab notebook:
   * entries missing from the baseline (new benches) warn instead of fail,
     so adding a bench does not require touching the gate; --strict upgrades
     every warning to a failure;
+  * measured `extras` present in both runs are gated too, not just the
+    median: latency extras (keys ending in `_ms`, e.g. p50_ms/p99_ms) fail
+    when they grow past the threshold, with the same noise floor as
+    medians; throughput extras (`ops_per_sec`) fail when they *drop* past
+    the threshold — this is how the multi-client scaling of the service
+    stress bench is held, per machine class, without hardcoding a speedup
+    a 1-core runner could never reproduce. Extras present on only one side
+    are informational (schema evolution must not fail the gate);
   * --update rewrites the baseline files from the current JSONs — the
     documented refresh workflow after an intentional perf change.
 
@@ -61,6 +69,52 @@ def fmt_key(key):
     return f"{name}({inner})" if inner else name
 
 
+def compare_extras(label, entry, base, args):
+    """Gates the measured extras shared by both runs.
+
+    Returns (regressions, warnings) for one entry. Latency extras (keys
+    ending in `_ms`) regress upward and respect the --min-ms noise floor;
+    throughput extras (`ops_per_sec`) regress downward and have no floor
+    (an absolute rate is already an average over many ops).
+    """
+    regressions, warnings = [], []
+    cur_extras = entry.get("extras", {}) or {}
+    base_extras = base.get("extras", {}) or {}
+    for key in sorted(set(cur_extras) & set(base_extras)):
+        # Only measured performance extras are gated; counters and sizes
+        # (graveyard_size, live_generations, ...) stay informational.
+        if not key.endswith("_ms") and key != "ops_per_sec":
+            continue
+        try:
+            cur = float(cur_extras[key])
+            base_v = float(base_extras[key])
+        except (TypeError, ValueError):
+            warnings.append(f"{label}.{key}: non-numeric extra — skipped")
+            continue
+        if base_v <= 0.0:
+            warnings.append(f"{label}.{key}: baseline is {base_v} — skipped")
+            continue
+        ratio = cur / base_v
+        if key.endswith("_ms"):
+            verdict = f"{base_v:.3f} -> {cur:.3f} ms ({ratio - 1.0:+.1%})"
+            if base_v < args.min_ms and cur < args.min_ms:
+                if ratio > 1.0 + args.threshold:
+                    warnings.append(
+                        f"{label}.{key}: {verdict} — under the "
+                        f"{args.min_ms}ms noise floor, not gated")
+                continue
+            if ratio > 1.0 + args.threshold:
+                regressions.append(f"{label}.{key}: REGRESSION {verdict}")
+        elif key == "ops_per_sec":
+            verdict = f"{base_v:.0f} -> {cur:.0f} ops/s ({ratio - 1.0:+.1%})"
+            if ratio < 1.0 - args.threshold:
+                regressions.append(f"{label}.{key}: REGRESSION {verdict}")
+            elif ratio > 1.0 + args.threshold:
+                print(f"  improvement  {label}.{key}: {verdict}")
+        # Other extras (occupancy counters, sizes, ...) are informational.
+    return regressions, warnings
+
+
 def compare_file(current_path, baseline_path, args):
     """Returns (regressions, warnings) message lists for one figure."""
     current = load(current_path)
@@ -92,6 +146,9 @@ def compare_file(current_path, baseline_path, args):
             continue
         ratio = cur_ms / base_ms
         verdict = f"{base_ms:.3f} -> {cur_ms:.3f} ms ({ratio - 1.0:+.1%})"
+        extra_regs, extra_warns = compare_extras(label, entry, base, args)
+        regressions.extend(extra_regs)
+        warnings.extend(extra_warns)
         if base_ms < args.min_ms and cur_ms < args.min_ms:
             if ratio > 1.0 + args.threshold:
                 warnings.append(

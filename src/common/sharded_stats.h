@@ -1,0 +1,56 @@
+#ifndef QAGVIEW_COMMON_SHARDED_STATS_H_
+#define QAGVIEW_COMMON_SHARDED_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace qagview {
+
+/// A small, stable ordinal for the calling thread, assigned round-robin on
+/// first use. Unlike hashing std::thread::id, the first N threads of a
+/// process are guaranteed distinct ordinals, so with N statistic shards
+/// they never false-share a counter cacheline.
+inline std::size_t ThreadStatOrdinal() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// \brief Per-thread sharded statistics: a fixed array of cacheline-padded
+/// `Shard` objects, indexed by ThreadStatOrdinal().
+///
+/// The warm serving paths must not contend on anything — including their
+/// own bookkeeping. A single shared `std::atomic` counter is lock-free but
+/// still bounces its cacheline between every incrementing core; with one
+/// padded shard per thread (modulo N), increments are core-local writes
+/// and the cost moves to the cold aggregate-on-read side, which sums every
+/// shard. Shard members should still be relaxed atomics: two threads can
+/// share a shard once more than N threads exist, and the reader sums
+/// concurrently with writers. Sums are exact whenever the reader
+/// happens-after the writers (e.g. after thread join); mid-race reads are
+/// monotonic snapshots.
+template <typename Shard, std::size_t N = 16>
+class Sharded {
+  static_assert((N & (N - 1)) == 0, "shard count must be a power of two");
+
+ public:
+  /// The calling thread's shard.
+  Shard& Local() { return shards_[ThreadStatOrdinal() & (N - 1)].shard; }
+
+  /// Visits every shard (aggregate-on-read).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Padded& padded : shards_) fn(padded.shard);
+  }
+
+ private:
+  struct alignas(64) Padded {
+    Shard shard;
+  };
+  Padded shards_[N];
+};
+
+}  // namespace qagview
+
+#endif  // QAGVIEW_COMMON_SHARDED_STATS_H_

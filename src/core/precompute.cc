@@ -84,6 +84,19 @@ PrecomputeOptions PrecomputeOptions::ResolvedFor(int num_attrs) const {
   return resolved;
 }
 
+bool PrecomputeOptions::CoveredBy(const SolutionStore& store) const {
+  if (store.k_max() < k_max) return false;
+  for (int d : d_values) {
+    // MinK doubles as the presence probe: an error means the store has no
+    // row for this D. A fresh build merges down to max(k_min, 1), so the
+    // cached row must reach at least as low.
+    Result<int> min_k = store.MinK(d);
+    if (!min_k.ok()) return false;
+    if (*min_k > std::max(k_min, 1)) return false;
+  }
+  return true;
+}
+
 std::string PrecomputeOptions::CacheKey(int top_l, int num_attrs) const {
   PrecomputeOptions r = ResolvedFor(num_attrs);
   std::string key = "L=" + std::to_string(top_l) +

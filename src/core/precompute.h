@@ -33,12 +33,23 @@ struct PrecomputeOptions {
   /// `k_max <= 0` becomes max(k_min, 20) — exactly the defaults
   /// Precompute::Run applies. Two option sets with equal resolved fields
   /// produce bit-identical stores for a given (universe, top_l).
+  /// core::Session's lock-free warm path resolves a request once, against
+  /// the schema of the answer-set generation it pinned, and probes every
+  /// cached store with the same resolved copy.
   PrecomputeOptions ResolvedFor(int num_attrs) const;
+
+  /// Whether a cached store can serve a request with these options: every
+  /// requested D row present, the k range at least as wide on both ends.
+  /// `*this` must already be resolved (ResolvedFor) — the check is
+  /// allocation-free and lock-free, as required on the warm Guidance hit
+  /// path, where it runs once per cached candidate on every request.
+  bool CoveredBy(const SolutionStore& store) const;
 
   /// Stable identity of the resolved (top_l, grid-shape) request, used as
   /// the single-flight coalescing key by core::Session: concurrent
   /// Guidance calls with equal keys trigger exactly one precompute.
   /// `num_threads` is excluded — it never changes the resulting store.
+  /// Only computed on the miss path; warm hits never build a key.
   std::string CacheKey(int top_l, int num_attrs) const;
 };
 

@@ -9,31 +9,12 @@
 
 namespace qagview::core {
 
-namespace {
-
-/// Whether a cached store can serve a Guidance request with these options:
-/// every requested D row present, the k range at least as wide on both
-/// ends. (Defaults are materialized by PrecomputeOptions::ResolvedFor,
-/// mirroring Precompute::Run.)
-bool StoreCoversOptions(const SolutionStore& store, const AnswerSet& s,
-                        const PrecomputeOptions& options) {
-  PrecomputeOptions want = options.ResolvedFor(s.num_attrs());
-  if (store.k_max() < want.k_max) return false;
-  std::vector<int> have = store.d_values();  // ascending (map keys)
-  for (int d : want.d_values) {
-    if (!std::binary_search(have.begin(), have.end(), d)) return false;
-    // A fresh build merges down to max(k_min, 1); the cached row must
-    // reach at least as low.
-    if (store.MinK(d).value() > std::max(want.k_min, 1)) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
-Session::Session(std::unique_ptr<AnswerSet> answers)
-    : live_(std::make_shared<Generation>()) {
-  live_->answers = std::move(answers);
+Session::Session(std::unique_ptr<AnswerSet> answers) {
+  auto generation = std::make_shared<Generation>();
+  generation->answers = std::move(answers);
+  auto view = std::make_shared<ReadView>();
+  view->generation = std::move(generation);
+  view_ = std::move(view);  // construction: not yet shared, plain store
 }
 
 Result<std::unique_ptr<Session>> Session::Create(AnswerSet answers) {
@@ -49,21 +30,18 @@ Result<std::unique_ptr<Session>> Session::FromTable(
 }
 
 std::shared_ptr<const AnswerSet> Session::answers() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return std::shared_ptr<const AnswerSet>(live_, live_->answers.get());
-}
-
-std::shared_ptr<Session::Generation> Session::live_generation() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return live_;
+  std::shared_ptr<const ReadView> view = CurrentView();
+  return std::shared_ptr<const AnswerSet>(view->generation,
+                                          view->generation->answers.get());
 }
 
 Status Session::Refresh(AnswerSet answers, RefreshStats* stats) {
   RefreshStats local;
-  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  Counters().refreshes.fetch_add(1, std::memory_order_relaxed);
   const uint64_t new_fp = answers.content_fingerprint();
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  const AnswerSet& current = *live_->answers;
+  std::unique_lock<std::shared_mutex> lock = WriterLock();
+  std::shared_ptr<const ReadView> view = CurrentView();
+  const AnswerSet& current = *view->generation->answers;
   local.hierarchy_reused =
       answers.domain_fingerprint() == current.domain_fingerprint() &&
       answers.attr_names() == current.attr_names();
@@ -72,30 +50,36 @@ Status Session::Refresh(AnswerSet answers, RefreshStats* stats) {
     // Provably unchanged: every cached structure's input fingerprint still
     // matches, so the whole session keeps serving warm; the freshly built
     // copy is discarded.
-    local.universes_reused = static_cast<int>(universes_.size());
-    local.stores_reused = static_cast<int>(stores_.size());
-    refresh_full_reuses_.fetch_add(1, std::memory_order_relaxed);
+    local.universes_reused = static_cast<int>(view->universes.size());
+    local.stores_reused = static_cast<int>(view->stores.size());
+    Counters().refresh_full_reuses.fetch_add(1, std::memory_order_relaxed);
     if (stats != nullptr) *stats = local;
     return Status::OK();
   }
   // Content changed: every cached entry belongs to the outgoing generation
-  // (the cache-admission invariant), so all of them are stale by the proof
-  // above — drop the serving caches and retire the generation. Its only
-  // remaining strong references are external handles: it is destroyed the
-  // moment the last one drops (possibly right here, if none exist). Note
-  // this deliberately does not reuse-by-fingerprint: a 64-bit collision
-  // must not keep a stale grid serving, so the authoritative identity is
-  // the generation object itself.
+  // (the view-admission invariant), so all of them are stale by the proof
+  // above — publish a fresh empty view and retire the generation. Readers
+  // are never blocked: anyone inside the old view keeps serving its
+  // pinned, immutable snapshot; the next request loads the new one. The
+  // retired generation's only remaining strong references are external
+  // handles (and those momentary reader pins): it is destroyed the moment
+  // the last one drops (possibly right here, if none exist). Note this
+  // deliberately does not reuse-by-fingerprint: a 64-bit collision must
+  // not keep a stale grid serving, so the authoritative identity is the
+  // generation object itself.
   local.refreshed = true;
-  local.universes_retired = static_cast<int>(universes_.size());
-  local.stores_retired = static_cast<int>(stores_.size());
-  universes_.clear();
-  stores_.clear();
-  graveyard_.emplace_back(live_);
+  local.universes_retired = static_cast<int>(view->universes.size());
+  local.stores_retired = static_cast<int>(view->stores.size());
+  graveyard_.emplace_back(view->generation);
   ++generations_retired_;
-  auto next = std::make_shared<Generation>();
-  next->answers = std::make_unique<AnswerSet>(std::move(answers));
-  live_ = std::move(next);  // drops the session's ref to the outgoing gen
+  auto next_generation = std::make_shared<Generation>();
+  next_generation->answers = std::make_unique<AnswerSet>(std::move(answers));
+  auto next_view = std::make_shared<ReadView>();
+  next_view->generation = std::move(next_generation);
+  PublishView(std::move(next_view));
+  // Drop this writer's own pin so a handle-less outgoing generation is
+  // destroyed right here, before the ledger prune below observes it.
+  view.reset();
   // Prune ledger entries whose generation already drained, so the ledger
   // itself stays bounded under sustained updates.
   graveyard_.erase(
@@ -117,40 +101,39 @@ Result<std::shared_ptr<const ClusterUniverse>> Session::UniverseFor(
 
 Result<Session::PinnedUniverse> Session::PinnedUniverseFor(
     int top_l, RequestTrace* trace) {
-  if (top_l < 1 || top_l > live_generation()->answers->size()) {
+  if (top_l < 1 || top_l > CurrentView()->generation->answers->size()) {
     return Status::InvalidArgument("L out of range for this session");
   }
   while (true) {
-    // The generation is re-captured per attempt: after a refresh
-    // supersedes an in-flight build, retrying waiters must build from (and
-    // cache for) the live generation, not the one they first observed.
-    std::shared_ptr<Generation> gen;
-    // Fast path, shared lock: the narrowest cached universe with
-    // top_l' >= top_l serves the request (its cluster set is a superset
-    // and all algorithms accept params.L <= top_l').
-    {
-      std::shared_lock<std::shared_mutex> lock(mu_);
-      auto it = universes_.lower_bound(top_l);
-      if (it != universes_.end()) {
-        universe_hits_.fetch_add(1, std::memory_order_relaxed);
-        if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
-        return PinnedUniverse{live_, it->second};
-      }
-      gen = live_;
+    // Warm path — the RCU read side: one atomic load pins the view, and
+    // the narrowest cached universe with top_l' >= top_l serves the
+    // request (its cluster set is a superset and all algorithms accept
+    // params.L <= top_l'). No locks, no shared-cacheline writes beyond
+    // the handle refcount and a per-thread counter shard.
+    std::shared_ptr<const ReadView> view = CurrentView();
+    auto hit = view->universes.lower_bound(top_l);
+    if (hit != view->universes.end()) {
+      Counters().universe_hits.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
+      return PinnedUniverse{view->generation, hit->second};
     }
     // Miss: become the leader for this L, or join an in-flight build for
     // any L' >= top_l (its result will serve this request too).
+    std::shared_ptr<Generation> gen;
     std::shared_ptr<FlightLatch> flight;
     bool leader = false;
     {
-      std::unique_lock<std::shared_mutex> lock(mu_);
-      auto it = universes_.lower_bound(top_l);  // recheck under exclusive
-      if (it != universes_.end()) {
-        universe_hits_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::shared_mutex> lock = WriterLock();
+      // Recheck the freshest view under the writer lock: publication is
+      // serialized by it, so a hit here is definitive.
+      std::shared_ptr<const ReadView> fresh = CurrentView();
+      auto it = fresh->universes.lower_bound(top_l);
+      if (it != fresh->universes.end()) {
+        Counters().universe_hits.fetch_add(1, std::memory_order_relaxed);
         if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
-        return PinnedUniverse{live_, it->second};
+        return PinnedUniverse{fresh->generation, it->second};
       }
-      gen = live_;  // the freshest view before committing to a build
+      gen = fresh->generation;  // the freshest view before committing
       auto fit = universe_flights_.lower_bound(top_l);
       if (fit != universe_flights_.end()) {
         flight = fit->second;
@@ -161,17 +144,18 @@ Result<Session::PinnedUniverse> Session::PinnedUniverseFor(
       }
     }
     if (!leader) {
-      // Another caller owns the flight — wait, then retry from the cache.
-      universe_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      // Another caller owns the flight — wait, then retry from the view.
+      Counters().universe_coalesced.fetch_add(1, std::memory_order_relaxed);
       if (trace != nullptr) trace->coalesced = true;
       Status status = flight->Wait();
       if (!status.ok()) return status;
       continue;
     }
     // Leader: build outside the lock (concurrent readers stay unblocked),
-    // publish under the exclusive lock, then release the waiters. The
-    // captured generation pins the answer set for the build's duration.
-    universe_misses_.fetch_add(1, std::memory_order_relaxed);
+    // publish a successor view under the writer lock, then release the
+    // waiters. The captured generation pins the answer set for the
+    // build's duration.
+    Counters().universe_misses.fetch_add(1, std::memory_order_relaxed);
     if (trace != nullptr) trace->built = true;
     ClusterUniverse::Options build_options;
     build_options.num_threads = num_threads();
@@ -179,17 +163,20 @@ Result<Session::PinnedUniverse> Session::PinnedUniverseFor(
         ClusterUniverse::Build(gen->answers.get(), top_l, build_options);
     const ClusterUniverse* ptr = nullptr;
     {
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      std::unique_lock<std::shared_mutex> lock = WriterLock();
       if (built.ok()) {
         auto owned =
             std::make_unique<ClusterUniverse>(std::move(built).value());
         ptr = owned.get();
         // The universe joins the generation it was built from either way;
         // only the *current* generation's structures enter the serving
-        // cache (exact generation identity — no fingerprint collisions).
+        // view (exact generation identity — no fingerprint collisions).
         gen->universes.push_back(std::move(owned));
-        if (gen == live_) {
-          universes_.emplace(top_l, ptr);
+        std::shared_ptr<const ReadView> cur = CurrentView();
+        if (cur->generation == gen) {
+          auto next = std::make_shared<ReadView>(*cur);
+          next->universes.emplace(top_l, ptr);
+          PublishView(std::move(next));
         }
         // else: a refresh superseded this build mid-flight. The result
         // still serves this (overlapping, hence linearizable) request,
@@ -212,7 +199,8 @@ Result<Solution> Session::Summarize(const Params& params,
 Result<Solution> Session::SummarizeWith(
     const Params& params, std::shared_ptr<const ClusterUniverse>* universe_out,
     const HybridOptions& options, RequestTrace* trace) {
-  QAG_RETURN_IF_ERROR(ValidateParams(*live_generation()->answers, params));
+  QAG_RETURN_IF_ERROR(
+      ValidateParams(*CurrentView()->generation->answers, params));
   QAG_ASSIGN_OR_RETURN(std::shared_ptr<const ClusterUniverse> universe,
                        UniverseFor(params.L, trace));
   Result<Solution> solution = Hybrid::Run(*universe, params, options);
@@ -220,59 +208,57 @@ Result<Solution> Session::SummarizeWith(
   return solution;
 }
 
-const SolutionStore* Session::StoreForLocked(int top_l) const {
-  // Mirror of the universe cache policy: the narrowest cached grid with
-  // L' >= top_l serves the request (its replays cover the top-L' >= top-L
-  // elements, and every stored (k, D) solution remains valid for the
-  // narrower coverage request by Proposition 6.1).
-  auto it = stores_.lower_bound(top_l);
-  if (it == stores_.end()) {
-    store_misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  store_hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
-}
-
-const SolutionStore* Session::CoveringStoreLocked(
-    int top_l, const PrecomputeOptions& options) const {
-  for (auto it = stores_.lower_bound(top_l); it != stores_.end(); ++it) {
-    if (StoreCoversOptions(*it->second, *live_->answers, options)) {
-      return it->second;
-    }
+const SolutionStore* Session::CoveringStore(const ReadView& view, int top_l,
+                                            const PrecomputeOptions& resolved) {
+  // Serve the narrowest cached grid with L' >= top_l — but only when it
+  // actually covers the requested (k, D) ranges; a wider-L store built
+  // with a narrower grid must not shadow a request for rows it lacks.
+  for (auto it = view.stores.lower_bound(top_l); it != view.stores.end();
+       ++it) {
+    if (resolved.CoveredBy(*it->second)) return it->second;
   }
   return nullptr;
 }
 
 Result<std::shared_ptr<const SolutionStore>> Session::Guidance(
     int top_l, const PrecomputeOptions& options, RequestTrace* trace) {
-  // The coalescing key is only needed on a miss; computed lazily so warm
-  // cache hits — the interactive serving path — skip its allocations.
+  // The request is resolved once against the schema of the pinned
+  // generation (and re-resolved only if a refresh swaps the generation
+  // mid-loop); the warm hit path below then probes every candidate store
+  // lock- and allocation-free. The coalescing key is only needed on a
+  // miss and is computed lazily there.
+  PrecomputeOptions resolved;
+  const Generation* resolved_for = nullptr;
   std::string key;
   while (true) {
-    // Serve the narrowest cached grid with L' >= top_l — but only when it
-    // actually covers the requested (k, D) ranges; a wider-L store built
-    // with a narrower grid must not shadow a request for rows it lacks.
-    {
-      std::shared_lock<std::shared_mutex> lock(mu_);
-      if (const SolutionStore* store = CoveringStoreLocked(top_l, options)) {
-        store_hits_.fetch_add(1, std::memory_order_relaxed);
-        if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
-        return std::shared_ptr<const SolutionStore>(live_, store);
-      }
+    std::shared_ptr<const ReadView> view = CurrentView();
+    if (resolved_for != view->generation.get()) {
+      resolved = options.ResolvedFor(view->generation->answers->num_attrs());
+      resolved_for = view->generation.get();
+      key.clear();
+    }
+    if (const SolutionStore* store = CoveringStore(*view, top_l, resolved)) {
+      Counters().store_hits.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
+      return std::shared_ptr<const SolutionStore>(view->generation, store);
     }
     // Miss: coalesce with an identical in-flight precompute, or lead one.
     if (key.empty()) {
-      key = options.CacheKey(top_l, live_generation()->answers->num_attrs());
+      key = options.CacheKey(top_l, view->generation->answers->num_attrs());
     }
     std::shared_ptr<FlightLatch> flight;
     bool leader = false;
     {
-      std::unique_lock<std::shared_mutex> lock(mu_);
-      if (const SolutionStore* store = CoveringStoreLocked(top_l, options)) {
-        store_hits_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::shared_mutex> lock = WriterLock();
+      std::shared_ptr<const ReadView> fresh = CurrentView();
+      if (fresh->generation.get() != resolved_for) {
+        continue;  // refresh landed since the probe: re-resolve first
+      }
+      if (const SolutionStore* store =
+              CoveringStore(*fresh, top_l, resolved)) {
+        Counters().store_hits.fetch_add(1, std::memory_order_relaxed);
         if (trace != nullptr && !trace->coalesced) trace->cache_hit = true;
-        return std::shared_ptr<const SolutionStore>(live_, store);
+        return std::shared_ptr<const SolutionStore>(fresh->generation, store);
       }
       auto fit = store_flights_.find(key);
       if (fit != store_flights_.end()) {
@@ -284,13 +270,13 @@ Result<std::shared_ptr<const SolutionStore>> Session::Guidance(
       }
     }
     if (!leader) {
-      store_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      Counters().store_coalesced.fetch_add(1, std::memory_order_relaxed);
       if (trace != nullptr) trace->coalesced = true;
       Status status = flight->Wait();
       if (!status.ok()) return status;
       continue;
     }
-    store_misses_.fetch_add(1, std::memory_order_relaxed);
+    Counters().store_misses.fetch_add(1, std::memory_order_relaxed);
     if (trace != nullptr) trace->built = true;
     // The universe build has its own single-flight; no session lock held.
     // The store is derived from (and attached to) the same generation the
@@ -307,12 +293,15 @@ Result<std::shared_ptr<const SolutionStore>> Session::Guidance(
           Precompute::Run(*pinned.universe, top_l, run_options));
       auto owned = std::make_unique<SolutionStore>(std::move(store));
       const SolutionStore* ptr = owned.get();
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      std::unique_lock<std::shared_mutex> lock = WriterLock();
       pinned.generation->stores.push_back(std::move(owned));
-      if (pinned.generation == live_) {
+      std::shared_ptr<const ReadView> cur = CurrentView();
+      if (cur->generation == pinned.generation) {
         // emplace, never replace: a narrower-grid store at this L may
         // exist and keeps serving the requests it covers.
-        stores_.emplace(top_l, ptr);
+        auto next = std::make_shared<ReadView>(*cur);
+        next->stores.emplace(top_l, ptr);
+        PublishView(std::move(next));
       }
       // else: superseded by a refresh mid-precompute — the handle serves
       // the overlapping request from the retired generation, which drains
@@ -322,7 +311,7 @@ Result<std::shared_ptr<const SolutionStore>> Session::Guidance(
     };
     Result<std::shared_ptr<const SolutionStore>> outcome = build();
     {
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      std::unique_lock<std::shared_mutex> lock = WriterLock();
       store_flights_.erase(key);
     }
     flight->Finish(outcome.ok() ? Status::OK() : outcome.status());
@@ -333,24 +322,24 @@ Result<std::shared_ptr<const SolutionStore>> Session::Guidance(
 Result<Solution> Session::Retrieve(int top_l, int d, int k,
                                    RequestTrace* trace) {
   // Narrowest store with L' >= top_l that can answer (d, k); a narrower-
-  // grid store is skipped if a wider cached one has the row. Cached stores
-  // belong to the live generation, which the shared lock keeps published.
+  // grid store is skipped if a wider cached one has the row. Lock-free:
+  // the pinned view keeps every candidate's generation alive for the
+  // whole scan.
+  std::shared_ptr<const ReadView> view = CurrentView();
   Status first_error = Status::OK();
   bool found_store = false;
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    for (auto it = stores_.lower_bound(top_l); it != stores_.end(); ++it) {
-      found_store = true;
-      Result<Solution> solution = it->second->Retrieve(d, k);
-      if (solution.ok()) {
-        store_hits_.fetch_add(1, std::memory_order_relaxed);
-        if (trace != nullptr) trace->cache_hit = true;
-        return solution;
-      }
-      if (first_error.ok()) first_error = solution.status();
+  for (auto it = view->stores.lower_bound(top_l); it != view->stores.end();
+       ++it) {
+    found_store = true;
+    Result<Solution> solution = it->second->Retrieve(d, k);
+    if (solution.ok()) {
+      Counters().store_hits.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->cache_hit = true;
+      return solution;
     }
+    if (first_error.ok()) first_error = solution.status();
   }
-  store_misses_.fetch_add(1, std::memory_order_relaxed);
+  Counters().store_misses.fetch_add(1, std::memory_order_relaxed);
   if (!found_store) {
     return Status::FailedPrecondition(
         "no guidance precomputed covering this L; call Guidance() first");
@@ -359,20 +348,20 @@ Result<Solution> Session::Retrieve(int top_l, int d, int k,
 }
 
 Status Session::SaveGuidance(int top_l, const std::string& path) const {
-  std::shared_ptr<const SolutionStore> store;
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    if (const SolutionStore* found = StoreForLocked(top_l)) {
-      store = std::shared_ptr<const SolutionStore>(live_, found);
-    }
-  }
-  if (store == nullptr) {
+  // Mirror of the universe cache policy: the narrowest cached grid with
+  // L' >= top_l serves (its replays cover the top-L' >= top-L elements,
+  // and every stored (k, D) solution remains valid for the narrower
+  // coverage request by Proposition 6.1). The pinned view keeps the
+  // store's generation alive across the file write; no lock is held.
+  std::shared_ptr<const ReadView> view = CurrentView();
+  auto it = view->stores.lower_bound(top_l);
+  if (it == view->stores.end()) {
+    Counters().store_misses.fetch_add(1, std::memory_order_relaxed);
     return Status::FailedPrecondition(
         "no guidance precomputed covering this L; call Guidance() first");
   }
-  // The handle pins the store's generation, so the file write can proceed
-  // outside the lock even if a refresh retires the store meanwhile.
-  return SaveSolutionStore(*store, path);
+  Counters().store_hits.fetch_add(1, std::memory_order_relaxed);
+  return SaveSolutionStore(*it->second, path);
 }
 
 Status Session::LoadGuidance(int top_l, const std::string& path) {
@@ -391,13 +380,16 @@ Status Session::LoadGuidance(int top_l, const std::string& path) {
                        LoadSolutionStore(pinned.universe, path));
   auto owned = std::make_unique<SolutionStore>(std::move(store));
   const SolutionStore* ptr = owned.get();
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock = WriterLock();
   pinned.generation->stores.push_back(std::move(owned));
-  if (pinned.generation == live_) {
-    stores_.emplace(stored_l, ptr);
+  std::shared_ptr<const ReadView> cur = CurrentView();
+  if (cur->generation == pinned.generation) {
+    auto next = std::make_shared<ReadView>(*cur);
+    next->stores.emplace(stored_l, ptr);
+    PublishView(std::move(next));
   }
   // else: a refresh raced the load; the file's grid no longer matches the
-  // live answer set, so it must not enter the serving cache — it drains
+  // live answer set, so it must not enter the serving view — it drains
   // with its retired generation.
   return Status::OK();
 }
@@ -405,9 +397,15 @@ Status Session::LoadGuidance(int top_l, const std::string& path) {
 Session::CacheStats Session::cache_stats() const {
   CacheStats stats;
   {
+    std::shared_ptr<const ReadView> view = CurrentView();
+    stats.universes = static_cast<int>(view->universes.size());
+    stats.stores = static_cast<int>(view->stores.size());
+    // The pin is dropped here, before the graveyard probe below: a
+    // generation retired by a racing refresh must not read as "still
+    // retained" merely because this observer holds the outgoing view.
+  }
+  {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    stats.universes = static_cast<int>(universes_.size());
-    stats.stores = static_cast<int>(stores_.size());
     // Count what the graveyard still retains by probing the ledger's weak
     // references: an entry that no longer locks has been evicted (its
     // readers drained and the generation was destroyed).
@@ -423,16 +421,22 @@ Session::CacheStats Session::cache_stats() const {
     stats.live_generations = alive + 1;
     stats.generations_evicted = generations_retired_ - alive;
   }
-  stats.universe_hits = universe_hits_.load(std::memory_order_relaxed);
-  stats.universe_misses = universe_misses_.load(std::memory_order_relaxed);
-  stats.store_hits = store_hits_.load(std::memory_order_relaxed);
-  stats.store_misses = store_misses_.load(std::memory_order_relaxed);
-  stats.universe_coalesced =
-      universe_coalesced_.load(std::memory_order_relaxed);
-  stats.store_coalesced = store_coalesced_.load(std::memory_order_relaxed);
-  stats.refreshes = refreshes_.load(std::memory_order_relaxed);
-  stats.refresh_full_reuses =
-      refresh_full_reuses_.load(std::memory_order_relaxed);
+  shards_.ForEach([&stats](const CounterShard& shard) {
+    stats.universe_hits += shard.universe_hits.load(std::memory_order_relaxed);
+    stats.universe_misses +=
+        shard.universe_misses.load(std::memory_order_relaxed);
+    stats.store_hits += shard.store_hits.load(std::memory_order_relaxed);
+    stats.store_misses += shard.store_misses.load(std::memory_order_relaxed);
+    stats.universe_coalesced +=
+        shard.universe_coalesced.load(std::memory_order_relaxed);
+    stats.store_coalesced +=
+        shard.store_coalesced.load(std::memory_order_relaxed);
+    stats.refreshes += shard.refreshes.load(std::memory_order_relaxed);
+    stats.refresh_full_reuses +=
+        shard.refresh_full_reuses.load(std::memory_order_relaxed);
+  });
+  stats.writer_lock_acquisitions =
+      writer_lock_acquisitions_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sharded_stats.h"
 #include "common/single_flight.h"
 #include "core/hybrid.h"
 #include "core/precompute.h"
@@ -30,20 +32,35 @@ namespace qagview::core {
 ///  * precomputed solution stores (the §6.2 grids) are cached per L;
 ///  * Summarize / Retrieve requests then run at interactive speed.
 ///
-/// **Thread safety.** Every public method may be called concurrently from
-/// any number of client threads (the contract the `service::QueryService`
-/// layer builds on). The caches are guarded by a shared mutex — reads
-/// (cache hits, Retrieve, Summarize over a built universe) take the lock
-/// shared and proceed in parallel; cache fills take it exclusively only to
-/// publish results. Expensive builds (universe construction, grid
-/// precomputes) run *outside* the lock and are **single-flight**: when N
-/// clients concurrently miss on the same universe L or the same Guidance
-/// (L, options) grid, exactly one performs the build while the others
-/// block on the in-flight entry and then serve from cache — never N
-/// duplicate precomputes. Coalesced waits are counted in `CacheStats`.
-/// Results remain bit-identical to any serial execution order: builds are
+/// **Thread safety — the RCU read path.** Every public method may be
+/// called concurrently from any number of client threads (the contract the
+/// `service::QueryService` layer builds on). The session's entire serving
+/// state — the live answer-set generation plus the universe/store cache
+/// maps — is one immutable `ReadView` snapshot behind an atomically
+/// published pointer. A warm request performs a single atomic load of that
+/// pointer, which pins the generation for the request's duration, and then
+/// serves every answer/universe/store lookup from the snapshot without
+/// acquiring any lock: warm hits are wait-free with respect to writers and
+/// to each other, so warm throughput scales with the core count instead of
+/// collapsing on a shared mutex. Writers (cache fills, refreshes) never
+/// mutate a published view; they take the writer mutex, build a new view
+/// copy-on-write, and publish it with an atomic store (pin → serve → drop,
+/// classic read-copy-update). Expensive builds still run *outside* the
+/// writer lock and are **single-flight**: when N clients concurrently miss
+/// on the same universe L or the same Guidance (L, options) grid, exactly
+/// one performs the build while the others block on the in-flight entry
+/// and then serve from the republished view — never N duplicate
+/// precomputes. Coalesced waits are counted in `CacheStats`. Results
+/// remain bit-identical to any serial execution order: builds are
 /// deterministic in their (answer set, L, options) inputs alone, and
-/// stores/universes are immutable once published.
+/// views, stores, and universes are immutable once published.
+///
+/// The per-op statistics counters are sharded per thread
+/// (common/sharded_stats.h) and aggregated when `cache_stats()` is read,
+/// so the bookkeeping itself is not a point of cacheline contention
+/// either. `CacheStats::writer_lock_acquisitions` counts every exclusive
+/// acquisition of the writer mutex — the invariant "a warm hit acquires
+/// the writer lock zero times" is asserted by tests/read_scaling_test.cc.
 ///
 /// **Versioned refresh and handle lifetime.** The answer set is no longer
 /// fixed for the session's lifetime: Refresh() installs the answer set
@@ -53,19 +70,19 @@ namespace qagview::core {
 /// *generation* it belongs to (the answer set plus every universe/store
 /// built from it; they reference each other internally and live or die
 /// together). When a content-changing refresh supersedes a generation, it
-/// is *retired*: dropped from the serving caches and tracked in a
-/// graveyard ledger, but kept alive exactly as long as at least one
-/// external handle still references it. The moment the last handle drops,
-/// the retired generation is destroyed (**drain-then-evict**) — in-flight
-/// readers are never torn down, and a session under sustained updates no
-/// longer accumulates superseded generations without bound. Cache
-/// admission is guarded by generation identity (exact, collision-free): a
-/// build that races a refresh publishes into its own — now retired —
-/// generation instead of the cache (its result still serves the
-/// overlapping request: a linearizable pre-refresh view, pinned by the
-/// returned handle). The ownership rule for callers: **never store a raw
-/// pointer obtained from a handle; hold the shared_ptr for as long as the
-/// structure is read.**
+/// is *retired*: dropped from the serving view and tracked in a graveyard
+/// ledger, but kept alive exactly as long as at least one external handle
+/// (or a reader still inside its pinned view) references it. The moment
+/// the last handle drops, the retired generation is destroyed
+/// (**drain-then-evict**) — in-flight readers are never torn down, and a
+/// session under sustained updates no longer accumulates superseded
+/// generations without bound. View admission is guarded by generation
+/// identity (exact, collision-free): a build that races a refresh
+/// publishes into its own — now retired — generation instead of the view
+/// (its result still serves the overlapping request: a linearizable
+/// pre-refresh view, pinned by the returned handle). The ownership rule
+/// for callers: **never store a raw pointer obtained from a handle; hold
+/// the shared_ptr for as long as the structure is read.**
 class Session {
  public:
   /// Creates a session over a materialized answer set.
@@ -78,7 +95,8 @@ class Session {
   /// A handle to the current answer set. The handle pins its generation:
   /// it stays valid (and bit-identical) after a content-changing Refresh,
   /// but then names the outgoing data — re-call for the current view, and
-  /// drop stale handles so retired generations can be evicted.
+  /// drop stale handles so retired generations can be evicted. Wait-free:
+  /// one atomic view load, no locks.
   std::shared_ptr<const AnswerSet> answers() const;
 
   /// What one Refresh() reused versus rebuilt, for service statistics and
@@ -102,10 +120,12 @@ class Session {
   /// exact content check — reuse is provable, not probabilistic: when
   /// unchanged, the new copy is discarded and every cache stays warm; when
   /// changed, the new answer set is installed and the outgoing generation
-  /// (every cached universe / store, by the cache-admission invariant) is
+  /// (every cached universe / store, by the view-admission invariant) is
   /// retired — it survives precisely until its last external handle drops,
-  /// then is evicted. Results after Refresh are bit-identical to a fresh
-  /// session built from the same answer set.
+  /// then is evicted. Readers concurrent with a refresh are never blocked:
+  /// they keep serving from whichever view they pinned, and the next
+  /// request observes the new one. Results after Refresh are bit-identical
+  /// to a fresh session built from the same answer set.
   Status Refresh(AnswerSet answers, RefreshStats* stats = nullptr);
 
   /// What happened to one request, for per-request service statistics:
@@ -146,14 +166,14 @@ class Session {
   /// requested (k, D) ranges; otherwise a fresh grid is precomputed.
   /// Concurrent calls with the same (top_l, options) grid shape coalesce
   /// onto one precompute. The handle pins the store's generation across
-  /// refreshes; drop it when done reading.
+  /// refreshes; drop it when done reading. Warm hits are lock-free.
   Result<std::shared_ptr<const SolutionStore>> Guidance(
       int top_l, const PrecomputeOptions& options = PrecomputeOptions(),
       RequestTrace* trace = nullptr);
 
   /// Retrieves a precomputed solution; requires a prior Guidance(L') with
   /// L' >= top_l. The narrowest such store that can answer (d, k) serves
-  /// the request, consistent with the universe cache.
+  /// the request, consistent with the universe cache. Lock-free.
   Result<Solution> Retrieve(int top_l, int d, int k,
                             RequestTrace* trace = nullptr);
 
@@ -174,7 +194,8 @@ class Session {
 
   /// A handle to the universe serving requests at coverage level `top_l`
   /// (cached; concurrent misses for the same L coalesce onto one build).
-  /// The handle pins the universe's generation across refreshes.
+  /// The handle pins the universe's generation across refreshes. Warm hits
+  /// are lock-free.
   Result<std::shared_ptr<const ClusterUniverse>> UniverseFor(
       int top_l, RequestTrace* trace = nullptr);
 
@@ -187,7 +208,7 @@ class Session {
     int64_t store_misses = 0;
     /// Requests that blocked on another caller's identical in-flight build
     /// instead of starting their own (each subsequently counts a hit when
-    /// it serves from the freshly published cache entry).
+    /// it serves from the freshly published view).
     int64_t universe_coalesced = 0;
     int64_t store_coalesced = 0;
     /// Refresh() calls, and the subset that proved the answer set
@@ -206,7 +227,17 @@ class Session {
     /// reclaimed. Monotonic; graveyard_size + generations_evicted equals
     /// the number of content-changing refreshes.
     int64_t generations_evicted = 0;
+    /// Exclusive acquisitions of the session's writer mutex, ever. The
+    /// warm-path invariant — a cache hit takes the writer lock zero times
+    /// — is asserted against this counter by read_scaling_test. Only cold
+    /// events (misses, publishes, refreshes, loads) may advance it, so
+    /// the single relaxed increment per acquisition is itself off the
+    /// warm path.
+    int64_t writer_lock_acquisitions = 0;
   };
+  /// Aggregates the per-thread counter shards. Exact once the counted
+  /// requests happen-before the read (e.g. after joining the client
+  /// threads); a read racing in-flight requests sees a monotonic snapshot.
   CacheStats cache_stats() const;
 
   /// Worker count for universe builds and precomputes issued by this
@@ -223,11 +254,32 @@ class Session {
   /// One answer-set generation and everything built from it. Universes
   /// point at the answer set and stores point at universes, so the three
   /// layers retire and die together; every handle the session returns is a
-  /// shared_ptr aliased to the owning Generation's control block.
+  /// shared_ptr aliased to the owning Generation's control block. The
+  /// owning vectors are only mutated under the writer mutex; readers never
+  /// touch them (they hold raw pointers handed out inside a pinned view).
   struct Generation {
     std::unique_ptr<AnswerSet> answers;
     std::vector<std::unique_ptr<ClusterUniverse>> universes;
     std::vector<std::unique_ptr<SolutionStore>> stores;
+  };
+
+  /// The atomically published serving snapshot: the live generation plus
+  /// the cache maps over its structures. Immutable after publication —
+  /// every change (cache fill, refresh, load) builds a successor view and
+  /// swaps the pointer, so a reader that loaded a view once can serve an
+  /// entire request from it without locks or torn state. Invariant: every
+  /// map entry points into `generation` (admission compares generation
+  /// identity), so a hit returns a handle aliased to that generation's
+  /// control block.
+  struct ReadView {
+    std::shared_ptr<Generation> generation;
+    // Keyed by the top_l the universe was built for.
+    std::map<int, const ClusterUniverse*> universes;
+    // Keyed by top_l. A multimap because one L can accumulate several
+    // grids (different (k, D) option sets); within a generation stores
+    // are never replaced, so narrower-grid stores keep serving what they
+    // cover.
+    std::multimap<int, const SolutionStore*> stores;
   };
 
   /// A universe plus the generation that owns it — the internal currency
@@ -238,73 +290,86 @@ class Session {
     const ClusterUniverse* universe = nullptr;
   };
 
+  /// Per-thread shard of the request counters (relaxed increments on a
+  /// thread-local cacheline; summed by cache_stats).
+  struct CounterShard {
+    std::atomic<int64_t> universe_hits{0};
+    std::atomic<int64_t> universe_misses{0};
+    std::atomic<int64_t> store_hits{0};
+    std::atomic<int64_t> store_misses{0};
+    std::atomic<int64_t> universe_coalesced{0};
+    std::atomic<int64_t> store_coalesced{0};
+    std::atomic<int64_t> refreshes{0};
+    std::atomic<int64_t> refresh_full_reuses{0};
+  };
+
   explicit Session(std::unique_ptr<AnswerSet> answers);
+
+  /// The current view — the RCU read-side primitive: one atomic acquire
+  /// load; the returned shared_ptr pins the view (and its generation) for
+  /// the caller's read.
+  std::shared_ptr<const ReadView> CurrentView() const {
+    return std::atomic_load_explicit(&view_, std::memory_order_acquire);
+  }
+
+  /// Publishes a successor view (release store). Caller holds mu_
+  /// exclusively — writers are serialized; readers are never blocked.
+  void PublishView(std::shared_ptr<const ReadView> next) {
+    std::atomic_store_explicit(&view_, std::move(next),
+                               std::memory_order_release);
+  }
+
+  /// Acquires the writer mutex, counting the acquisition (the counter
+  /// read_scaling_test pins warm-hit wait-freedom against).
+  std::unique_lock<std::shared_mutex> WriterLock() const {
+    writer_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    return std::unique_lock<std::shared_mutex>(mu_);
+  }
+
+  CounterShard& Counters() const { return shards_.Local(); }
 
   /// UniverseFor, with the owning generation exposed for internal callers
   /// (Guidance / LoadGuidance) that derive stores from the universe.
   Result<PinnedUniverse> PinnedUniverseFor(int top_l, RequestTrace* trace);
 
-  /// The current generation (shared lock). Pins the answer set for the
-  /// duration of one operation even if a refresh lands concurrently.
-  std::shared_ptr<Generation> live_generation() const;
+  /// The narrowest store in `view` with L' >= top_l covering the resolved
+  /// options, or nullptr. Lock-free and allocation-free.
+  static const SolutionStore* CoveringStore(const ReadView& view, int top_l,
+                                            const PrecomputeOptions& resolved);
 
-  /// The narrowest cached store with L' >= top_l, or nullptr (counts
-  /// store hits/misses). Caller must hold mu_ (shared suffices).
-  const SolutionStore* StoreForLocked(int top_l) const;
-
-  /// The narrowest cached store with L' >= top_l that covers `options`,
-  /// or nullptr. Caller must hold mu_ (shared suffices); does not touch
-  /// the hit/miss counters.
-  const SolutionStore* CoveringStoreLocked(
-      int top_l, const PrecomputeOptions& options) const;
-
-  /// Guards the generation pointer, the caches, the graveyard ledger, and
-  /// the flight maps below. Shared for lookups, exclusive for publishing.
-  /// Never held across a build or a flight wait.
+  /// Serializes writers: view publication, the flight maps, the graveyard
+  /// ledger, and Generation ownership vectors. Readers take it shared only
+  /// on the cold observability path (cache_stats); the warm serving paths
+  /// never touch it. Never held across a build or a flight wait.
   mutable std::shared_mutex mu_;
 
-  /// The generation currently serving; replaced only by a content-changing
-  /// Refresh() under an exclusive lock. The session's own strong reference
-  /// — external handles hold the others.
-  std::shared_ptr<Generation> live_;
-
-  /// Serving caches: non-owning views into live_. Invariant: every entry
-  /// points into live_ (admission compares generation identity), so a
-  /// cache hit returns a handle aliased to live_'s control block. Cleared
-  /// wholesale when a refresh retires the generation.
-  // Keyed by the top_l the universe was built for.
-  std::map<int, const ClusterUniverse*> universes_;
-  // Keyed by top_l. A multimap because one L can accumulate several grids
-  // (different (k, D) option sets); within a generation stores are never
-  // replaced, so narrower-grid stores keep serving what they cover.
-  std::multimap<int, const SolutionStore*> stores_;
+  /// The published serving snapshot; access only through CurrentView /
+  /// PublishView (C++17 shared_ptr atomic free functions). The session's
+  /// own strong reference to the live generation lives inside it.
+  std::shared_ptr<const ReadView> view_;
 
   // In-flight builds: universe flights keyed by top_l (a flight for
   // L' >= top_l satisfies a waiter at top_l), store flights keyed by
-  // PrecomputeOptions::CacheKey (exact grid-shape identity).
+  // PrecomputeOptions::CacheKey (exact grid-shape identity). Guarded by
+  // mu_ (miss path only).
   std::map<int, std::shared_ptr<FlightLatch>> universe_flights_;
   std::map<std::string, std::shared_ptr<FlightLatch>> store_flights_;
 
   /// Graveyard ledger: weak references to retired generations. Holding
   /// them weak is the eviction mechanism — a retired generation's only
-  /// strong references are external handles, so it is destroyed (on
-  /// whichever thread drops the last handle) the instant its readers
-  /// drain; the ledger only observes that for statistics. Expired entries
-  /// are pruned on each refresh.
+  /// strong references are external handles (and momentarily the pinned
+  /// views of in-flight readers), so it is destroyed (on whichever thread
+  /// drops the last handle) the instant its readers drain; the ledger only
+  /// observes that for statistics. Expired entries are pruned on each
+  /// refresh. Guarded by mu_.
   std::vector<std::weak_ptr<Generation>> graveyard_;
   /// Content-changing refreshes so far = generations ever retired.
   /// generations_evicted is derived: retired minus still-alive.
   int64_t generations_retired_ = 0;
 
   std::atomic<int> num_threads_{0};
-  mutable std::atomic<int64_t> universe_hits_{0};
-  mutable std::atomic<int64_t> universe_misses_{0};
-  mutable std::atomic<int64_t> store_hits_{0};
-  mutable std::atomic<int64_t> store_misses_{0};
-  mutable std::atomic<int64_t> universe_coalesced_{0};
-  mutable std::atomic<int64_t> store_coalesced_{0};
-  mutable std::atomic<int64_t> refreshes_{0};
-  mutable std::atomic<int64_t> refresh_full_reuses_{0};
+  mutable Sharded<CounterShard> shards_;
+  mutable std::atomic<int64_t> writer_lock_acquisitions_{0};
 };
 
 }  // namespace qagview::core

@@ -117,8 +117,10 @@ uint64_t DatasetCatalog::TableVersion(const std::string& name) const {
 }
 
 uint64_t DatasetCatalog::version() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return version_;
+  // Lock-free: the QueryService staleness fast path reads this once per
+  // warm request. Writers bump the counter under mu_ exclusive after
+  // installing the new snapshot; acquire pairs with that (seq_cst) bump.
+  return version_.load(std::memory_order_acquire);
 }
 
 std::vector<std::string> DatasetCatalog::names() const {
@@ -137,7 +139,8 @@ int DatasetCatalog::size() const {
 CatalogSnapshot DatasetCatalog::Snapshot() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   CatalogSnapshot out;
-  out.catalog_version = version_;
+  // Stable while the shared lock excludes writers.
+  out.catalog_version = version_.load(std::memory_order_relaxed);
   out.pins.reserve(tables_.size());
   for (const auto& [name, entry] : tables_) {
     out.sql.Register(name, entry.snapshot.table.get());

@@ -1,6 +1,7 @@
 #ifndef QAGVIEW_SERVICE_CATALOG_H_
 #define QAGVIEW_SERVICE_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -78,7 +79,9 @@ class DatasetCatalog {
   uint64_t TableVersion(const std::string& name) const;
 
   /// Catalog-wide version: bumps on every Register / AppendRows /
-  /// ReplaceTable. 0 = empty, never mutated.
+  /// ReplaceTable. 0 = empty, never mutated. Lock-free (one atomic load):
+  /// this is the staleness fast path every warm QueryService request takes,
+  /// so it must never contend with snapshot readers or writers.
   uint64_t version() const;
 
   /// Registered names (lower-cased), sorted.
@@ -102,7 +105,11 @@ class DatasetCatalog {
   };
 
   mutable std::shared_mutex mu_;
-  uint64_t version_ = 0;  // guarded by mu_
+  /// Written only under mu_ exclusive (writers are serialized); atomic so
+  /// version() reads it without the lock. A bump is published (release)
+  /// after the new table snapshot is installed in tables_, so a reader
+  /// that observes the new version and then takes mu_ sees the snapshot.
+  std::atomic<uint64_t> version_{0};
   // Keyed by lower-cased name. Entries are never erased, so a writer
   // mutex fetched under mu_ stays the dataset's writer mutex forever.
   std::map<std::string, Entry> tables_;

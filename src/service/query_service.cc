@@ -23,7 +23,8 @@ void MergeTrace(const core::Session::RequestTrace& trace, RequestStats* rs) {
 }  // namespace
 
 QueryService::QueryService(ServiceOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      registry_(std::make_shared<const Registry>()) {}
 
 Status QueryService::RegisterTable(const std::string& name,
                                    storage::Table table) {
@@ -69,15 +70,14 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
   const std::string key = trimmed + '\x1f' + ToLower(value_column);
   while (true) {
     {
+      // Warm path: one atomic registry load, no locks.
       SessionEntry* entry = nullptr;
       QueryHandle handle = -1;
-      {
-        std::shared_lock<std::shared_mutex> lock(mu_);
-        auto it = by_key_.find(key);
-        if (it != by_key_.end()) {
-          handle = it->second;
-          entry = entries_[static_cast<size_t>(handle)].get();
-        }
+      std::shared_ptr<const Registry> registry = CurrentRegistry();
+      auto it = registry->by_key.find(key);
+      if (it != registry->by_key.end()) {
+        handle = it->second;
+        entry = registry->entries[static_cast<size_t>(handle)];
       }
       if (entry != nullptr) {
         // Bring a stale handle up to date before reporting its shape.
@@ -105,7 +105,9 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
     bool leader = false;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
-      if (by_key_.count(key) != 0) continue;  // published since the check
+      if (CurrentRegistry()->by_key.count(key) != 0) {
+        continue;  // published since the check
+      }
       auto fit = query_flights_.find(key);
       if (fit != query_flights_.end()) {
         flight = fit->second;
@@ -145,10 +147,17 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
       for (const std::string& name : snapshot.sql.accessed()) {
         entry->deps.emplace(name, snapshot.versions.at(name));
       }
+      entry->fresh_at.store(snapshot.catalog_version,
+                            std::memory_order_release);
+      // Publish: copy-on-write registry successor under the writer lock.
       std::unique_lock<std::shared_mutex> lock(mu_);
-      QueryHandle handle = static_cast<QueryHandle>(entries_.size());
-      entries_.push_back(std::move(entry));
-      by_key_.emplace(key, handle);
+      std::shared_ptr<const Registry> cur = CurrentRegistry();
+      auto next = std::make_shared<Registry>(*cur);
+      QueryHandle handle = static_cast<QueryHandle>(next->entries.size());
+      next->entries.push_back(entry.get());
+      next->by_key.emplace(key, handle);
+      owned_.push_back(std::move(entry));
+      PublishRegistry(std::move(next));
       return handle;
     };
     Result<QueryHandle> outcome = build();
@@ -163,8 +172,9 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
     QueryInfo info;
     info.handle = *outcome;
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
-      const SessionEntry& entry = *entries_[static_cast<size_t>(*outcome)];
+      std::shared_ptr<const Registry> registry = CurrentRegistry();
+      const SessionEntry& entry =
+          *registry->entries[static_cast<size_t>(*outcome)];
       std::shared_ptr<const core::AnswerSet> answers =
           entry.session->answers();
       info.num_answers = answers->size();
@@ -177,20 +187,32 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
 
 Result<QueryService::SessionEntry*> QueryService::Lookup(
     QueryHandle handle) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  if (handle < 0 || handle >= static_cast<QueryHandle>(entries_.size())) {
+  // Lock-free: one atomic registry load; entries live for the service's
+  // lifetime, so the raw pointer outlives the registry pin.
+  std::shared_ptr<const Registry> registry = CurrentRegistry();
+  if (handle < 0 ||
+      handle >= static_cast<QueryHandle>(registry->entries.size())) {
     return Status::NotFound(
         StrCat("unknown query handle ", handle, "; obtain one from Query()"));
   }
-  SessionEntry* entry = entries_[static_cast<size_t>(handle)].get();
-  return entry;
+  return registry->entries[static_cast<size_t>(handle)];
 }
 
 Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
+  // Warm fast path: the catalog version still equals the version this
+  // entry was last verified fresh at, so no dataset — of any name — has
+  // changed since. Two relaxed-cost atomic loads per request, no locks;
+  // this is the entire per-request price of versioning on the warm path.
+  if (entry->fresh_at.load(std::memory_order_acquire) ==
+      datasets_.version()) {
+    return Status::OK();
+  }
   while (true) {
-    // Fast path: every dependency still at the version the answer set was
-    // executed against. This is the per-request cost of versioning — a
-    // shared-lock dep copy plus one catalog version lookup per table.
+    // The catalog moved past the last verification. Walk the per-table
+    // dependency versions to see whether one of *this* query's inputs
+    // actually changed (an update to an unrelated dataset lands here once,
+    // re-stamps fresh_at, and the fast path resumes).
+    const uint64_t observed_version = datasets_.version();
     bool stale = false;
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
@@ -201,7 +223,13 @@ Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
         }
       }
     }
-    if (!stale) return Status::OK();
+    if (!stale) {
+      // Verified fresh as of `observed_version`, which was read *before*
+      // the walk: a mutation racing the walk at most leaves an older stamp
+      // and the next request re-verifies.
+      entry->fresh_at.store(observed_version, std::memory_order_release);
+      return Status::OK();
+    }
     // Stale: lead the refresh, or coalesce onto the one in flight.
     std::shared_ptr<FlightLatch> flight;
     bool leader = false;
@@ -209,6 +237,7 @@ Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
       std::unique_lock<std::shared_mutex> lock(mu_);
       // Recheck under the exclusive lock: a refresh that completed since
       // the fast check already updated the deps.
+      const uint64_t recheck_version = datasets_.version();
       stale = false;
       for (const auto& [name, version] : entry->deps) {
         if (datasets_.TableVersion(name) != version) {
@@ -216,7 +245,10 @@ Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
           break;
         }
       }
-      if (!stale) return Status::OK();
+      if (!stale) {
+        entry->fresh_at.store(recheck_version, std::memory_order_release);
+        return Status::OK();
+      }
       if (entry->refresh_flight != nullptr) {
         flight = entry->refresh_flight;
       } else {
@@ -250,6 +282,8 @@ Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
       for (const std::string& name : snapshot.sql.accessed()) {
         entry->deps.emplace(name, snapshot.versions.at(name));
       }
+      entry->fresh_at.store(snapshot.catalog_version,
+                            std::memory_order_release);
       return Status::OK();
     };
     Status outcome = refresh();
@@ -259,9 +293,10 @@ Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
     }
     flight->Finish(outcome);
     if (outcome.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.refreshes;
-      if (!refresh_stats.refreshed) ++stats_.refresh_full_reuses;
+      StatShard& shard = stat_shards_.Local();
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.stats.refreshes;
+      if (!refresh_stats.refreshed) ++shard.stats.refresh_full_reuses;
     }
     return outcome;
   }
@@ -371,53 +406,72 @@ Result<core::Session*> QueryService::session(QueryHandle handle) {
 }
 
 void QueryService::Record(RequestKind kind, const RequestStats& stats) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  // The calling thread's shard: the lock is effectively uncontended (only
+  // this thread and the rare aggregating reader take it), so recording is
+  // a core-local write, not a global serialization point.
+  StatShard& shard = stat_shards_.Local();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Stats& s = shard.stats;
   switch (kind) {
     case RequestKind::kQuery:
-      ++stats_.queries;
-      if (stats.cache_hit) ++stats_.query_cache_hits;
-      if (stats.coalesced) ++stats_.query_coalesced;
+      ++s.queries;
+      if (stats.cache_hit) ++s.query_cache_hits;
+      if (stats.coalesced) ++s.query_coalesced;
       break;
     case RequestKind::kSummarize:
-      ++stats_.summarize_requests;
+      ++s.summarize_requests;
       break;
     case RequestKind::kGuidance:
-      ++stats_.guidance_requests;
+      ++s.guidance_requests;
       break;
     case RequestKind::kRetrieve:
-      ++stats_.retrieve_requests;
+      ++s.retrieve_requests;
       break;
     case RequestKind::kExplore:
-      ++stats_.explore_requests;
+      ++s.explore_requests;
       break;
   }
   if (kind != RequestKind::kQuery) {
-    if (stats.cache_hit) ++stats_.cache_hits;
-    if (stats.coalesced) ++stats_.coalesced_waits;
-    if (stats.built) ++stats_.builds;
+    if (stats.cache_hit) ++s.cache_hits;
+    if (stats.coalesced) ++s.coalesced_waits;
+    if (stats.built) ++s.builds;
   }
-  stats_.total_latency_ms += stats.latency_ms;
-  stats_.max_latency_ms = std::max(stats_.max_latency_ms, stats.latency_ms);
+  s.total_latency_ms += stats.latency_ms;
+  s.max_latency_ms = std::max(s.max_latency_ms, stats.latency_ms);
 }
 
 QueryService::Stats QueryService::stats() const {
+  // Aggregate-on-read over the per-thread shards (exact once the recorded
+  // requests happen-before this read, e.g. after thread join).
   Stats out;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    out = stats_;
-  }
+  stat_shards_.ForEach([&out](const StatShard& shard) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const Stats& s = shard.stats;
+    out.queries += s.queries;
+    out.query_cache_hits += s.query_cache_hits;
+    out.query_coalesced += s.query_coalesced;
+    out.summarize_requests += s.summarize_requests;
+    out.guidance_requests += s.guidance_requests;
+    out.retrieve_requests += s.retrieve_requests;
+    out.explore_requests += s.explore_requests;
+    out.cache_hits += s.cache_hits;
+    out.coalesced_waits += s.coalesced_waits;
+    out.builds += s.builds;
+    out.refreshes += s.refreshes;
+    out.refresh_full_reuses += s.refresh_full_reuses;
+    out.total_latency_ms += s.total_latency_ms;
+    out.max_latency_ms = std::max(out.max_latency_ms, s.max_latency_ms);
+  });
   out.datasets = datasets_.size();
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    out.sessions = static_cast<int64_t>(entries_.size());
-    // Generation-lifetime counters are summed at read time from each
-    // session (lock order service → session is the one used everywhere).
-    for (const std::unique_ptr<SessionEntry>& entry : entries_) {
-      core::Session::CacheStats cache = entry->session->cache_stats();
-      out.graveyard_size += cache.graveyard_size;
-      out.live_generations += cache.live_generations;
-      out.generations_evicted += cache.generations_evicted;
-    }
+  std::shared_ptr<const Registry> registry = CurrentRegistry();
+  out.sessions = static_cast<int64_t>(registry->entries.size());
+  // Generation-lifetime counters are summed at read time from each
+  // session, via the pinned registry snapshot (no service lock).
+  for (const SessionEntry* entry : registry->entries) {
+    core::Session::CacheStats cache = entry->session->cache_stats();
+    out.graveyard_size += cache.graveyard_size;
+    out.live_generations += cache.live_generations;
+    out.generations_evicted += cache.generations_evicted;
   }
   return out;
 }

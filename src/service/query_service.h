@@ -1,6 +1,7 @@
 #ifndef QAGVIEW_SERVICE_QUERY_SERVICE_H_
 #define QAGVIEW_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sharded_stats.h"
 #include "common/single_flight.h"
 #include "core/explore.h"
 #include "core/session.h"
@@ -94,6 +96,18 @@ struct ExploreResult {
 ///  * results are bit-identical to a single-threaded execution of the same
 ///    requests (sessions and stores are deterministic and immutable once
 ///    published); only the statistics depend on interleaving.
+///
+/// **The warm request path is lock-free** (RCU, mirroring core::Session's
+/// read path): the session registry is an immutable snapshot behind an
+/// atomically published pointer, so Lookup and a warm repeat Query() never
+/// take the registry lock; staleness is ruled out by comparing one atomic
+/// per-entry freshness version against the atomic catalog version (the
+/// per-table dependency walk only runs after a dataset actually changed);
+/// and per-request statistics land in per-thread shards
+/// (common/sharded_stats.h) aggregated by stats(). A warm
+/// Summarize/Guidance/Retrieve/Explore therefore acquires no service- or
+/// session-level lock at all — aggregate throughput scales with cores
+/// instead of serializing on a mutex.
 ///
 /// **Versioned updates.** Datasets evolve through AppendRows /
 /// ReplaceTable, each publishing a new immutable snapshot under the next
@@ -226,6 +240,10 @@ class QueryService {
              retrieve_requests + explore_requests;
     }
   };
+  /// Aggregates the per-thread statistic shards. Exact once the recorded
+  /// requests happen-before the read (e.g. after joining the client
+  /// threads); a read racing in-flight requests sees a consistent partial
+  /// snapshot.
   Stats stats() const;
 
  private:
@@ -238,37 +256,79 @@ class QueryService {
     /// executed against (the query's dependency set). Guarded by mu_;
     /// rewritten by the refresh leader.
     std::map<std::string, uint64_t> deps;
+    /// The newest catalog version at which this entry's deps were verified
+    /// fresh — the staleness fast path: while the catalog version still
+    /// equals it, no dataset (of any name) has changed since, so the
+    /// per-table dependency walk is skipped entirely. Monotonic;
+    /// published (release) after the deps it vouches for.
+    std::atomic<uint64_t> fresh_at{0};
     /// In-flight stale-handle refresh concurrent users coalesce onto.
     /// Guarded by mu_.
     std::shared_ptr<FlightLatch> refresh_flight;
   };
 
-  /// Entry for a handle, or an error for an unknown one.
+  /// The atomically published session-registry snapshot (RCU, like
+  /// core::Session::ReadView): warm Lookup / repeat-Query reads pin it
+  /// with one atomic load and never take mu_. Entries are owned by
+  /// `owned_` and never destroyed for the service's lifetime; the registry
+  /// holds raw pointers. Immutable after publication — Query() leaders
+  /// build a successor copy under mu_ and republish.
+  struct Registry {
+    std::vector<SessionEntry*> entries;          // handle = index
+    std::map<std::string, QueryHandle> by_key;   // query key → handle
+  };
+
+  /// Per-thread shard of the aggregate statistics. The mutex makes each
+  /// shard's fields mutually consistent (latency totals aren't atomic) and
+  /// is effectively uncontended: only the owning thread (and the rare
+  /// aggregating reader) takes it.
+  struct StatShard {
+    mutable std::mutex mu;
+    Stats stats;
+  };
+
+  std::shared_ptr<const Registry> CurrentRegistry() const {
+    return std::atomic_load_explicit(&registry_, std::memory_order_acquire);
+  }
+  /// Caller holds mu_ exclusively (writers serialized).
+  void PublishRegistry(std::shared_ptr<const Registry> next) {
+    std::atomic_store_explicit(&registry_, std::move(next),
+                               std::memory_order_release);
+  }
+
+  /// Entry for a handle, or an error for an unknown one. Lock-free.
   Result<SessionEntry*> Lookup(QueryHandle handle) const;
 
   /// Brings a handle up to date with the catalog before serving from it:
-  /// cheap version check first; when stale, single-flight SQL re-execution
-  /// against a fresh catalog snapshot handed to core::Session::Refresh.
-  /// `rs` (optional) gets the coalesced/refreshed flags.
+  /// one atomic catalog-version load on the warm path; a per-table version
+  /// walk once the catalog moved; when actually stale, single-flight SQL
+  /// re-execution against a fresh catalog snapshot handed to
+  /// core::Session::Refresh. `rs` (optional) gets the coalesced/refreshed
+  /// flags.
   Status EnsureFresh(SessionEntry* entry, RequestStats* rs);
 
-  /// Folds one finished request into the aggregate stats.
+  /// Folds one finished request into the calling thread's stat shard.
   enum class RequestKind { kQuery, kSummarize, kGuidance, kRetrieve, kExplore };
   void Record(RequestKind kind, const RequestStats& stats);
 
   const ServiceOptions options_;
   DatasetCatalog datasets_;
 
-  /// Guards the session registry and query flights. Never held across SQL
-  /// execution, session construction, or a flight wait.
+  /// Guards the registry write side (owned_, republication), per-entry
+  /// deps, and the flight maps. Warm reads never touch it. Never held
+  /// across SQL execution, session construction, or a flight wait.
   mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<SessionEntry>> entries_;  // handle = index
-  std::map<std::string, QueryHandle> by_key_;  // query key → handle
+  /// Owns every SessionEntry ever created (append-only; entries live for
+  /// the service's lifetime, so registry raw pointers never dangle).
+  std::vector<std::unique_ptr<SessionEntry>> owned_;
+  /// The published registry snapshot; access only through CurrentRegistry
+  /// / PublishRegistry (C++17 shared_ptr atomic free functions).
+  std::shared_ptr<const Registry> registry_;
   // In-flight Query() executions concurrent identical calls wait on.
+  // Guarded by mu_.
   std::map<std::string, std::shared_ptr<FlightLatch>> query_flights_;
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable Sharded<StatShard> stat_shards_;
 };
 
 }  // namespace qagview::service

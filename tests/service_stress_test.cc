@@ -20,7 +20,7 @@
 namespace qagview::service {
 namespace {
 
-constexpr int kClients = 10;  // ≥ 8 per the CI acceptance bar
+constexpr int kClients = 16;  // ≥ 8 per the CI acceptance bar
 constexpr int kRounds = 3;
 constexpr uint64_t kSeed = 83;
 constexpr int kRows = 5000;
@@ -133,7 +133,11 @@ void WarmUp(QueryService& service) {
   }
 }
 
-TEST(ServiceStressTest, MixedWorkloadBitIdenticalToSerial) {
+/// The full bit-identity-vs-serial battery at a given client count. Run at
+/// 16 and 32 clients: well past the core count, so the lock-free warm path
+/// is exercised under heavy oversubscription and preemption inside the
+/// pin-serve window.
+void RunMixedWorkload(int clients) {
   // Serial ground truth: a fresh identical service, one thread.
   std::map<int, Footprint> expected;
   {
@@ -147,13 +151,13 @@ TEST(ServiceStressTest, MixedWorkloadBitIdenticalToSerial) {
     }
   }
 
-  // Concurrent run: kClients threads × kRounds × all ops, rotated so
+  // Concurrent run: `clients` threads × kRounds × all ops, rotated so
   // every op is in flight from multiple threads at once.
   auto service = MakeService();
   WarmUp(*service);
-  testutil::StartLatch latch(kClients);
+  testutil::StartLatch latch(clients);
   std::vector<std::thread> threads;
-  for (int t = 0; t < kClients; ++t) {
+  for (int t = 0; t < clients; ++t) {
     threads.emplace_back([&, t] {
       latch.ArriveAndWait();
       for (int round = 0; round < kRounds; ++round) {
@@ -177,7 +181,7 @@ TEST(ServiceStressTest, MixedWorkloadBitIdenticalToSerial) {
   QueryService::Stats stats = service->stats();
   EXPECT_EQ(stats.sessions, 2);
   EXPECT_EQ(stats.queries,
-            2 + static_cast<int64_t>(kClients) * kRounds * kNumOps);
+            2 + static_cast<int64_t>(clients) * kRounds * kNumOps);
   EXPECT_EQ(stats.query_cache_hits, stats.queries - 2 - stats.query_coalesced);
 
   for (const char* sql : {kSqlCoarse, kSqlFine}) {
@@ -194,16 +198,39 @@ TEST(ServiceStressTest, MixedWorkloadBitIdenticalToSerial) {
     EXPECT_EQ(cache.store_misses, 1) << sql;
   }
 
-  // Request accounting: every client call was recorded.
+  // Request accounting: every client call was recorded. The counters are
+  // sharded per thread (common/sharded_stats.h) and aggregated by
+  // stats(); after the join above the shard sums must equal — exactly —
+  // the totals a single global set of counters would have recorded. A
+  // lost or double-counted increment anywhere fails one of these.
   int64_t expected_non_query =
-      static_cast<int64_t>(kClients) * kRounds * kNumOps;
+      static_cast<int64_t>(clients) * kRounds * kNumOps;
   // ops 2, 3, 5 issue Guidance + Retrieve (2 recorded requests each);
   // ops 0, 1 issue Summarize; op 4 issues Explore.
   EXPECT_EQ(stats.summarize_requests, expected_non_query / kNumOps * 2);
   EXPECT_EQ(stats.explore_requests, expected_non_query / kNumOps);
   EXPECT_EQ(stats.guidance_requests, expected_non_query / kNumOps * 3);
   EXPECT_EQ(stats.retrieve_requests, expected_non_query / kNumOps * 3);
+  // Per 6-op cycle: 2 Summarize + 3 Guidance + 3 Retrieve + 1 Explore =
+  // 9 recorded non-query requests.
+  const int64_t recorded_non_query = expected_non_query / kNumOps * 9;
+  EXPECT_EQ(stats.requests(), stats.queries + recorded_non_query);
+  // Every non-query request resolved to exactly one of {hit, built,
+  // coalesced}; with two grid precomputes total, the partition is exact.
+  EXPECT_EQ(stats.builds, 2);
+  EXPECT_EQ(stats.cache_hits + stats.builds + stats.coalesced_waits,
+            recorded_non_query);
+  EXPECT_EQ(stats.refreshes, 0);  // no dataset moved during the run
   EXPECT_GT(stats.total_latency_ms, 0.0);
+  EXPECT_GT(stats.max_latency_ms, 0.0);
+}
+
+TEST(ServiceStressTest, MixedWorkloadBitIdenticalToSerial16Clients) {
+  RunMixedWorkload(16);
+}
+
+TEST(ServiceStressTest, MixedWorkloadBitIdenticalToSerial32Clients) {
+  RunMixedWorkload(32);
 }
 
 TEST(ServiceStressTest, ConcurrentIdenticalQueriesCoalesce) {
