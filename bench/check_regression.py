@@ -24,7 +24,11 @@ Design choices, tuned for a CI gate rather than a lab notebook:
     the threshold — this is how the multi-client scaling of the service
     stress bench is held, per machine class, without hardcoding a speedup
     a 1-core runner could never reproduce. Extras present on only one side
-    are informational (schema evolution must not fail the gate);
+    are informational (schema evolution must not fail the gate) — but a
+    *gateable* extra (`_ms` / `ops_per_sec`) missing from the baseline is
+    surfaced as a warning, once per figure and key, instead of being
+    silently skipped: an ungated measurement should be a visible state,
+    cleared by refreshing the baseline with --update;
   * --update rewrites the baseline files from the current JSONs — the
     documented refresh workflow after an intentional perf change.
 
@@ -69,17 +73,28 @@ def fmt_key(key):
     return f"{name}({inner})" if inner else name
 
 
-def compare_extras(label, entry, base, args):
+def compare_extras(label, figure, entry, base, args, seen_ungated):
     """Gates the measured extras shared by both runs.
 
     Returns (regressions, warnings) for one entry. Latency extras (keys
     ending in `_ms`) regress upward and respect the --min-ms noise floor;
     throughput extras (`ops_per_sec`) regress downward and have no floor
-    (an absolute rate is already an average over many ops).
+    (an absolute rate is already an average over many ops). A gateable
+    extra present in the current run but absent from the baseline warns
+    once per (figure, key) — recorded in `seen_ungated` — so a new
+    measurement is visibly informational rather than silently skipped.
     """
     regressions, warnings = [], []
     cur_extras = entry.get("extras", {}) or {}
     base_extras = base.get("extras", {}) or {}
+    for key in sorted(set(cur_extras) - set(base_extras)):
+        if not key.endswith("_ms") and key != "ops_per_sec":
+            continue
+        if (figure, key) not in seen_ungated:
+            seen_ungated.add((figure, key))
+            warnings.append(
+                f"{figure}.{key}: gateable extra not in baseline — "
+                f"informational until the baseline is refreshed (--update)")
     for key in sorted(set(cur_extras) & set(base_extras)):
         # Only measured performance extras are gated; counters and sizes
         # (graveyard_size, live_generations, ...) stay informational.
@@ -132,6 +147,7 @@ def compare_file(current_path, baseline_path, args):
                     f"smoke and full-size runs)"]
 
     base_entries = {entry_key(e): e for e in baseline.get("entries", [])}
+    seen_ungated = set()
     for entry in current.get("entries", []):
         key = entry_key(entry)
         base = base_entries.pop(key, None)
@@ -146,7 +162,8 @@ def compare_file(current_path, baseline_path, args):
             continue
         ratio = cur_ms / base_ms
         verdict = f"{base_ms:.3f} -> {cur_ms:.3f} ms ({ratio - 1.0:+.1%})"
-        extra_regs, extra_warns = compare_extras(label, entry, base, args)
+        extra_regs, extra_warns = compare_extras(label, figure, entry, base,
+                                                 args, seen_ungated)
         regressions.extend(extra_regs)
         warnings.extend(extra_warns)
         if base_ms < args.min_ms and cur_ms < args.min_ms:

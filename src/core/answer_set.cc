@@ -1,11 +1,14 @@
 #include "core/answer_set.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace qagview::core {
@@ -22,8 +25,61 @@ uint64_t DoubleBits(double v) {
 
 }  // namespace
 
+double TwoSidedNormalQuantile(double confidence) {
+  QAG_CHECK(confidence > 0.0 && confidence < 1.0)
+      << "confidence must be in (0, 1)";
+  // P(|Z| <= z) = erf(z / sqrt(2)) is monotone; bisect it. 200 halvings of
+  // [0, 40] are far below double epsilon, so this is exact to the ulp.
+  double lo = 0.0;
+  double hi = 40.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (std::erf(mid / std::sqrt(2.0)) < confidence) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
 Result<AnswerSet> AnswerSet::FromTable(const storage::Table& table,
                                        const std::string& value_column) {
+  return FromTableImpl(table, value_column, /*row_se=*/nullptr, /*z=*/0.0,
+                       Approximation{});
+}
+
+Result<AnswerSet> AnswerSet::FromTableApproximate(
+    const storage::Table& table, const std::string& value_column,
+    const std::vector<double>& row_se, double confidence, int64_t sample_rows,
+    int64_t population_rows) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  if (static_cast<int64_t>(row_se.size()) != table.num_rows()) {
+    return Status::InvalidArgument(
+        StrCat("row_se has ", row_se.size(), " entries for ", table.num_rows(),
+               " result rows"));
+  }
+  if (sample_rows <= 0 || sample_rows > population_rows) {
+    return Status::InvalidArgument(
+        "need 0 < sample_rows <= population_rows");
+  }
+  Approximation approx;
+  approx.is_exact = false;
+  approx.sample_fraction = static_cast<double>(sample_rows) /
+                           static_cast<double>(population_rows);
+  approx.confidence = confidence;
+  approx.sample_rows = sample_rows;
+  approx.population_rows = population_rows;
+  return FromTableImpl(table, value_column, &row_se,
+                       TwoSidedNormalQuantile(confidence), std::move(approx));
+}
+
+Result<AnswerSet> AnswerSet::FromTableImpl(const storage::Table& table,
+                                           const std::string& value_column,
+                                           const std::vector<double>* row_se,
+                                           double z, Approximation approx) {
   const storage::Schema& schema = table.schema();
   QAG_ASSIGN_OR_RETURN(int value_col, schema.GetFieldIndex(value_column));
   storage::ValueType vt = schema.field(value_col).type;
@@ -53,6 +109,13 @@ Result<AnswerSet> AnswerSet::FromTable(const storage::Table& table,
     if (table.column(value_col).IsNull(r)) continue;  // no score: skip
     Element e;
     e.value = table.column(value_col).GetDouble(r);
+    if (row_se != nullptr) {
+      // Every element of an approximate set must carry a usable bound;
+      // rows without one (non-finite SE) are dropped before their
+      // attribute values are interned.
+      e.bound = z * (*row_se)[static_cast<size_t>(r)];
+      if (!std::isfinite(e.bound)) continue;
+    }
     e.attrs.reserve(attr_cols.size());
     for (size_t a = 0; a < attr_cols.size(); ++a) {
       storage::Value v = table.Get(r, attr_cols[a]);
@@ -67,6 +130,8 @@ Result<AnswerSet> AnswerSet::FromTable(const storage::Table& table,
   if (out.elements_.empty()) {
     return Status::InvalidArgument("answer set is empty");
   }
+  out.approx_ = std::move(approx);  // before SortAndFinalize: is_exact is
+                                    // part of the content fingerprint
   out.SortAndFinalize();
   return out;
 }
@@ -112,7 +177,11 @@ void AnswerSet::SortAndFinalize() {
               return a.attrs < b.attrs;  // deterministic tie-break
             });
   double sum = 0.0;
-  for (const Element& e : elements_) sum += e.value;
+  approx_.max_bound = 0.0;
+  for (const Element& e : elements_) {
+    sum += e.value;
+    approx_.max_bound = std::max(approx_.max_bound, e.bound);
+  }
   trivial_average_ = sum / static_cast<double>(elements_.size());
 
   // Domain fingerprint: the attribute/value-name hierarchy (code space).
@@ -125,7 +194,11 @@ void AnswerSet::SortAndFinalize() {
   }
   domain_fingerprint_ = static_cast<uint64_t>(h);
 
-  // Content fingerprint: the domain plus every ranked element.
+  // Content fingerprint: the domain, the exactness bit, and every ranked
+  // element. Mixing is_exact in means an exact rebuild of an approximate
+  // set always reads as new content, which is what forces the refresh path
+  // to republish it (two-phase publication).
+  HashCombine(&h, approx_.is_exact ? size_t{1} : size_t{0});
   HashCombine(&h, elements_.size());
   for (const Element& e : elements_) {
     for (int32_t code : e.attrs) HashCombine(&h, code);
@@ -135,7 +208,8 @@ void AnswerSet::SortAndFinalize() {
 }
 
 bool AnswerSet::SameContent(const AnswerSet& other) const {
-  if (attr_names_ != other.attr_names_ ||
+  if (approx_.is_exact != other.approx_.is_exact ||
+      attr_names_ != other.attr_names_ ||
       value_names_ != other.value_names_ ||
       elements_.size() != other.elements_.size()) {
     return false;
@@ -167,14 +241,18 @@ std::string AnswerSet::ToString(int edge) const {
   std::ostringstream out;
   out << "rank";
   for (const std::string& name : attr_names_) out << "\t" << name;
-  out << "\tval\n";
+  out << "\tval";
+  if (!approx_.is_exact) out << "\t±";
+  out << "\n";
   auto print_row = [&](int i) {
     out << (i + 1);
     const Element& e = element(i);
     for (int a = 0; a < num_attrs(); ++a) {
       out << "\t" << ValueName(a, e.attrs[static_cast<size_t>(a)]);
     }
-    out << "\t" << FormatDouble(e.value, 2) << "\n";
+    out << "\t" << FormatDouble(e.value, 2);
+    if (!approx_.is_exact) out << "\t" << FormatDouble(e.bound, 2);
+    out << "\n";
   };
   if (size() <= 2 * edge) {
     for (int i = 0; i < size(); ++i) print_row(i);

@@ -11,11 +11,38 @@
 namespace qagview::core {
 
 /// One tuple of the aggregate query answer S: the grouping-attribute values
-/// (as dense int32 codes, see AnswerSet) plus the aggregate value.
+/// (as dense int32 codes, see AnswerSet) plus the aggregate value. In an
+/// approximate answer set, `bound` is the half-width of the two-sided
+/// confidence interval around `value` (0.0 in exact sets).
 struct Element {
   std::vector<int32_t> attrs;
   double value = 0.0;
+  double bound = 0.0;
 };
+
+/// \brief Provenance of an answer set: exact, or estimated from a uniform
+/// sample with per-element confidence intervals.
+///
+/// Rides along through summarize/guidance unchanged — the algorithms
+/// operate on `value` regardless — and is consulted by the service layer,
+/// which stamps responses and decides whether background refinement is
+/// still owed. `is_exact` participates in content_fingerprint() and
+/// SameContent(), so an exact rebuild of an approximate set never
+/// fingerprints as "unchanged" even when every estimate happened to land on
+/// the true value: the refresh path always republishes the exact
+/// generation.
+struct Approximation {
+  bool is_exact = true;
+  double sample_fraction = 1.0;  // n / N of the sample the set was built from
+  double confidence = 0.0;       // two-sided CI level, e.g. 0.95 (0 if exact)
+  int64_t sample_rows = 0;       // n (0 if exact)
+  int64_t population_rows = 0;   // N (0 if exact)
+  double max_bound = 0.0;        // largest element bound (0 if exact)
+};
+
+/// z such that a two-sided standard-normal interval [-z, z] has mass
+/// `confidence` (e.g. 0.95 -> 1.95996...). Requires confidence in (0, 1).
+double TwoSidedNormalQuantile(double confidence);
 
 /// \brief The materialized answer set S of an aggregate query, the input to
 /// every summarization algorithm.
@@ -33,6 +60,18 @@ class AnswerSet {
   /// STRING attribute columns both work.
   static Result<AnswerSet> FromTable(const storage::Table& table,
                                      const std::string& value_column);
+
+  /// Like FromTable, but marks the set approximate: `row_se[r]` is the CLT
+  /// standard error of row r's value (aligned with `table`'s rows), turned
+  /// into per-element bounds at the given two-sided `confidence` level.
+  /// Rows whose bound is not finite (no CLT error exists for them) are
+  /// dropped — every element of an approximate set carries a usable bound,
+  /// by construction. `confidence` must be in (0, 1) and
+  /// 0 < sample_rows <= population_rows.
+  static Result<AnswerSet> FromTableApproximate(
+      const storage::Table& table, const std::string& value_column,
+      const std::vector<double>& row_se, double confidence,
+      int64_t sample_rows, int64_t population_rows);
 
   /// Builds directly from attribute-name / value-name tables and elements
   /// (used by tests, generators, and the hardness constructions).
@@ -54,6 +93,12 @@ class AnswerSet {
     return elements_[static_cast<size_t>(i)];
   }
   double value(int i) const { return elements_[static_cast<size_t>(i)].value; }
+
+  /// Confidence-interval half-width of the i-th answer (0.0 in exact sets).
+  double bound(int i) const { return elements_[static_cast<size_t>(i)].bound; }
+
+  /// Exact/approximate provenance of this set.
+  const Approximation& approximation() const { return approx_; }
 
   const std::vector<Element>& elements() const { return elements_; }
   const std::vector<std::string>& attr_names() const { return attr_names_; }
@@ -96,9 +141,15 @@ class AnswerSet {
   std::string ToString(int edge = 8) const;
 
  private:
+  static Result<AnswerSet> FromTableImpl(const storage::Table& table,
+                                         const std::string& value_column,
+                                         const std::vector<double>* row_se,
+                                         double z, Approximation approx);
+
   std::vector<std::string> attr_names_;
   std::vector<std::vector<std::string>> value_names_;  // per attr: code->name
   std::vector<Element> elements_;                      // sorted desc by value
+  Approximation approx_;
   double trivial_average_ = 0.0;
   uint64_t content_fingerprint_ = 0;
   uint64_t domain_fingerprint_ = 0;

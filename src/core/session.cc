@@ -35,6 +35,10 @@ std::shared_ptr<const AnswerSet> Session::answers() const {
                                           view->generation->answers.get());
 }
 
+Approximation Session::approximation() const {
+  return CurrentView()->generation->answers->approximation();
+}
+
 Status Session::Refresh(AnswerSet answers, RefreshStats* stats) {
   RefreshStats local;
   Counters().refreshes.fetch_add(1, std::memory_order_relaxed);

@@ -99,6 +99,17 @@ class Session {
   /// one atomic view load, no locks.
   std::shared_ptr<const AnswerSet> answers() const;
 
+  /// Exact/approximate provenance of the currently published answer set.
+  /// Wait-free (one atomic view load). **Two-phase publication** rides on
+  /// the ordinary Refresh machinery: a session created from an approximate
+  /// answer set serves it immediately, and when the background exact build
+  /// lands, Refresh installs it as a content change — `is_exact`
+  /// participates in the content fingerprint and SameContent, so the exact
+  /// set is never "full-reused" against its approximate predecessor, even
+  /// if every estimate matched. The approximate generation then drains
+  /// through the normal graveyard ledger.
+  Approximation approximation() const;
+
   /// What one Refresh() reused versus rebuilt, for service statistics and
   /// the differential harness.
   struct RefreshStats {

@@ -86,6 +86,7 @@
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "storage/csv.h"
+#include "storage/sample.h"
 #include "storage/table.h"
 #include "study/study.h"
 #include "viz/assignment.h"

@@ -7,21 +7,45 @@
 
 namespace qagview::service {
 
+uint64_t DatasetCatalog::SampleSeed(const std::string& key) {
+  // FNV-1a over the lower-cased dataset name.
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::shared_ptr<storage::ReservoirSampler> DatasetCatalog::MakeSampler(
+    const std::string& key, const storage::Table& table) const {
+  if (options_.sample_capacity <= 0) return nullptr;
+  auto sampler = std::make_shared<storage::ReservoirSampler>(
+      table.schema(), options_.sample_capacity, SampleSeed(key));
+  sampler->AddTable(table);
+  return sampler;
+}
+
 Status DatasetCatalog::Register(const std::string& name,
                                 storage::Table table) {
   std::string key = ToLower(name);
   if (key.empty()) {
     return Status::InvalidArgument("dataset name must be non-empty");
   }
+  Entry entry;
+  entry.snapshot.table = std::make_shared<storage::Table>(std::move(table));
+  // Sample construction runs before the exclusive lock: a bulk load only
+  // touches O(capacity * log(n/capacity)) rows, but there is no reason to
+  // hold every reader out while it scans.
+  entry.sampler = MakeSampler(key, *entry.snapshot.table);
+  if (entry.sampler != nullptr) entry.snapshot.sample = entry.sampler->Snapshot();
+  entry.writer = std::make_shared<std::mutex>();
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.count(key) != 0) {
     return Status::AlreadyExists(
         StrCat("dataset '", name, "' is already registered"));
   }
-  Entry entry;
-  entry.snapshot.table = std::make_shared<storage::Table>(std::move(table));
   entry.snapshot.version = ++version_;
-  entry.writer = std::make_shared<std::mutex>();
   tables_.emplace(std::move(key), std::move(entry));
   return Status::OK();
 }
@@ -51,17 +75,30 @@ Result<uint64_t> DatasetCatalog::AppendRows(
   }
   std::lock_guard<std::mutex> write_lock(*writer);
   TableSnapshot current;
+  std::shared_ptr<storage::ReservoirSampler> sampler;
   {
     // Re-read under the writer lock: another writer may have published a
-    // newer snapshot between the lookup and the lock acquisition.
+    // newer snapshot between the lookup and the lock acquisition. The
+    // sampler is fetched here too — it is only ever swapped under this
+    // writer mutex (ReplaceTable), which we now hold.
     std::shared_lock<std::shared_mutex> lock(mu_);
-    current = tables_.at(key).snapshot;
+    const Entry& e = tables_.at(key);
+    current = e.snapshot;
+    sampler = e.sampler;
   }
   storage::Table next = current.table->Clone();
   QAG_RETURN_IF_ERROR(next.AppendRows(rows));
+  // Feed the sampler only after AppendRows validated the whole batch, so a
+  // rejected append leaves the sample (like the table) untouched.
+  std::shared_ptr<const storage::TableSample> sample;
+  if (sampler != nullptr) {
+    for (const auto& row : rows) sampler->Add(row);
+    sample = sampler->Snapshot();
+  }
   std::unique_lock<std::shared_mutex> lock(mu_);
   Entry& entry = tables_.at(key);
   entry.snapshot.table = std::make_shared<storage::Table>(std::move(next));
+  entry.snapshot.sample = std::move(sample);
   entry.snapshot.version = ++version_;  // old snapshot lives on via pins
   return entry.snapshot.version;
 }
@@ -73,6 +110,12 @@ Result<uint64_t> DatasetCatalog::ReplaceTable(const std::string& name,
     return Status::InvalidArgument("dataset name must be non-empty");
   }
   auto snapshot = std::make_shared<storage::Table>(std::move(table));
+  // The replacement's sample starts from scratch (the schema may change),
+  // built before any lock for the same reason as in Register.
+  std::shared_ptr<storage::ReservoirSampler> sampler =
+      MakeSampler(key, *snapshot);
+  std::shared_ptr<const storage::TableSample> sample;
+  if (sampler != nullptr) sample = sampler->Snapshot();
   while (true) {
     std::shared_ptr<std::mutex> writer;
     {
@@ -87,8 +130,10 @@ Result<uint64_t> DatasetCatalog::ReplaceTable(const std::string& name,
       if (tables_.count(key) != 0) continue;
       Entry entry;
       entry.snapshot.table = snapshot;
+      entry.snapshot.sample = sample;
       entry.snapshot.version = ++version_;
       entry.writer = std::make_shared<std::mutex>();
+      entry.sampler = sampler;
       uint64_t version = entry.snapshot.version;
       tables_.emplace(std::move(key), std::move(entry));
       return version;
@@ -99,7 +144,9 @@ Result<uint64_t> DatasetCatalog::ReplaceTable(const std::string& name,
     std::unique_lock<std::shared_mutex> lock(mu_);
     Entry& entry = tables_.at(key);
     entry.snapshot.table = snapshot;
+    entry.snapshot.sample = sample;
     entry.snapshot.version = ++version_;
+    entry.sampler = sampler;
     return entry.snapshot.version;
   }
 }
@@ -146,6 +193,11 @@ CatalogSnapshot DatasetCatalog::Snapshot() const {
     out.sql.Register(name, entry.snapshot.table.get());
     out.versions.emplace(name, entry.snapshot.version);
     out.pins.push_back(entry.snapshot.table);
+    if (entry.snapshot.sample != nullptr) {
+      out.sql.RegisterSample(name, &entry.snapshot.sample->rows,
+                             entry.snapshot.sample->population_rows);
+      out.sample_pins.push_back(entry.snapshot.sample);
+    }
   }
   return out;
 }

@@ -12,14 +12,18 @@
 
 #include "common/result.h"
 #include "sql/executor.h"
+#include "storage/sample.h"
 #include "storage/table.h"
 
 namespace qagview::service {
 
 /// One immutable table snapshot plus the catalog version it was published
-/// at. `table == nullptr` means the dataset is absent.
+/// at. `table == nullptr` means the dataset is absent. `sample` is the
+/// table's uniform reservoir sample, published in the same snapshot as the
+/// table version it was drawn from (nullptr when sampling is disabled).
 struct TableSnapshot {
   std::shared_ptr<const storage::Table> table;
+  std::shared_ptr<const storage::TableSample> sample;
   uint64_t version = 0;
 };
 
@@ -34,6 +38,15 @@ struct CatalogSnapshot {
   std::map<std::string, uint64_t> versions;
   /// Keeps every table in `sql` alive for the snapshot's lifetime.
   std::vector<std::shared_ptr<const storage::Table>> pins;
+  /// Keeps every sample registered in `sql` alive alongside its table.
+  std::vector<std::shared_ptr<const storage::TableSample>> sample_pins;
+};
+
+struct DatasetCatalogOptions {
+  /// Reservoir capacity (rows) of the per-dataset uniform sample each
+  /// snapshot carries. <= 0 disables sampling: snapshots publish no
+  /// samples and approximate execution falls back to exact.
+  int sample_capacity = 4096;
 };
 
 /// \brief Thread-safe, versioned catalog of the named datasets a
@@ -48,6 +61,9 @@ struct CatalogSnapshot {
 /// `sql::Catalog`.
 class DatasetCatalog {
  public:
+  explicit DatasetCatalog(DatasetCatalogOptions options = {})
+      : options_(options) {}
+
   /// Takes ownership of `table` under `name` as version snapshot 1 of the
   /// dataset. AlreadyExists if the name is taken (use ReplaceTable to
   /// swap a dataset wholesale).
@@ -102,8 +118,23 @@ class DatasetCatalog {
     /// blocking writers to other datasets; readers only ever take mu_.
     /// Shared so a writer can hold it while mu_ is released.
     std::shared_ptr<std::mutex> writer;
+    /// The dataset's incremental reservoir sampler. Mutated only while the
+    /// dataset's writer mutex is held (AppendRows feeds batches in;
+    /// ReplaceTable installs a fresh one); readers see only the immutable
+    /// TableSample snapshots it emits. Nullptr when sampling is disabled.
+    std::shared_ptr<storage::ReservoirSampler> sampler;
   };
 
+  /// Deterministic per-dataset sampler seed (FNV-1a of the lower-cased
+  /// name): the sample stream depends only on (name, row stream), so
+  /// rebuilding a catalog from the same inputs reproduces every sample.
+  static uint64_t SampleSeed(const std::string& key);
+
+  /// A fresh sampler over `table` (nullptr when sampling is disabled).
+  std::shared_ptr<storage::ReservoirSampler> MakeSampler(
+      const std::string& key, const storage::Table& table) const;
+
+  const DatasetCatalogOptions options_;
   mutable std::shared_mutex mu_;
   /// Written only under mu_ exclusive (writers are serialized); atomic so
   /// version() reads it without the lock. A bump is published (release)

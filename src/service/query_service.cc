@@ -20,10 +20,28 @@ void MergeTrace(const core::Session::RequestTrace& trace, RequestStats* rs) {
   rs->built = trace.built;
 }
 
+DatasetCatalogOptions CatalogOptionsFor(const ServiceOptions& options) {
+  DatasetCatalogOptions out;
+  out.sample_capacity = options.sample_capacity;
+  return out;
+}
+
+/// Session-identity tag of an approximate mode (exact mode is untagged so
+/// exact keys — and their cached sessions — are unchanged).
+const char* ModeTag(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kExactOnly: return "";
+    case QueryMode::kApproxFirst: return "approx_first";
+    case QueryMode::kApproxOnly: return "approx_only";
+  }
+  return "";
+}
+
 }  // namespace
 
 QueryService::QueryService(ServiceOptions options)
     : options_(std::move(options)),
+      datasets_(CatalogOptionsFor(options_)),
       registry_(std::make_shared<const Registry>()) {}
 
 Status QueryService::RegisterTable(const std::string& name,
@@ -57,6 +75,12 @@ uint64_t QueryService::catalog_version() const {
 
 Result<QueryInfo> QueryService::Query(const std::string& sql,
                                       const std::string& value_column) {
+  return Query(sql, value_column, QueryOptions());
+}
+
+Result<QueryInfo> QueryService::Query(const std::string& sql,
+                                      const std::string& value_column,
+                                      const QueryOptions& options) {
   WallTimer timer;
   const std::string trimmed(StripWhitespace(sql));
   RequestStats rs;
@@ -65,9 +89,39 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
     Record(RequestKind::kQuery, rs);
     return Status::InvalidArgument("empty SQL text");
   }
+  if (options.mode != QueryMode::kExactOnly &&
+      !(options.confidence > 0.0 && options.confidence < 1.0)) {
+    rs.latency_ms = timer.ElapsedMillis();
+    Record(RequestKind::kQuery, rs);
+    return Status::InvalidArgument(
+        "QueryOptions::confidence must be in (0, 1)");
+  }
   // Session identity: byte-identical SQL (modulo surrounding whitespace)
-  // over the same value column. '\x1f' cannot occur in either part.
-  const std::string key = trimmed + '\x1f' + ToLower(value_column);
+  // over the same value column; approximate modes additionally key on the
+  // mode tag and confidence, so an exact-mode key (and its cached session)
+  // is exactly what it was before modes existed. '\x1f' cannot occur in
+  // any part.
+  std::string key = trimmed + '\x1f' + ToLower(value_column);
+  if (options.mode != QueryMode::kExactOnly) {
+    key += '\x1f';
+    key += ModeTag(options.mode);
+    key += '\x1f';
+    key += FormatDouble(options.confidence, 6);
+  }
+  // Reports the published answer set's shape and provenance (one wait-free
+  // answers() load covers both).
+  auto fill_info = [](const SessionEntry& entry, QueryHandle handle,
+                      QueryInfo* info) {
+    info->handle = handle;
+    std::shared_ptr<const core::AnswerSet> answers = entry.session->answers();
+    info->num_answers = answers->size();
+    info->num_attrs = answers->num_attrs();
+    const core::Approximation& approx = answers->approximation();
+    info->is_exact = approx.is_exact;
+    info->sample_fraction = approx.sample_fraction;
+    info->max_bound = approx.max_bound;
+    info->confidence = approx.confidence;
+  };
   while (true) {
     {
       // Warm path: one atomic registry load, no locks.
@@ -88,12 +142,15 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
           return fresh;
         }
         QueryInfo info;
-        info.handle = handle;
-        std::shared_ptr<const core::AnswerSet> answers =
-            entry->session->answers();
-        info.num_answers = answers->size();
-        info.num_attrs = answers->num_attrs();
+        fill_info(*entry, handle, &info);
+        if (entry->mode == QueryMode::kApproxFirst && !info.is_exact) {
+          // Safety net: re-arm refinement if the set is still approximate
+          // (e.g. a refresh republished an approximate generation, or an
+          // earlier refinement errored). Deduplicated, never blocking.
+          ScheduleRefinement(entry);
+        }
         if (!rs.coalesced && !rs.refreshed) rs.cache_hit = true;
+        StampApproximation(entry, &rs);
         rs.latency_ms = timer.ElapsedMillis();
         info.stats = rs;
         Record(RequestKind::kQuery, rs);
@@ -131,17 +188,23 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
     // Execute outside the lock: SQL + answer-set materialization are the
     // expensive part, and the pinned catalog snapshot stays valid
     // regardless of concurrent dataset updates (snapshots are immutable).
+    SessionEntry* published = nullptr;
     auto build = [&]() -> Result<QueryHandle> {
       CatalogSnapshot snapshot = datasets_.Snapshot();
-      QAG_ASSIGN_OR_RETURN(storage::Table result,
-                           sql::ExecuteSql(trimmed, snapshot.sql));
+      QAG_ASSIGN_OR_RETURN(
+          BuiltAnswers built,
+          BuildAnswers(trimmed, value_column, options.mode,
+                       options.confidence, /*require_exact=*/false,
+                       snapshot));
       QAG_ASSIGN_OR_RETURN(std::unique_ptr<core::Session> session,
-                           core::Session::FromTable(result, value_column));
+                           core::Session::Create(std::move(built.answers)));
       session->set_num_threads(options_.num_threads);
       auto entry = std::make_unique<SessionEntry>();
       entry->session = std::move(session);
       entry->sql = trimmed;
       entry->value_column = value_column;
+      entry->mode = options.mode;
+      entry->confidence = options.confidence;
       // The tables the execution actually resolved, at the versions the
       // snapshot pinned: the handle's staleness condition.
       for (const std::string& name : snapshot.sql.accessed()) {
@@ -154,6 +217,7 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
       std::shared_ptr<const Registry> cur = CurrentRegistry();
       auto next = std::make_shared<Registry>(*cur);
       QueryHandle handle = static_cast<QueryHandle>(next->entries.size());
+      published = entry.get();
       next->entries.push_back(entry.get());
       next->by_key.emplace(key, handle);
       owned_.push_back(std::move(entry));
@@ -166,20 +230,22 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
       query_flights_.erase(key);
     }
     flight->Finish(outcome.ok() ? Status::OK() : outcome.status());
+    if (!outcome.ok()) {
+      rs.latency_ms = timer.ElapsedMillis();
+      Record(RequestKind::kQuery, rs);
+      return outcome.status();
+    }
+    QueryInfo info;
+    fill_info(*published, *outcome, &info);
+    StampApproximation(published, &rs);
+    if (published->mode == QueryMode::kApproxFirst && !info.is_exact) {
+      // Two-phase publication, phase two: the exact build runs in the
+      // background and republishes through the refresh machinery; this
+      // (foreground) response returns the approximate set now.
+      ScheduleRefinement(published);
+    }
     rs.latency_ms = timer.ElapsedMillis();
     Record(RequestKind::kQuery, rs);
-    if (!outcome.ok()) return outcome.status();
-    QueryInfo info;
-    info.handle = *outcome;
-    {
-      std::shared_ptr<const Registry> registry = CurrentRegistry();
-      const SessionEntry& entry =
-          *registry->entries[static_cast<size_t>(*outcome)];
-      std::shared_ptr<const core::AnswerSet> answers =
-          entry.session->answers();
-      info.num_answers = answers->size();
-      info.num_attrs = answers->num_attrs();
-    }
     info.stats = rs;
     return info;
   }
@@ -198,20 +264,70 @@ Result<QueryService::SessionEntry*> QueryService::Lookup(
   return registry->entries[static_cast<size_t>(handle)];
 }
 
-Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
+Result<QueryService::BuiltAnswers> QueryService::BuildAnswers(
+    const std::string& sql, const std::string& value_column, QueryMode mode,
+    double confidence, bool require_exact, const CatalogSnapshot& snapshot) {
+  const bool want_approx = !require_exact && mode != QueryMode::kExactOnly;
+  if (want_approx) {
+    QAG_ASSIGN_OR_RETURN(sql::ApproxExecution exec,
+                         sql::ExecuteSqlApproximate(sql, snapshot.sql));
+    if (!exec.approximate) {
+      // No useful sample (or no aggregate path): the execution was exact.
+      QAG_ASSIGN_OR_RETURN(core::AnswerSet answers,
+                           core::AnswerSet::FromTable(exec.table,
+                                                      value_column));
+      return BuiltAnswers{std::move(answers), false};
+    }
+    // The bounds contract: an approximate answer set is only published
+    // when the ranking column has CLT standard errors (min/max and
+    // expressions over aggregates do not) and at least one answer carries
+    // a finite bound. Anything else falls through to an exact build.
+    const std::vector<double>* se = nullptr;
+    for (const auto& [name, vec] : exec.column_se) {
+      if (EqualsIgnoreCase(name, value_column)) {
+        se = &vec;
+        break;
+      }
+    }
+    if (se != nullptr) {
+      Result<core::AnswerSet> answers = core::AnswerSet::FromTableApproximate(
+          exec.table, value_column, *se, confidence, exec.sample_rows,
+          exec.population_rows);
+      if (answers.ok()) {
+        return BuiltAnswers{std::move(answers).value(), true};
+      }
+    }
+  }
+  QAG_ASSIGN_OR_RETURN(storage::Table result,
+                       sql::ExecuteSql(sql, snapshot.sql));
+  QAG_ASSIGN_OR_RETURN(core::AnswerSet answers,
+                       core::AnswerSet::FromTable(result, value_column));
+  return BuiltAnswers{std::move(answers), false};
+}
+
+Status QueryService::Reconcile(SessionEntry* entry, bool require_exact,
+                               RequestStats* rs, bool* led_rebuild) {
+  // An exactness upgrade is owed when the caller demands exact and the
+  // published set is not (wait-free check: one atomic view load).
+  auto needs_upgrade = [&] {
+    return require_exact && !entry->session->approximation().is_exact;
+  };
   // Warm fast path: the catalog version still equals the version this
   // entry was last verified fresh at, so no dataset — of any name — has
-  // changed since. Two relaxed-cost atomic loads per request, no locks;
+  // changed since, and no upgrade is owed. Two relaxed-cost atomic loads
+  // plus (for refinement callers only) one atomic view load, no locks;
   // this is the entire per-request price of versioning on the warm path.
   if (entry->fresh_at.load(std::memory_order_acquire) ==
-      datasets_.version()) {
+          datasets_.version() &&
+      !needs_upgrade()) {
     return Status::OK();
   }
   while (true) {
-    // The catalog moved past the last verification. Walk the per-table
-    // dependency versions to see whether one of *this* query's inputs
-    // actually changed (an update to an unrelated dataset lands here once,
-    // re-stamps fresh_at, and the fast path resumes).
+    // The catalog moved past the last verification (or an upgrade is
+    // owed). Walk the per-table dependency versions to see whether one of
+    // *this* query's inputs actually changed (an update to an unrelated
+    // dataset lands here once, re-stamps fresh_at, and the fast path
+    // resumes).
     const uint64_t observed_version = datasets_.version();
     bool stale = false;
     {
@@ -223,20 +339,26 @@ Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
         }
       }
     }
-    if (!stale) {
+    if (!stale && !needs_upgrade()) {
       // Verified fresh as of `observed_version`, which was read *before*
       // the walk: a mutation racing the walk at most leaves an older stamp
       // and the next request re-verifies.
       entry->fresh_at.store(observed_version, std::memory_order_release);
       return Status::OK();
     }
-    // Stale: lead the refresh, or coalesce onto the one in flight.
+    // Stale or owing an upgrade: lead the rebuild, or coalesce onto the
+    // flight already in progress. Refreshes and refinements share one
+    // flight per entry, which is what serializes them: a refinement
+    // joining a refresh waits it out and re-checks (restart); a refresh
+    // joining a refinement the same (its freshness may already be covered
+    // by the refinement's newer snapshot).
     std::shared_ptr<FlightLatch> flight;
     bool leader = false;
+    bool upgrade = false;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
-      // Recheck under the exclusive lock: a refresh that completed since
-      // the fast check already updated the deps.
+      // Recheck under the exclusive lock: a rebuild that completed since
+      // the fast check already updated the deps / published exact.
       const uint64_t recheck_version = datasets_.version();
       stale = false;
       for (const auto& [name, version] : entry->deps) {
@@ -245,7 +367,8 @@ Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
           break;
         }
       }
-      if (!stale) {
+      upgrade = needs_upgrade();
+      if (!stale && !upgrade) {
         entry->fresh_at.store(recheck_version, std::memory_order_release);
         return Status::OK();
       }
@@ -263,20 +386,26 @@ Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
       if (!status.ok()) return status;
       continue;  // re-check: the catalog may have moved again meanwhile
     }
-    if (rs != nullptr) rs->refreshed = true;
-    // Re-execute the SQL against a fresh pinned snapshot and hand the new
-    // answer set to the session, which reuses every cache whose input
-    // fingerprint is provably unchanged. All outside the lock.
+    if (rs != nullptr && stale) rs->refreshed = true;
+    // Rebuild against a fresh pinned snapshot — always the *newest* one,
+    // so a refinement overtaken by dataset updates publishes the new data,
+    // not a stale exact set — and hand the result to Session::Refresh,
+    // which reuses every cache whose input fingerprint is provably
+    // unchanged. Exactness of the build: a refinement (require_exact) and
+    // an exact-only entry always build exact; an approximate-mode entry
+    // refreshing in the foreground builds approximate again and re-arms
+    // background refinement below, so foreground latency stays flat.
+    const bool exact_build =
+        require_exact || entry->mode == QueryMode::kExactOnly;
     core::Session::RefreshStats refresh_stats;
-    auto refresh = [&]() -> Status {
+    auto rebuild = [&]() -> Status {
       CatalogSnapshot snapshot = datasets_.Snapshot();
-      QAG_ASSIGN_OR_RETURN(storage::Table result,
-                           sql::ExecuteSql(entry->sql, snapshot.sql));
       QAG_ASSIGN_OR_RETURN(
-          core::AnswerSet answers,
-          core::AnswerSet::FromTable(result, entry->value_column));
+          BuiltAnswers built,
+          BuildAnswers(entry->sql, entry->value_column, entry->mode,
+                       entry->confidence, exact_build, snapshot));
       QAG_RETURN_IF_ERROR(
-          entry->session->Refresh(std::move(answers), &refresh_stats));
+          entry->session->Refresh(std::move(built.answers), &refresh_stats));
       std::unique_lock<std::shared_mutex> lock(mu_);
       entry->deps.clear();
       for (const std::string& name : snapshot.sql.accessed()) {
@@ -286,20 +415,82 @@ Status QueryService::EnsureFresh(SessionEntry* entry, RequestStats* rs) {
                             std::memory_order_release);
       return Status::OK();
     };
-    Status outcome = refresh();
+    Status outcome = rebuild();
+    if (outcome.ok()) {
+      // Count the rebuild *before* releasing the flight: a waiter
+      // unblocked by Finish may read stats() immediately, and must see
+      // the refresh/refinement it waited on already accounted.
+      if (led_rebuild != nullptr) *led_rebuild = true;
+      StatShard& shard = stat_shards_.Local();
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (stale) {
+        ++shard.stats.refreshes;
+        if (!refresh_stats.refreshed) ++shard.stats.refresh_full_reuses;
+      }
+      if (upgrade && exact_build) ++shard.stats.refinements;
+    }
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
       entry->refresh_flight.reset();
     }
     flight->Finish(outcome);
-    if (outcome.ok()) {
-      StatShard& shard = stat_shards_.Local();
-      std::lock_guard<std::mutex> lock(shard.mu);
-      ++shard.stats.refreshes;
-      if (!refresh_stats.refreshed) ++shard.stats.refresh_full_reuses;
+    if (outcome.ok() && !exact_build &&
+        entry->mode == QueryMode::kApproxFirst &&
+        !entry->session->approximation().is_exact) {
+      // The foreground refresh republished an approximate set: schedule
+      // the exact phase (outside every lock; deduplicated per entry).
+      ScheduleRefinement(entry);
     }
     return outcome;
   }
+}
+
+void QueryService::ScheduleRefinement(SessionEntry* entry) {
+  // One queued task per entry at a time: the exchange is the dedup, and
+  // the task clears the flag *before* reconciling so a refresh landing
+  // during its exact build can queue a follow-up instead of being lost.
+  if (entry->refine_queued.exchange(true, std::memory_order_acq_rel)) return;
+  refine_pool_.Submit([this, entry] {
+    WallTimer timer;
+    entry->refine_queued.store(false, std::memory_order_release);
+    RequestStats rs;
+    bool led = false;
+    Status status = Reconcile(entry, /*require_exact=*/true, &rs, &led);
+    // A failed refinement is not fatal: the approximate set keeps serving
+    // (with its bounds) and the next request re-arms refinement.
+    if (status.ok() && !led) {
+      StatShard& shard = stat_shards_.Local();
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.stats.refinements_superseded;
+    }
+    StampApproximation(entry, &rs);
+    rs.latency_ms = timer.ElapsedMillis();
+    Record(RequestKind::kRefine, rs);
+  });
+}
+
+void QueryService::StampApproximation(SessionEntry* entry, RequestStats* rs) {
+  if (rs == nullptr) return;
+  const core::Approximation approx = entry->session->approximation();
+  rs->approximate = !approx.is_exact;
+  rs->sample_fraction = approx.sample_fraction;
+  rs->max_bound = approx.max_bound;
+}
+
+Status QueryService::Refine(QueryHandle handle, RequestStats* stats) {
+  WallTimer timer;
+  RequestStats rs;
+  auto run = [&]() -> Status {
+    QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
+    QAG_RETURN_IF_ERROR(Reconcile(entry, /*require_exact=*/true, &rs));
+    StampApproximation(entry, &rs);
+    return Status::OK();
+  };
+  Status status = run();
+  rs.latency_ms = timer.ElapsedMillis();
+  Record(RequestKind::kRefine, rs);
+  if (stats != nullptr) *stats = rs;
+  return status;
 }
 
 Result<core::Solution> QueryService::Summarize(QueryHandle handle,
@@ -314,6 +505,7 @@ Result<core::Solution> QueryService::Summarize(QueryHandle handle,
     Result<core::Solution> solution =
         entry->session->Summarize(params, core::HybridOptions(), &trace);
     MergeTrace(trace, &rs);
+    StampApproximation(entry, &rs);
     return solution;
   };
   Result<core::Solution> solution = run();
@@ -335,6 +527,7 @@ Result<std::shared_ptr<const core::SolutionStore>> QueryService::Guidance(
     Result<std::shared_ptr<const core::SolutionStore>> store =
         entry->session->Guidance(top_l, options, &trace);
     MergeTrace(trace, &rs);
+    StampApproximation(entry, &rs);
     return store;
   };
   Result<std::shared_ptr<const core::SolutionStore>> store = run();
@@ -356,6 +549,7 @@ Result<core::Solution> QueryService::Retrieve(QueryHandle handle, int top_l,
     Result<core::Solution> solution =
         entry->session->Retrieve(top_l, d, k, &trace);
     MergeTrace(trace, &rs);
+    StampApproximation(entry, &rs);
     return solution;
   };
   Result<core::Solution> solution = run();
@@ -390,6 +584,7 @@ Result<ExploreResult> QueryService::Explore(QueryHandle handle,
     result.expanded =
         core::RenderExpanded(*universe, result.solution, max_members);
     MergeTrace(trace, &rs);
+    StampApproximation(entry, &rs);
     return result;
   };
   Result<ExploreResult> result = run();
@@ -417,6 +612,10 @@ void QueryService::Record(RequestKind kind, const RequestStats& stats) {
       ++s.queries;
       if (stats.cache_hit) ++s.query_cache_hits;
       if (stats.coalesced) ++s.query_coalesced;
+      if (stats.approximate) ++s.approx_queries;
+      break;
+    case RequestKind::kRefine:
+      ++s.refine_requests;
       break;
     case RequestKind::kSummarize:
       ++s.summarize_requests;
@@ -431,10 +630,11 @@ void QueryService::Record(RequestKind kind, const RequestStats& stats) {
       ++s.explore_requests;
       break;
   }
-  if (kind != RequestKind::kQuery) {
+  if (kind != RequestKind::kQuery && kind != RequestKind::kRefine) {
     if (stats.cache_hit) ++s.cache_hits;
     if (stats.coalesced) ++s.coalesced_waits;
     if (stats.built) ++s.builds;
+    if (stats.approximate) ++s.approx_served;
   }
   s.total_latency_ms += stats.latency_ms;
   s.max_latency_ms = std::max(s.max_latency_ms, stats.latency_ms);
@@ -459,6 +659,11 @@ QueryService::Stats QueryService::stats() const {
     out.builds += s.builds;
     out.refreshes += s.refreshes;
     out.refresh_full_reuses += s.refresh_full_reuses;
+    out.approx_queries += s.approx_queries;
+    out.approx_served += s.approx_served;
+    out.refine_requests += s.refine_requests;
+    out.refinements += s.refinements;
+    out.refinements_superseded += s.refinements_superseded;
     out.total_latency_ms += s.total_latency_ms;
     out.max_latency_ms = std::max(out.max_latency_ms, s.max_latency_ms);
   });

@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "common/sharded_stats.h"
 #include "common/single_flight.h"
+#include "common/thread_pool.h"
 #include "core/explore.h"
 #include "core/session.h"
 #include "service/catalog.h"
@@ -25,6 +26,33 @@ struct ServiceOptions {
   /// hardware concurrency). Per-call PrecomputeOptions::num_threads still
   /// wins for that call.
   int num_threads = 0;
+  /// Reservoir capacity of the per-dataset uniform samples backing
+  /// approximate-first serving (DatasetCatalogOptions::sample_capacity).
+  /// <= 0 disables sampling: every mode serves exact answers.
+  int sample_capacity = 4096;
+};
+
+/// How Query() trades answer latency against exactness.
+enum class QueryMode {
+  /// Always build the exact answer set before responding (the default;
+  /// identical to the service's pre-approximation behaviour).
+  kExactOnly,
+  /// Cold queries respond with a sample-based approximate answer set
+  /// immediately; a background exact build then republishes through the
+  /// ordinary refresh machinery (two-phase publication). Warm requests see
+  /// whichever phase is published.
+  kApproxFirst,
+  /// Respond approximately and stay approximate until the client
+  /// explicitly calls Refine() (the refine trigger).
+  kApproxOnly,
+};
+
+/// Per-Query() knobs (the mode knob plus its parameters).
+struct QueryOptions {
+  QueryMode mode = QueryMode::kExactOnly;
+  /// Two-sided confidence level of per-answer error bounds in the
+  /// approximate modes; must be in (0, 1). Ignored by kExactOnly.
+  double confidence = 0.95;
 };
 
 /// What one request cost and where its answer came from — returned
@@ -44,6 +72,15 @@ struct RequestStats {
   /// re-executed against the new snapshot, caches reused or rebuilt by
   /// input fingerprint (core::Session::Refresh).
   bool refreshed = false;
+  /// The answer set this request served from was approximate (sample-based
+  /// estimates with error bounds); false = exact. Exact-mode responses are
+  /// never approximate, by construction.
+  bool approximate = false;
+  /// Sample fraction (n / N) behind an approximate response; 1.0 if exact.
+  double sample_fraction = 1.0;
+  /// Largest per-answer confidence-interval half-width in the served
+  /// answer set; 0.0 if exact.
+  double max_bound = 0.0;
 };
 
 /// Opaque reference to a cached query answer set; obtained from Query().
@@ -61,6 +98,13 @@ struct QueryInfo {
   int num_answers = 0;  // n — ranked tuples in the answer set
   int num_attrs = 0;    // m — grouping attributes
   RequestStats stats;   // cache_hit = an existing session was reused
+  /// Provenance of the published answer set at response time. An
+  /// approx-first handle starts with is_exact == false and flips to true
+  /// once background refinement republishes the exact generation.
+  bool is_exact = true;
+  double sample_fraction = 1.0;  // n / N (1.0 when exact)
+  double max_bound = 0.0;        // largest per-answer CI half-width
+  double confidence = 0.0;       // bound confidence level (0 when exact)
 };
 
 /// Explore() response: the solution with both display layers rendered
@@ -165,10 +209,28 @@ class QueryService {
   /// Executes an aggregate query and opens (or reuses) the session over
   /// its ranked answers. `value_column` names the aggregate output column
   /// (the ranking value). Two calls with byte-identical SQL (modulo
-  /// surrounding whitespace) and value column share one session; identical
-  /// concurrent calls run the SQL once.
+  /// surrounding whitespace), value column, and query options share one
+  /// session; identical concurrent calls run the SQL once.
   Result<QueryInfo> Query(const std::string& sql,
                           const std::string& value_column);
+
+  /// Query with a mode knob: kExactOnly behaves exactly like the overload
+  /// above; the approximate modes answer cold queries from the dataset's
+  /// uniform sample (estimates with per-answer bounds at
+  /// `options.confidence`) and, for kApproxFirst, schedule a background
+  /// exact build that republishes without ever blocking a foreground
+  /// request. When no useful sample exists (sampling disabled, tiny table,
+  /// or no bounded aggregate), the response is exact and marked so.
+  Result<QueryInfo> Query(const std::string& sql,
+                          const std::string& value_column,
+                          const QueryOptions& options);
+
+  /// The refine trigger: synchronously upgrades the handle's answer set to
+  /// exact (and fresh), coalescing with any in-flight refresh or background
+  /// refinement of the same handle. No-op on an already-exact handle. The
+  /// published exact generation is bit-identical to a cold exact rebuild
+  /// from the same snapshot.
+  Status Refine(QueryHandle handle, RequestStats* stats = nullptr);
 
   // --- Interactive ops on a handle -------------------------------------
 
@@ -225,6 +287,18 @@ class QueryService {
     /// every session cache.
     int64_t refreshes = 0;
     int64_t refresh_full_reuses = 0;
+    /// Query() calls answered with an approximate (sample-based) set, and
+    /// non-query ops (Summarize/Guidance/Retrieve/Explore) that served
+    /// from one.
+    int64_t approx_queries = 0;
+    int64_t approx_served = 0;
+    /// Refine() calls plus background refinement tasks.
+    int64_t refine_requests = 0;
+    /// Exact builds that upgraded an approximate generation, and
+    /// refinement tasks that found the upgrade already done (another
+    /// trigger led it, or a refresh landed exact first).
+    int64_t refinements = 0;
+    int64_t refinements_superseded = 0;
     /// Generation lifetime across all sessions (core::Session::CacheStats
     /// summed at read time): retired generations still pinned by external
     /// handles, generations currently alive (graveyard + one live per
@@ -237,7 +311,7 @@ class QueryService {
     double max_latency_ms = 0.0;
     int64_t requests() const {
       return queries + summarize_requests + guidance_requests +
-             retrieve_requests + explore_requests;
+             retrieve_requests + explore_requests + refine_requests;
     }
   };
   /// Aggregates the per-thread statistic shards. Exact once the recorded
@@ -252,6 +326,14 @@ class QueryService {
     // Immutable after construction (safe to read without mu_).
     std::string sql;
     std::string value_column;
+    QueryMode mode = QueryMode::kExactOnly;
+    double confidence = 0.0;
+    /// True while a background refinement task for this entry is queued
+    /// but not yet running — the dedup that keeps one slow exact build
+    /// from piling up a task per approximate request. Cleared by the task
+    /// *before* it reconciles, so a refresh landing during the exact build
+    /// can queue a follow-up refinement rather than being lost.
+    std::atomic<bool> refine_queued{false};
     /// Lower-cased table name -> version the current answer set was
     /// executed against (the query's dependency set). Guarded by mu_;
     /// rewritten by the refresh leader.
@@ -296,19 +378,64 @@ class QueryService {
                                std::memory_order_release);
   }
 
+  /// An answer set built from a catalog snapshot, with its provenance.
+  struct BuiltAnswers {
+    core::AnswerSet answers;
+    bool approximate = false;
+  };
+
   /// Entry for a handle, or an error for an unknown one. Lock-free.
   Result<SessionEntry*> Lookup(QueryHandle handle) const;
 
-  /// Brings a handle up to date with the catalog before serving from it:
-  /// one atomic catalog-version load on the warm path; a per-table version
-  /// walk once the catalog moved; when actually stale, single-flight SQL
-  /// re-execution against a fresh catalog snapshot handed to
-  /// core::Session::Refresh. `rs` (optional) gets the coalesced/refreshed
-  /// flags.
-  Status EnsureFresh(SessionEntry* entry, RequestStats* rs);
+  /// Executes `sql` against `snapshot` and materializes the answer set.
+  /// With `require_exact` false and an approximate mode, runs against the
+  /// table's sample and attaches bounds; silently falls back to an exact
+  /// build whenever the bounds contract cannot be met (no sample, no
+  /// bounded aggregate for `value_column`, empty estimate).
+  static Result<BuiltAnswers> BuildAnswers(const std::string& sql,
+                                           const std::string& value_column,
+                                           QueryMode mode, double confidence,
+                                           bool require_exact,
+                                           const CatalogSnapshot& snapshot);
+
+  /// Brings a handle up to date before serving from it — the one path
+  /// every freshness *and* exactness transition goes through, so they
+  /// compose: one atomic catalog-version load on the warm path; a
+  /// per-table version walk once the catalog moved; when stale (or when
+  /// `require_exact` finds an approximate set published), single-flight
+  /// rebuild against a fresh catalog snapshot handed to
+  /// core::Session::Refresh. Serializing refreshes and refinements on the
+  /// same flight is what makes refinement cancel-or-restart clean: a
+  /// refinement always builds from the *newest* snapshot (a refresh that
+  /// landed first restarts it implicitly), and one that arrives after an
+  /// exact set is already published no-ops. `rs` (optional) gets the
+  /// coalesced/refreshed flags; `led_rebuild` (optional) reports whether
+  /// this call performed a rebuild itself.
+  Status Reconcile(SessionEntry* entry, bool require_exact, RequestStats* rs,
+                   bool* led_rebuild = nullptr);
+
+  /// Reconcile for ordinary serving: freshness only, no exactness upgrade.
+  Status EnsureFresh(SessionEntry* entry, RequestStats* rs) {
+    return Reconcile(entry, /*require_exact=*/false, rs);
+  }
+
+  /// Queues a background exact refinement of an approx-first entry
+  /// (deduplicated per entry; never blocks the caller).
+  void ScheduleRefinement(SessionEntry* entry);
+
+  /// Copies the published answer set's approximation onto the request
+  /// stats (one wait-free answers() load).
+  static void StampApproximation(SessionEntry* entry, RequestStats* rs);
 
   /// Folds one finished request into the calling thread's stat shard.
-  enum class RequestKind { kQuery, kSummarize, kGuidance, kRetrieve, kExplore };
+  enum class RequestKind {
+    kQuery,
+    kSummarize,
+    kGuidance,
+    kRetrieve,
+    kExplore,
+    kRefine
+  };
   void Record(RequestKind kind, const RequestStats& stats);
 
   const ServiceOptions options_;
@@ -329,6 +456,11 @@ class QueryService {
   std::map<std::string, std::shared_ptr<FlightLatch>> query_flights_;
 
   mutable Sharded<StatShard> stat_shards_;
+
+  /// Runs background exact refinements. Declared LAST so it is destroyed
+  /// FIRST: shutdown quiesces in-flight refinement tasks (and drops queued
+  /// ones) while every member they touch is still alive.
+  BackgroundExecutor refine_pool_{1};
 };
 
 }  // namespace qagview::service

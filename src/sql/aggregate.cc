@@ -37,10 +37,13 @@ void Aggregator::Add(const storage::Value& v) {
       ++count_;
       break;
     case AggKind::kSum:
-    case AggKind::kAvg:
-      sum_ += v.ToDouble();
+    case AggKind::kAvg: {
+      const double x = v.ToDouble();
+      sum_ += x;
+      sum_squares_ += x * x;
       ++count_;
       break;
+    }
     case AggKind::kMin:
       if (!has_extreme_ || v.Compare(extreme_) < 0) extreme_ = v;
       has_extreme_ = true;
@@ -80,6 +83,7 @@ storage::Value Aggregator::Finish() const {
 void Aggregator::Reset() {
   count_ = 0;
   sum_ = 0.0;
+  sum_squares_ = 0.0;
   has_extreme_ = false;
   extreme_ = storage::Value::Null();
 }

@@ -37,10 +37,19 @@ class Aggregator {
 
   AggKind kind() const { return kind_; }
 
+  /// Accumulator internals, exposed for the approximate executor's scaled
+  /// estimators and CLT standard errors (sql/executor.cc): non-null inputs
+  /// folded (rows for count(*)), their sum, and their sum of squares (sum
+  /// and sum_squares are maintained for sum/avg only).
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double sum_squares() const { return sum_squares_; }
+
  private:
   AggKind kind_;
   int64_t count_ = 0;
   double sum_ = 0.0;
+  double sum_squares_ = 0.0;
   bool has_extreme_ = false;
   storage::Value extreme_;  // current min or max
 };

@@ -1,6 +1,7 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -30,6 +31,16 @@ const Table* Catalog::Find(const std::string& name) const {
     accessed_.push_back(std::move(key));
   }
   return it->second;
+}
+
+void Catalog::RegisterSample(const std::string& name, const Table* rows,
+                             int64_t population_rows) {
+  samples_[ToLower(name)] = SampleInfo{rows, population_rows};
+}
+
+const Catalog::SampleInfo* Catalog::FindSample(const std::string& name) const {
+  auto it = samples_.find(ToLower(name));
+  return it == samples_.end() ? nullptr : &it->second;
 }
 
 namespace {
@@ -157,37 +168,86 @@ struct GroupState {
   std::vector<Aggregator> aggs;
 };
 
-}  // namespace
+// Scaling context for approximate execution: n sample rows drawn from N
+// population rows, and the sink for per-output-column standard errors.
+struct ApproxContext {
+  int64_t sample_rows = 0;
+  int64_t population_rows = 0;
+  std::map<std::string, std::vector<double>>* column_se = nullptr;
+};
 
-Result<Table> ExecuteSelect(const SelectStatement& stmt,
-                            const Catalog& catalog) {
-  const Table* table = catalog.Find(stmt.table_name);
-  if (table == nullptr) {
-    return Status::NotFound("no such table: " + stmt.table_name);
+// Horvitz-Thompson-style point estimate for one group's accumulator: count
+// and sum scale by N/n, avg is self-normalizing, min/max pass through (the
+// sample extreme is the best available estimate, but it carries no CLT
+// bound -- see EstimateSe).
+Value ScaledEstimate(const Aggregator& agg, double scale) {
+  switch (agg.kind()) {
+    case AggKind::kCount:
+    case AggKind::kCountStar:
+      return Value::Real(scale * static_cast<double>(agg.count()));
+    case AggKind::kSum:
+      return agg.count() == 0 ? Value::Null()
+                              : Value::Real(scale * agg.sum());
+    default:
+      return agg.Finish();
   }
-  if (stmt.items.empty()) {
-    return Status::InvalidArgument("empty select list");
-  }
+}
 
-  QAG_ASSIGN_OR_RETURN(std::vector<int64_t> rows, FilterRows(stmt, *table));
-
-  // Detect aggregation.
-  bool has_calls = stmt.having != nullptr && stmt.having->ContainsCall();
-  for (const SelectItem& item : stmt.items) {
-    has_calls = has_calls || item.expr->ContainsCall();
-  }
-  if (stmt.group_by.empty() && !has_calls) {
-    if (stmt.having != nullptr) {
-      return Status::InvalidArgument("HAVING requires GROUP BY or aggregates");
+// CLT standard error of ScaledEstimate under uniform sampling without
+// replacement (finite-population correction applied). Estimating a group's
+// count or sum from a uniform table sample is estimating a population
+// total of y_i = x_i * 1[row i in group] over all n sample rows, which is
+// why those variances are over n, not the group size. Returns HUGE_VAL
+// when no CLT error exists (min/max, avg over fewer than two sample rows).
+double EstimateSe(const Aggregator& agg, int64_t sample_rows,
+                  int64_t population_rows) {
+  const double n = static_cast<double>(sample_rows);
+  const double N = static_cast<double>(population_rows);
+  const double fpc = std::max(0.0, 1.0 - n / N);
+  switch (agg.kind()) {
+    case AggKind::kCount:
+    case AggKind::kCountStar: {
+      if (sample_rows < 2) return HUGE_VAL;
+      const double p = static_cast<double>(agg.count()) / n;
+      return N * std::sqrt(p * (1.0 - p) / n) * std::sqrt(fpc);
     }
-    return ExecuteProjection(stmt, *table, rows);
+    case AggKind::kSum: {
+      if (sample_rows < 2) return HUGE_VAL;
+      const double s = agg.sum();
+      const double var_y =
+          std::max(0.0, (agg.sum_squares() - s * s / n) / (n - 1.0));
+      return N * std::sqrt(var_y / n) * std::sqrt(fpc);
+    }
+    case AggKind::kAvg: {
+      if (agg.count() < 2) return HUGE_VAL;
+      const double c = static_cast<double>(agg.count());
+      const double s = agg.sum();
+      const double var_x =
+          std::max(0.0, (agg.sum_squares() - s * s / c) / (c - 1.0));
+      return std::sqrt(var_x / c) * std::sqrt(fpc);
+    }
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return HUGE_VAL;
   }
+  return HUGE_VAL;
+}
 
-  // --- Aggregate path. ---
+// Grouped-aggregate path shared by exact and approximate execution. With
+// `approx` set, `table`/`rows` are the sample, estimates are scaled, and
+// per-row standard errors for bare count/sum/avg select items are written
+// to approx->column_se keyed by output column name. SE values ride along
+// the result rows as hidden trailing cells -- invisible to
+// ApplyOrderAndLimit, which only indexes named columns -- so they stay
+// aligned with their group through ORDER BY and LIMIT, then are stripped
+// off before materialization.
+Result<Table> ExecuteAggregate(const SelectStatement& stmt, const Table& table,
+                               const std::vector<int64_t>& rows,
+                               const ApproxContext* approx) {
   // Resolve grouping columns.
   std::vector<int> group_cols;
   for (const std::string& name : stmt.group_by) {
-    QAG_ASSIGN_OR_RETURN(int idx, table->schema().GetFieldIndex(name));
+    QAG_ASSIGN_OR_RETURN(int idx, table.schema().GetFieldIndex(name));
     group_cols.push_back(idx);
   }
 
@@ -233,7 +293,7 @@ Result<Table> ExecuteSelect(const SelectStatement& stmt,
     } else {
       QAG_ASSIGN_OR_RETURN(
           CompiledExpr e,
-          CompiledExpr::Compile(*call->args[0], table->schema()));
+          CompiledExpr::Compile(*call->args[0], table.schema()));
       arg_exprs.emplace_back(std::move(e));
     }
   }
@@ -246,7 +306,7 @@ Result<Table> ExecuteSelect(const SelectStatement& stmt,
   for (int64_t r : rows) {
     std::vector<Value> key;
     key.reserve(group_cols.size());
-    for (int c : group_cols) key.push_back(table->Get(r, c));
+    for (int c : group_cols) key.push_back(table.Get(r, c));
     auto [it, inserted] = groups.try_emplace(key);
     if (inserted) {
       for (AggKind kind : kinds) it->second.aggs.emplace_back(kind);
@@ -256,7 +316,7 @@ Result<Table> ExecuteSelect(const SelectStatement& stmt,
       if (kinds[a] == AggKind::kCountStar) {
         it->second.aggs[a].AddRow();
       } else {
-        it->second.aggs[a].Add(arg_exprs[a]->Eval(*table, r));
+        it->second.aggs[a].Add(arg_exprs[a]->Eval(table, r));
       }
     }
   }
@@ -264,17 +324,36 @@ Result<Table> ExecuteSelect(const SelectStatement& stmt,
   // Build the intermediate "group env" table: group-by columns (original
   // names/types) + one column per unique aggregate call, named by its
   // canonical text. Select items and HAVING are evaluated against it after
-  // rewriting calls into column refs.
+  // rewriting calls into column refs. Approximate execution publishes
+  // scaled estimates into the env, so expressions over aggregates (and
+  // HAVING predicates) see population-scale values.
   std::vector<std::string> env_names;
-  for (int c : group_cols) env_names.push_back(table->schema().field(c).name);
+  for (int c : group_cols) env_names.push_back(table.schema().field(c).name);
   for (const std::string& key : call_keys) env_names.push_back(key);
 
+  const double scale =
+      approx == nullptr
+          ? 1.0
+          : static_cast<double>(approx->population_rows) /
+                static_cast<double>(approx->sample_rows);
+  std::vector<std::vector<double>> group_ses;  // [group][unique call]
   std::vector<std::vector<Value>> env_rows;
   env_rows.reserve(group_order.size());
   for (const auto& key : group_order) {
     const GroupState& state = groups[key];
     std::vector<Value> row = key;
-    for (const Aggregator& agg : state.aggs) row.push_back(agg.Finish());
+    if (approx == nullptr) {
+      for (const Aggregator& agg : state.aggs) row.push_back(agg.Finish());
+    } else {
+      std::vector<double> ses;
+      ses.reserve(state.aggs.size());
+      for (const Aggregator& agg : state.aggs) {
+        row.push_back(ScaledEstimate(agg, scale));
+        ses.push_back(EstimateSe(agg, approx->sample_rows,
+                                 approx->population_rows));
+      }
+      group_ses.push_back(std::move(ses));
+    }
     env_rows.push_back(std::move(row));
   }
   QAG_ASSIGN_OR_RETURN(Table env_table,
@@ -304,6 +383,26 @@ Result<Table> ExecuteSelect(const SelectStatement& stmt,
     having = std::move(e);
   }
 
+  // Map bare aggregate-call select items to their unique-call index. Only
+  // kinds with a CLT bound participate; min/max items get no column_se
+  // entry, which tells the caller no bound exists for that column.
+  std::vector<int> item_call(stmt.items.size(), -1);
+  if (approx != nullptr) {
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const Expr& e = *stmt.items[i].expr;
+      if (e.kind != ExprKind::kCall) continue;
+      const std::string key = e.ToString();
+      for (size_t a = 0; a < call_keys.size(); ++a) {
+        if (call_keys[a] != key) continue;
+        if (kinds[a] == AggKind::kCount || kinds[a] == AggKind::kCountStar ||
+            kinds[a] == AggKind::kSum || kinds[a] == AggKind::kAvg) {
+          item_call[i] = static_cast<int>(a);
+        }
+        break;
+      }
+    }
+  }
+
   std::vector<std::vector<Value>> out_rows;
   for (int64_t g = 0; g < env_table.num_rows(); ++g) {
     if (having) {
@@ -313,16 +412,128 @@ Result<Table> ExecuteSelect(const SelectStatement& stmt,
     std::vector<Value> row;
     row.reserve(out_exprs.size());
     for (const CompiledExpr& e : out_exprs) row.push_back(e.Eval(env_table, g));
+    if (approx != nullptr) {
+      for (size_t i = 0; i < item_call.size(); ++i) {
+        if (item_call[i] >= 0) {
+          row.push_back(Value::Real(group_ses[g][item_call[i]]));
+        }
+      }
+    }
     out_rows.push_back(std::move(row));
   }
 
   QAG_RETURN_IF_ERROR(ApplyOrderAndLimit(stmt, out_names, &out_rows));
+
+  if (approx != nullptr) {
+    const size_t base = out_names.size();
+    size_t hidden = 0;
+    for (size_t i = 0; i < item_call.size(); ++i) {
+      if (item_call[i] < 0) continue;
+      std::vector<double>& ses =
+          (*approx->column_se)[stmt.items[i].OutputName()];
+      ses.clear();
+      ses.reserve(out_rows.size());
+      for (const auto& row : out_rows) {
+        ses.push_back(row[base + hidden].ToDouble());
+      }
+      ++hidden;
+    }
+    for (auto& row : out_rows) row.resize(base);
+  }
+
   return MaterializeTable(out_names, std::move(out_rows));
+}
+
+}  // namespace
+
+Result<Table> ExecuteSelect(const SelectStatement& stmt,
+                            const Catalog& catalog) {
+  const Table* table = catalog.Find(stmt.table_name);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + stmt.table_name);
+  }
+  if (stmt.items.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+
+  QAG_ASSIGN_OR_RETURN(std::vector<int64_t> rows, FilterRows(stmt, *table));
+
+  // Detect aggregation.
+  bool has_calls = stmt.having != nullptr && stmt.having->ContainsCall();
+  for (const SelectItem& item : stmt.items) {
+    has_calls = has_calls || item.expr->ContainsCall();
+  }
+  if (stmt.group_by.empty() && !has_calls) {
+    if (stmt.having != nullptr) {
+      return Status::InvalidArgument("HAVING requires GROUP BY or aggregates");
+    }
+    return ExecuteProjection(stmt, *table, rows);
+  }
+
+  return ExecuteAggregate(stmt, *table, rows, /*approx=*/nullptr);
 }
 
 Result<Table> ExecuteSql(const std::string& sql, const Catalog& catalog) {
   QAG_ASSIGN_OR_RETURN(SelectStatement stmt, Parser::ParseSelect(sql));
   return ExecuteSelect(stmt, catalog);
+}
+
+Result<ApproxExecution> ExecuteSelectApproximate(const SelectStatement& stmt,
+                                                 const Catalog& catalog) {
+  const Table* table = catalog.Find(stmt.table_name);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + stmt.table_name);
+  }
+  if (stmt.items.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+
+  bool has_calls = stmt.having != nullptr && stmt.having->ContainsCall();
+  for (const SelectItem& item : stmt.items) {
+    has_calls = has_calls || item.expr->ContainsCall();
+  }
+  const bool aggregate = !stmt.group_by.empty() || has_calls;
+
+  // Sampling only pays off on the aggregate path, and only when the sample
+  // is a strict subset of the population: an empty sample estimates
+  // nothing, and a sample that covers the whole table IS the exact answer,
+  // so run it as one rather than attaching vacuous error bounds.
+  const Catalog::SampleInfo* sample = catalog.FindSample(stmt.table_name);
+  const bool sampled = aggregate && sample != nullptr &&
+                       sample->rows != nullptr &&
+                       sample->rows->num_rows() > 0 &&
+                       sample->rows->num_rows() < sample->population_rows;
+  if (!sampled) {
+    QAG_ASSIGN_OR_RETURN(Table exact, ExecuteSelect(stmt, catalog));
+    ApproxExecution out{std::move(exact)};
+    out.sample_rows = table->num_rows();
+    out.population_rows = table->num_rows();
+    return out;
+  }
+
+  QAG_ASSIGN_OR_RETURN(std::vector<int64_t> rows,
+                       FilterRows(stmt, *sample->rows));
+  std::map<std::string, std::vector<double>> column_se;
+  ApproxContext ctx;
+  ctx.sample_rows = sample->rows->num_rows();
+  ctx.population_rows = sample->population_rows;
+  ctx.column_se = &column_se;
+  QAG_ASSIGN_OR_RETURN(Table estimate,
+                       ExecuteAggregate(stmt, *sample->rows, rows, &ctx));
+  ApproxExecution out{std::move(estimate)};
+  out.approximate = true;
+  out.sample_rows = ctx.sample_rows;
+  out.population_rows = ctx.population_rows;
+  out.sample_fraction = static_cast<double>(ctx.sample_rows) /
+                        static_cast<double>(ctx.population_rows);
+  out.column_se = std::move(column_se);
+  return out;
+}
+
+Result<ApproxExecution> ExecuteSqlApproximate(const std::string& sql,
+                                              const Catalog& catalog) {
+  QAG_ASSIGN_OR_RETURN(SelectStatement stmt, Parser::ParseSelect(sql));
+  return ExecuteSelectApproximate(stmt, catalog);
 }
 
 }  // namespace qagview::sql

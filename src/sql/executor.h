@@ -1,6 +1,8 @@
 #ifndef QAGVIEW_SQL_EXECUTOR_H_
 #define QAGVIEW_SQL_EXECUTOR_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +27,24 @@ class Catalog {
   /// in accessed().
   const storage::Table* Find(const std::string& name) const;
 
+  /// A registered uniform sample backing approximate execution of queries
+  /// against one table: the sampled rows plus the population size they
+  /// were drawn from.
+  struct SampleInfo {
+    const storage::Table* rows = nullptr;
+    int64_t population_rows = 0;
+  };
+
+  /// Registers (or replaces) the uniform sample for `name`. Like the table
+  /// itself, the sample is not owned and must outlive the catalog.
+  void RegisterSample(const std::string& name, const storage::Table* rows,
+                      int64_t population_rows);
+
+  /// The sample registered for `name`, or nullptr. Does not touch
+  /// accessed(): approximate execution resolves the table through Find()
+  /// first, so the dependency set is the same as an exact execution's.
+  const SampleInfo* FindSample(const std::string& name) const;
+
   /// Lower-cased names of the tables Find() resolved so far, in
   /// first-access order, deduplicated — the dependency set of the queries
   /// executed against this catalog instance. The versioned-refresh layer
@@ -34,6 +54,7 @@ class Catalog {
 
  private:
   std::unordered_map<std::string, const storage::Table*> tables_;
+  std::unordered_map<std::string, SampleInfo> samples_;
   mutable std::vector<std::string> accessed_;
 };
 
@@ -49,6 +70,42 @@ Result<storage::Table> ExecuteSelect(const SelectStatement& stmt,
 /// Parses and executes `sql` in one step.
 Result<storage::Table> ExecuteSql(const std::string& sql,
                                   const Catalog& catalog);
+
+/// \brief Result of an approximate execution.
+///
+/// When `approximate` is false the statement was executed exactly (no
+/// sample registered for the table, the sample covers the whole table, or
+/// the statement has no aggregate path) and `column_se` is empty. When
+/// true, `table` holds estimates computed from the registered sample —
+/// count and sum estimators scaled by N/n, avg unscaled — and `column_se`
+/// maps each output column that is a bare count/sum/avg aggregate call to
+/// its per-row CLT standard errors, aligned with `table`'s rows. min/max
+/// and expressions over aggregates get no `column_se` entry (no CLT error
+/// bound exists for them); per-group standard errors that do not exist
+/// (avg over fewer than two sample rows) are HUGE_VAL.
+struct ApproxExecution {
+  explicit ApproxExecution(storage::Table estimate)
+      : table(std::move(estimate)) {}
+
+  storage::Table table;
+  bool approximate = false;
+  int64_t sample_rows = 0;       // n: sample rows, before WHERE
+  int64_t population_rows = 0;   // N: full-table rows, before WHERE
+  double sample_fraction = 1.0;  // n / N (1.0 when exact)
+  std::map<std::string, std::vector<double>> column_se;
+};
+
+/// Executes the statement against the sample registered for its table,
+/// scaling estimators and attaching CLT standard errors (see
+/// ApproxExecution). Falls back to exact execution — same result as
+/// ExecuteSelect — when no useful sample exists or the statement has no
+/// aggregate path. Estimates are deterministic in (sample, statement).
+Result<ApproxExecution> ExecuteSelectApproximate(const SelectStatement& stmt,
+                                                 const Catalog& catalog);
+
+/// Parses and approximately executes `sql` in one step.
+Result<ApproxExecution> ExecuteSqlApproximate(const std::string& sql,
+                                              const Catalog& catalog);
 
 }  // namespace qagview::sql
 

@@ -65,6 +65,30 @@ namespace {
   }
 }
 
+// The README "approximate first, exact soon" snippet, verbatim modulo the
+// elided SQL text. Compiling it pins the mode-knob Query overload and the
+// provenance fields the README promises (is_exact, max_bound, confidence,
+// sample_fraction) plus Refine and the refinements counter. If this
+// function stops building, fix README.md to match.
+[[maybe_unused]] void ApproxFirstSnippetFromReadme() {
+  service::QueryService svc;
+  service::QueryOptions approx;
+  approx.mode = service::QueryMode::kApproxFirst;  // answer now, refine soon
+  auto fast = svc.Query("SELECT gender, avg(rating) AS val "
+                        "FROM ratings GROUP BY gender", "val", approx);
+  if (fast.ok()) {
+    // fast->is_exact == false; bounds: fast->max_bound at fast->confidence,
+    // computed from a fast->sample_fraction uniform sample.
+    (void)fast->is_exact;
+    (void)fast->max_bound;
+    (void)fast->confidence;
+    (void)fast->sample_fraction;
+    svc.Refine(fast->handle);  // block until the exact generation is published
+    // The handle now serves the exact set; svc.stats().refinements counts it.
+    (void)svc.stats().refinements;
+  }
+}
+
 TEST(BuildSmokeTest, OneTypePerLayer) {
   // common/ (pulled in transitively by every layer).
   Status ok = Status::OK();

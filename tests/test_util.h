@@ -1,6 +1,7 @@
 #ifndef QAGVIEW_TESTS_TEST_UTIL_H_
 #define QAGVIEW_TESTS_TEST_UTIL_H_
 
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -116,6 +117,13 @@ struct RandomTableSpec {
   std::vector<int> domains = {6, 5, 4, 3};
   double zipf_theta = 0.7;
   double noise_stddev = 0.25;
+  /// Heavy-tail factor for the rating column: 0 (the default) keeps the
+  /// pure Gaussian noise model, > 0 adds `value_skew * exp(N(0,1))` — a
+  /// lognormal tail that stresses CLT error bounds far harder than
+  /// symmetric noise. The extra RNG draw happens only when enabled, so
+  /// every default-spec row stream is byte-identical to before the knob
+  /// existed.
+  double value_skew = 0.0;
 
   storage::Schema MakeSchema() const {
     std::vector<storage::Field> fields;
@@ -147,8 +155,11 @@ inline std::vector<std::vector<storage::Value>> MakeRandomRows(
       signal += (domain - code) / (static_cast<double>(m) * domain);
       row.push_back(storage::Value::Str(StrCat("g", a, "v", code)));
     }
-    row.push_back(storage::Value::Real(
-        2.0 + 2.0 * signal + rng.Gaussian(0.0, spec.noise_stddev)));
+    double value = 2.0 + 2.0 * signal + rng.Gaussian(0.0, spec.noise_stddev);
+    if (spec.value_skew > 0.0) {
+      value += spec.value_skew * std::exp(rng.Gaussian(0.0, 1.0));
+    }
+    row.push_back(storage::Value::Real(value));
     rows.push_back(std::move(row));
   }
   return rows;
@@ -168,6 +179,15 @@ inline storage::Table MakeRandomTable(const RandomTableSpec& spec,
 /// generator.
 inline storage::Table MakeRatingsTable(uint64_t seed, int rows) {
   return MakeRandomTable(RandomTableSpec(), seed, rows);
+}
+
+/// The default shape with a lognormal value tail — the adversarial input
+/// for approximate-answer coverage tests (skewed populations are where
+/// naive bounds break first).
+inline RandomTableSpec SkewedTableSpec() {
+  RandomTableSpec spec;
+  spec.value_skew = 1.5;
+  return spec;
 }
 
 /// One-shot start barrier for concurrency tests (std::barrier is C++20):
