@@ -121,9 +121,9 @@ int main() {
       WallTimer refine_timer;
       QAG_CHECK_OK(svc.Refine(info->handle));
       refine_times.push_back(refine_timer.ElapsedMillis());
-      auto session = svc.session(info->handle);
-      QAG_CHECK(session.ok()) << session.status().ToString();
-      refined_fp = (*session)->answers()->content_fingerprint();
+      auto answers = svc.Answers(info->handle);
+      QAG_CHECK(answers.ok()) << answers.status().ToString();
+      refined_fp = (*answers)->content_fingerprint();
     }
 
     // Cold exact first answer.
@@ -137,9 +137,9 @@ int main() {
       exact_times.push_back(cold_timer.ElapsedMillis());
       QAG_CHECK(info.ok()) << info.status().ToString();
       QAG_CHECK(info->is_exact);
-      auto session = svc.session(info->handle);
-      QAG_CHECK(session.ok()) << session.status().ToString();
-      exact_fp = (*session)->answers()->content_fingerprint();
+      auto answers = svc.Answers(info->handle);
+      QAG_CHECK(answers.ok()) << answers.status().ToString();
+      exact_fp = (*answers)->content_fingerprint();
     }
 
     // The differential invariant, re-checked in the bench itself: the
@@ -161,9 +161,9 @@ int main() {
       QAG_CHECK(info.ok()) << info.status().ToString();
       QAG_CHECK(!info->is_exact) << "approx-first cold query served exact";
       QAG_CHECK_OK(svc.Refine(info->handle));
-      auto session = svc.session(info->handle);
-      QAG_CHECK(session.ok()) << session.status().ToString();
-      QAG_CHECK((*session)->answers()->content_fingerprint() == exact_fp)
+      auto answers = svc.Answers(info->handle);
+      QAG_CHECK(answers.ok()) << answers.status().ToString();
+      QAG_CHECK((*answers)->content_fingerprint() == exact_fp)
           << "approx-first refinement diverged at " << rows << " rows";
     }
 

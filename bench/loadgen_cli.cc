@@ -1,0 +1,116 @@
+// qagview_loadgen: standalone open-loop load generator for qagview_server.
+//
+//   qagview_loadgen --port 8080 --rate 200 --requests 2000 --threads 4
+//       --get /healthz --post /summarize@req.json
+//
+// Each --get/--post adds one entry to the replay script (round-robin);
+// --post targets take their JSON body from a file after '@', or send an
+// empty object when omitted. The offered rate is open loop: request i is
+// due at start + i/rate no matter how long earlier requests take, and
+// latency is measured from that due time (see server/loadgen.h on
+// coordinated omission). Exit status is non-zero when any request failed,
+// so the binary doubles as a smoke probe in scripts.
+//
+// Not named bench_*.cc: this is a tool, not a figure driver, and is
+// registered explicitly in bench/CMakeLists.txt.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/loadgen.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--rate R] [--requests N]\n"
+               "          [--threads N] (--get TARGET | --post TARGET[@body.json])...\n",
+               argv0);
+}
+
+bool ReadFileTo(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qagview;
+
+  server::LoadgenOptions options;
+  options.port = 8080;
+  std::vector<server::LoadgenRequest> script;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = std::atoi(next());
+    } else if (arg == "--rate") {
+      options.rate = std::atof(next());
+    } else if (arg == "--requests") {
+      options.total_requests = std::atoi(next());
+    } else if (arg == "--threads") {
+      options.num_threads = std::atoi(next());
+    } else if (arg == "--get") {
+      script.push_back({"GET", next(), ""});
+    } else if (arg == "--post") {
+      const std::string spec = next();
+      const size_t at = spec.find('@');
+      server::LoadgenRequest req;
+      req.method = "POST";
+      req.target = spec.substr(0, at);
+      req.body = "{}";
+      if (at != std::string::npos &&
+          !ReadFileTo(spec.substr(at + 1), &req.body)) {
+        std::fprintf(stderr, "cannot read body file %s\n",
+                     spec.substr(at + 1).c_str());
+        return 2;
+      }
+      script.push_back(std::move(req));
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (script.empty()) script.push_back({"GET", "/healthz", ""});
+
+  std::fprintf(stderr,
+               "open loop: %d requests at %.0f/s over %d threads "
+               "against %s:%d (%zu script entries)\n",
+               options.total_requests, options.rate, options.num_threads,
+               options.host.c_str(), options.port, script.size());
+  server::LoadgenResults r = server::RunOpenLoop(script, options);
+
+  std::printf("issued            %lld\n", (long long)r.issued);
+  std::printf("ok (2xx)          %lld\n", (long long)r.ok);
+  std::printf("shed (503)        %lld\n", (long long)r.http_503);
+  std::printf("client errors 4xx %lld\n", (long long)r.http_4xx);
+  std::printf("server errors 5xx %lld\n", (long long)r.http_5xx);
+  std::printf("transport errors  %lld\n", (long long)r.transport_errors);
+  std::printf("duration          %.3f s\n", r.duration_s);
+  std::printf("achieved          %.1f resp/s\n", r.achieved_rps);
+  std::printf("latency p50       %.3f ms\n", r.p50_ms);
+  std::printf("latency p90       %.3f ms\n", r.p90_ms);
+  std::printf("latency p99       %.3f ms\n", r.p99_ms);
+  std::printf("latency p999      %.3f ms\n", r.p999_ms);
+  std::printf("latency max       %.3f ms\n", r.max_ms);
+  return r.ok == r.issued ? 0 : 1;
+}

@@ -94,9 +94,9 @@ int main() {
   // 6. Generation census: the approximate generation was superseded and
   //    evicted once its readers drained; the service counted one
   //    approximate query and one refinement.
-  auto session = svc.session(query->handle);
-  if (session.ok()) {
-    const auto census = (*session)->cache_stats();
+  auto cache = svc.SessionCacheStats(query->handle);
+  if (cache.ok()) {
+    const auto census = *cache;
     std::printf(
         "\nsession: live_generations=%lld generations_evicted=%lld "
         "graveyard=%lld\n",

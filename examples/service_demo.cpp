@@ -144,7 +144,7 @@ int main() {
       static_cast<long long>(stats.generations_evicted),
       stats.total_latency_ms, stats.max_latency_ms);
 
-  core::Session::CacheStats cache = (*svc.session(query->handle))->cache_stats();
+  core::Session::CacheStats cache = *svc.SessionCacheStats(query->handle);
   std::printf(
       "session cache: %d universes (%lld hits / %lld misses, %lld coalesced), "
       "%d stores (%lld hits / %lld misses, %lld coalesced)\n",

@@ -1,0 +1,166 @@
+#ifndef QAGVIEW_COMMON_JSON_H_
+#define QAGVIEW_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qagview::json {
+
+/// \brief Small dependency-free JSON document: the wire format of the
+/// `src/server/` front end and the `bench` load generator.
+///
+/// Design constraints, in order:
+///
+///  * **Exact numeric round-trips.** Doubles are written in the shortest
+///    form that parses back to the same bit pattern (std::to_chars), and
+///    integer-looking tokens are kept as int64 — so a response serialized
+///    by the server and re-parsed by a client compares bit-identical to
+///    the in-process structs (the server_test bit-identity contract).
+///  * **Hostile input never crashes.** Parse() is depth-limited, rejects
+///    trailing garbage, validates escapes and UTF-16 surrogate pairs, and
+///    returns Status::ParseError with an offset instead of throwing — the
+///    malformed-request corpus in server_test drives byte soups through
+///    it, mirroring csv_fuzz_test.
+///  * **Deterministic output.** Objects preserve insertion order (a vector
+///    of pairs, not a map), so serializations are reproducible and
+///    duplicate keys survive a round trip (lookup returns the first).
+///
+/// Numbers have one Kind (kNumber) with an integer flavor: Json::Int
+/// stores an exact int64 (printed without a decimal point), Json::Number
+/// stores a double. Parsing classifies tokens the same way: no fraction,
+/// no exponent, fits int64 -> integer flavor. AsDouble() reads both.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Defaults to null.
+  Json() = default;
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool v) {
+    Json out;
+    out.kind_ = Kind::kBool;
+    out.bool_ = v;
+    return out;
+  }
+  static Json Number(double v) {
+    Json out;
+    out.kind_ = Kind::kNumber;
+    out.double_ = v;
+    return out;
+  }
+  static Json Int(int64_t v) {
+    Json out;
+    out.kind_ = Kind::kNumber;
+    out.is_int_ = true;
+    out.int_ = v;
+    out.double_ = static_cast<double>(v);
+    return out;
+  }
+  static Json Str(std::string v) {
+    Json out;
+    out.kind_ = Kind::kString;
+    out.string_ = std::move(v);
+    return out;
+  }
+  static Json Array() {
+    Json out;
+    out.kind_ = Kind::kArray;
+    return out;
+  }
+  static Json Object() {
+    Json out;
+    out.kind_ = Kind::kObject;
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  /// Number carrying an exact int64 (never true for 1.5 or 1e3 inputs).
+  bool is_int() const { return kind_ == Kind::kNumber && is_int_; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Unchecked accessors: the caller has already verified kind() (the
+  /// serde layer validates before reading; misuse aborts via QAG_CHECK in
+  /// debug-style fashion — here we keep it simple and defined).
+  bool AsBool() const { return bool_; }
+  double AsDouble() const {
+    return is_int_ ? static_cast<double>(int_) : double_;
+  }
+  int64_t AsInt() const {
+    return is_int_ ? int_ : static_cast<int64_t>(double_);
+  }
+  const std::string& AsString() const { return string_; }
+
+  // --- Arrays ------------------------------------------------------------
+
+  size_t size() const { return items_.size(); }
+  const Json& at(size_t i) const { return items_[i].second; }
+  Json& Append(Json value) {
+    items_.emplace_back(std::string(), std::move(value));
+    return items_.back().second;
+  }
+
+  // --- Objects (ordered; first match wins on lookup) ----------------------
+
+  /// Member pointer or nullptr. Objects only; null/other kinds find nothing.
+  const Json* Find(std::string_view key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : items_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  Json& Set(std::string key, Json value) {
+    items_.emplace_back(std::move(key), std::move(value));
+    return items_.back().second;
+  }
+  /// Object members (or array elements with empty keys), in order.
+  const std::vector<std::pair<std::string, Json>>& items() const {
+    return items_;
+  }
+
+  /// Compact serialization (no whitespace). Numbers round-trip exactly;
+  /// strings are escaped (control chars as \u00XX); non-finite doubles are
+  /// written as null (JSON has no NaN/Inf).
+  std::string Dump() const;
+
+  /// Parses a complete JSON document. The whole input must be consumed
+  /// (trailing non-whitespace is an error). Nesting is limited to
+  /// `max_depth` (hostile [[[[... input fails cleanly instead of
+  /// overflowing the stack).
+  static Result<Json> Parse(std::string_view text, int max_depth = 96);
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  bool is_int_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  /// Object members (key, value) or array elements (key empty).
+  std::vector<std::pair<std::string, Json>> items_;
+};
+
+/// Appends `s` as a quoted, escaped JSON string literal.
+void AppendQuoted(std::string_view s, std::string* out);
+
+/// Shortest decimal form of `v` that parses back to the same double
+/// ("0.1", "3.141592653589793"); "null" for NaN/Inf.
+std::string FormatJsonNumber(double v);
+
+}  // namespace qagview::json
+
+#endif  // QAGVIEW_COMMON_JSON_H_

@@ -53,6 +53,10 @@
 ///   service/    thread-safe multi-client QueryService: dataset catalog,
 ///               SQL -> cached answer sets, shared sessions with
 ///               single-flight builds, per-request statistics
+///   server/     dependency-free HTTP/1.1 front end over QueryService
+///               (acceptor + worker pool, bounded admission, graceful
+///               drain), JSON serde for the api.h structs, open-loop
+///               load generator
 ///   viz/        parameter grid (Fig 2), Sankey comparison + placement
 ///               optimization (Fig 13-16, A.7)
 ///   study/      simulated-subject user study (Section 8)
@@ -62,6 +66,7 @@
 #include "baselines/diversified_topk.h"
 #include "baselines/mmr.h"
 #include "baselines/smart_drilldown.h"
+#include "common/json.h"
 #include "core/answer_set.h"
 #include "core/bottom_up.h"
 #include "core/brute_force.h"
@@ -81,6 +86,11 @@
 #include "datagen/answers.h"
 #include "datagen/movielens.h"
 #include "datagen/store_sales.h"
+#include "server/http.h"
+#include "server/loadgen.h"
+#include "server/serde.h"
+#include "server/server.h"
+#include "service/api.h"
 #include "service/catalog.h"
 #include "service/query_service.h"
 #include "sql/executor.h"

@@ -1,0 +1,116 @@
+#include "server/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace qagview::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-thread tallies, merged after the join (no shared mutable state while
+/// the run is hot).
+struct ThreadTally {
+  int64_t issued = 0;
+  int64_t ok = 0;
+  int64_t http_503 = 0;
+  int64_t http_4xx = 0;
+  int64_t http_5xx = 0;
+  int64_t transport_errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+LoadgenResults RunOpenLoop(const std::vector<LoadgenRequest>& script,
+                           const LoadgenOptions& options) {
+  LoadgenResults results;
+  if (script.empty() || options.total_requests <= 0 || options.rate <= 0.0) {
+    return results;
+  }
+  const int num_threads = std::max(1, options.num_threads);
+  const double interval_s = 1.0 / options.rate;
+  const Clock::time_point start = Clock::now();
+
+  std::vector<ThreadTally> tallies(static_cast<size_t>(num_threads));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadTally& tally = tallies[static_cast<size_t>(t)];
+      for (int i = t; i < options.total_requests; i += num_threads) {
+        // The open-loop schedule: request i is due at start + i/rate,
+        // independent of how long any earlier request took.
+        const Clock::time_point due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(interval_s * i));
+        std::this_thread::sleep_until(due);
+
+        const LoadgenRequest& req = script[static_cast<size_t>(i) %
+                                           script.size()];
+        tally.issued++;
+        Result<HttpClientResponse> response =
+            HttpFetch(options.host, options.port, req.method, req.target,
+                      req.body, options.limits);
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - due)
+                .count();
+        if (!response.ok()) {
+          tally.transport_errors++;
+          continue;
+        }
+        tally.latencies_ms.push_back(latency_ms);
+        if (response->status == 503) {
+          tally.http_503++;
+        } else if (response->status >= 500) {
+          tally.http_5xx++;
+        } else if (response->status >= 400) {
+          tally.http_4xx++;
+        } else {
+          tally.ok++;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  results.duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> latencies;
+  for (const ThreadTally& tally : tallies) {
+    results.issued += tally.issued;
+    results.ok += tally.ok;
+    results.http_503 += tally.http_503;
+    results.http_4xx += tally.http_4xx;
+    results.http_5xx += tally.http_5xx;
+    results.transport_errors += tally.transport_errors;
+    latencies.insert(latencies.end(), tally.latencies_ms.begin(),
+                     tally.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  results.p50_ms = Percentile(latencies, 0.50);
+  results.p90_ms = Percentile(latencies, 0.90);
+  results.p99_ms = Percentile(latencies, 0.99);
+  results.p999_ms = Percentile(latencies, 0.999);
+  results.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  if (results.duration_s > 0.0) {
+    results.achieved_rps =
+        static_cast<double>(latencies.size()) / results.duration_s;
+  }
+  return results;
+}
+
+}  // namespace qagview::server

@@ -1,0 +1,66 @@
+#ifndef QAGVIEW_SERVER_LOADGEN_H_
+#define QAGVIEW_SERVER_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/http.h"
+
+namespace qagview::server {
+
+/// One scripted request of a load-generation run. Scripts are built by the
+/// caller (typically by serializing service/api.h requests with
+/// server/serde.h) and replayed round-robin.
+struct LoadgenRequest {
+  std::string method = "POST";
+  std::string target;
+  std::string body;
+};
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Offered load in requests/second. **Open loop**: request i is due at
+  /// start + i/rate regardless of how long earlier requests take, so
+  /// queueing delay shows up in the measured latency instead of silently
+  /// throttling the offered load (the closed-loop lie / coordinated
+  /// omission).
+  double rate = 100.0;
+  int total_requests = 1000;
+  /// Client threads; request i is issued by thread i % num_threads. Enough
+  /// threads must be configured that a slow response on one does not starve
+  /// the schedule of the others.
+  int num_threads = 4;
+  HttpLimits limits;
+};
+
+struct LoadgenResults {
+  int64_t issued = 0;
+  int64_t ok = 0;                // 2xx
+  int64_t http_503 = 0;          // shed by admission control
+  int64_t http_4xx = 0;
+  int64_t http_5xx = 0;          // 5xx other than 503
+  int64_t transport_errors = 0;  // connect/read failures, no response
+  double duration_s = 0.0;
+  double achieved_rps = 0.0;  // completed responses / duration
+  /// Latency is measured from each request's *scheduled* arrival time, not
+  /// from when the client thread got around to sending it — waiting behind
+  /// a previous slow response counts against the server, as it would for a
+  /// real newly-arriving client.
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Replays `script` round-robin at the configured open-loop rate and
+/// reports latency percentiles and response-class counts. Blocks until all
+/// requests have completed (or failed).
+LoadgenResults RunOpenLoop(const std::vector<LoadgenRequest>& script,
+                           const LoadgenOptions& options);
+
+}  // namespace qagview::server
+
+#endif  // QAGVIEW_SERVER_LOADGEN_H_

@@ -60,6 +60,17 @@ Result<uint64_t> QueryService::AppendRows(
   return datasets_.AppendRows(name, rows);
 }
 
+Result<AppendRowsResponse> QueryService::AppendRows(
+    const AppendRowsRequest& request) {
+  WallTimer timer;
+  QAG_ASSIGN_OR_RETURN(uint64_t version,
+                       AppendRows(request.dataset, request.rows));
+  AppendRowsResponse out;
+  out.version = version;
+  out.stats.latency_ms = timer.ElapsedMillis();
+  return out;
+}
+
 Result<uint64_t> QueryService::ReplaceTable(const std::string& name,
                                             storage::Table table) {
   return datasets_.ReplaceTable(name, std::move(table));
@@ -592,6 +603,117 @@ Result<ExploreResult> QueryService::Explore(QueryHandle handle,
   Record(RequestKind::kExplore, rs);
   if (result.ok()) result->stats = rs;
   return result;
+}
+
+// --- Struct forms: thin wrappers over the signatures above, packaging the
+// identical behaviour (including stats recording) into serializable
+// responses with uniform provenance. ----------------------------------------
+
+Result<QueryResponse> QueryService::Query(const QueryRequest& request) {
+  QAG_ASSIGN_OR_RETURN(
+      QueryInfo info,
+      Query(request.sql, request.value_column, request.options));
+  QueryResponse out;
+  out.handle = info.handle;
+  out.num_answers = info.num_answers;
+  out.num_attrs = info.num_attrs;
+  out.confidence = info.confidence;
+  out.approx.is_exact = info.is_exact;
+  out.approx.sample_fraction = info.sample_fraction;
+  out.approx.max_bound = info.max_bound;
+  out.stats = info.stats;
+  return out;
+}
+
+Result<RefineResponse> QueryService::Refine(const RefineRequest& request) {
+  RequestStats rs;
+  QAG_RETURN_IF_ERROR(Refine(request.handle, &rs));
+  RefineResponse out;
+  out.approx = ApproxFromStats(rs);
+  out.stats = rs;
+  return out;
+}
+
+Result<SummarizeResponse> QueryService::Summarize(
+    const SummarizeRequest& request) {
+  RequestStats rs;
+  QAG_ASSIGN_OR_RETURN(core::Solution solution,
+                       Summarize(request.handle, request.params, &rs));
+  SummarizeResponse out;
+  out.solution = std::move(solution);
+  out.approx = ApproxFromStats(rs);
+  out.stats = rs;
+  return out;
+}
+
+Result<GuidanceResponse> QueryService::Guidance(
+    const GuidanceRequest& request) {
+  RequestStats rs;
+  QAG_ASSIGN_OR_RETURN(
+      std::shared_ptr<const core::SolutionStore> store,
+      Guidance(request.handle, request.top_l, request.options, &rs));
+  GuidanceResponse out;
+  out.store_l = store->l();
+  out.k_max = store->k_max();
+  out.d_values = store->d_values();
+  for (int d : out.d_values) {
+    QAG_ASSIGN_OR_RETURN(int min_k, store->MinK(d));
+    out.min_ks.push_back(min_k);
+  }
+  out.num_intervals = store->num_intervals();
+  out.naive_entries = store->naive_entries();
+  out.approx = ApproxFromStats(rs);
+  out.stats = rs;
+  return out;
+}
+
+Result<RetrieveResponse> QueryService::Retrieve(
+    const RetrieveRequest& request) {
+  RequestStats rs;
+  QAG_ASSIGN_OR_RETURN(
+      core::Solution solution,
+      Retrieve(request.handle, request.top_l, request.d, request.k, &rs));
+  RetrieveResponse out;
+  out.solution = std::move(solution);
+  out.approx = ApproxFromStats(rs);
+  out.stats = rs;
+  return out;
+}
+
+Result<ExploreResponse> QueryService::Explore(const ExploreRequest& request) {
+  QAG_ASSIGN_OR_RETURN(
+      ExploreResult result,
+      Explore(request.handle, request.params, request.max_members));
+  ExploreResponse out;
+  out.solution = std::move(result.solution);
+  out.view = std::move(result.view);
+  out.summary = std::move(result.summary);
+  out.expanded = std::move(result.expanded);
+  out.approx = ApproxFromStats(result.stats);
+  out.stats = result.stats;
+  return out;
+}
+
+// --- Typed per-handle accessors (what session() callers actually did). ------
+
+Result<std::shared_ptr<const core::AnswerSet>> QueryService::Answers(
+    QueryHandle handle) {
+  QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
+  QAG_RETURN_IF_ERROR(EnsureFresh(entry, /*rs=*/nullptr));
+  return entry->session->answers();
+}
+
+Status QueryService::SaveGuidance(QueryHandle handle, int top_l,
+                                  const std::string& path) {
+  QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
+  QAG_RETURN_IF_ERROR(EnsureFresh(entry, /*rs=*/nullptr));
+  return entry->session->SaveGuidance(top_l, path);
+}
+
+Result<core::Session::CacheStats> QueryService::SessionCacheStats(
+    QueryHandle handle) const {
+  QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
+  return entry->session->cache_stats();
 }
 
 Result<core::Session*> QueryService::session(QueryHandle handle) {

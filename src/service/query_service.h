@@ -16,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "core/explore.h"
 #include "core/session.h"
+#include "service/api.h"
 #include "service/catalog.h"
 
 namespace qagview::service {
@@ -32,90 +33,10 @@ struct ServiceOptions {
   int sample_capacity = 4096;
 };
 
-/// How Query() trades answer latency against exactness.
-enum class QueryMode {
-  /// Always build the exact answer set before responding (the default;
-  /// identical to the service's pre-approximation behaviour).
-  kExactOnly,
-  /// Cold queries respond with a sample-based approximate answer set
-  /// immediately; a background exact build then republishes through the
-  /// ordinary refresh machinery (two-phase publication). Warm requests see
-  /// whichever phase is published.
-  kApproxFirst,
-  /// Respond approximately and stay approximate until the client
-  /// explicitly calls Refine() (the refine trigger).
-  kApproxOnly,
-};
-
-/// Per-Query() knobs (the mode knob plus its parameters).
-struct QueryOptions {
-  QueryMode mode = QueryMode::kExactOnly;
-  /// Two-sided confidence level of per-answer error bounds in the
-  /// approximate modes; must be in (0, 1). Ignored by kExactOnly.
-  double confidence = 0.95;
-};
-
-/// What one request cost and where its answer came from — returned
-/// alongside every response so clients (and the stress harness) can see
-/// cache behaviour per call, not just in aggregate.
-struct RequestStats {
-  double latency_ms = 0.0;
-  /// Served from an already-cached structure (session, universe, or grid).
-  bool cache_hit = false;
-  /// Blocked on another client's identical in-flight work (single-flight
-  /// coalescing) instead of duplicating it.
-  bool coalesced = false;
-  /// This request paid for the build (cache miss, leader).
-  bool built = false;
-  /// This request found its handle stale (the catalog moved past the
-  /// versions the session was built from) and led the refresh: SQL
-  /// re-executed against the new snapshot, caches reused or rebuilt by
-  /// input fingerprint (core::Session::Refresh).
-  bool refreshed = false;
-  /// The answer set this request served from was approximate (sample-based
-  /// estimates with error bounds); false = exact. Exact-mode responses are
-  /// never approximate, by construction.
-  bool approximate = false;
-  /// Sample fraction (n / N) behind an approximate response; 1.0 if exact.
-  double sample_fraction = 1.0;
-  /// Largest per-answer confidence-interval half-width in the served
-  /// answer set; 0.0 if exact.
-  double max_bound = 0.0;
-};
-
-/// Opaque reference to a cached query answer set; obtained from Query().
-/// The handle itself (and the session behind it) stays valid for the
-/// service's lifetime — but the structures reached *through* it follow
-/// drain-then-evict semantics: Guidance returns a shared_ptr that pins its
-/// answer-set generation, and once a dataset update retires a generation
-/// it is destroyed as soon as the last such handle drops. Never store raw
-/// pointers extracted from those handles.
-using QueryHandle = int64_t;
-
-/// Query() response: the handle plus the answer-set shape.
-struct QueryInfo {
-  QueryHandle handle = -1;
-  int num_answers = 0;  // n — ranked tuples in the answer set
-  int num_attrs = 0;    // m — grouping attributes
-  RequestStats stats;   // cache_hit = an existing session was reused
-  /// Provenance of the published answer set at response time. An
-  /// approx-first handle starts with is_exact == false and flips to true
-  /// once background refinement republishes the exact generation.
-  bool is_exact = true;
-  double sample_fraction = 1.0;  // n / N (1.0 when exact)
-  double max_bound = 0.0;        // largest per-answer CI half-width
-  double confidence = 0.0;       // bound confidence level (0 when exact)
-};
-
-/// Explore() response: the solution with both display layers rendered
-/// (Figures 1b/1c).
-struct ExploreResult {
-  core::Solution solution;
-  core::TwoLayerView view;
-  std::string summary;   // first layer (RenderSummary)
-  std::string expanded;  // second layer (RenderExpanded, bounded members)
-  RequestStats stats;
-};
+// QueryMode, QueryOptions, RequestStats, QueryHandle, QueryInfo,
+// ExploreResult, ServiceStats, and the request/response struct pairs all
+// live in service/api.h (the transport-agnostic API surface); this header
+// re-exports them through its include for existing callers.
 
 /// \brief Thread-safe front door to the whole pipeline: datasets → SQL →
 /// cached answer sets → shared interactive sessions.
@@ -193,6 +114,10 @@ class QueryService {
       const std::string& name,
       const std::vector<std::vector<storage::Value>>& rows);
 
+  /// Struct form of AppendRows: same semantics, with the request's cost
+  /// embedded in the response like every other operation.
+  Result<AppendRowsResponse> AppendRows(const AppendRowsRequest& request);
+
   /// Replaces dataset `name` wholesale (schema may change), creating it if
   /// absent; same staleness semantics as AppendRows.
   Result<uint64_t> ReplaceTable(const std::string& name,
@@ -225,6 +150,10 @@ class QueryService {
                           const std::string& value_column,
                           const QueryOptions& options);
 
+  /// Struct form of Query(): identical semantics, with provenance and
+  /// request stats embedded uniformly (the shape src/server serializes).
+  Result<QueryResponse> Query(const QueryRequest& request);
+
   /// The refine trigger: synchronously upgrades the handle's answer set to
   /// exact (and fresh), coalescing with any in-flight refresh or background
   /// refinement of the same handle. No-op on an already-exact handle. The
@@ -232,12 +161,18 @@ class QueryService {
   /// from the same snapshot.
   Status Refine(QueryHandle handle, RequestStats* stats = nullptr);
 
+  /// Struct form of Refine().
+  Result<RefineResponse> Refine(const RefineRequest& request);
+
   // --- Interactive ops on a handle -------------------------------------
 
   /// One-off summarization under (k, L, D) — Session::Summarize.
   Result<core::Solution> Summarize(QueryHandle handle,
                                    const core::Params& params,
                                    RequestStats* stats = nullptr);
+
+  /// Struct form of Summarize().
+  Result<SummarizeResponse> Summarize(const SummarizeRequest& request);
 
   /// Ensures the (k, D) grid serving `top_l` exists — Session::Guidance.
   /// The returned handle pins the store (and its whole answer-set
@@ -248,9 +183,17 @@ class QueryService {
       const core::PrecomputeOptions& options = core::PrecomputeOptions(),
       RequestStats* stats = nullptr);
 
+  /// Struct form of Guidance(): builds (or reuses) the grid and reports
+  /// its serializable shape — over a transport only the metadata travels,
+  /// and Retrieve() serves the individual solutions.
+  Result<GuidanceResponse> Guidance(const GuidanceRequest& request);
+
   /// Instant retrieval from a precomputed grid — Session::Retrieve.
   Result<core::Solution> Retrieve(QueryHandle handle, int top_l, int d,
                                   int k, RequestStats* stats = nullptr);
+
+  /// Struct form of Retrieve().
+  Result<RetrieveResponse> Retrieve(const RetrieveRequest& request);
 
   /// Summarize plus both rendered display layers (Figures 1b/1c): the
   /// two-layer view, the collapsed summary, and the expanded member lists
@@ -259,61 +202,42 @@ class QueryService {
                                 const core::Params& params,
                                 int max_members = 8);
 
-  /// The shared session behind a handle (e.g. for Save/LoadGuidance or
-  /// CacheStats); owned by the service, itself fully thread-safe. Like
-  /// every other per-handle op, refreshes the handle first if the catalog
-  /// has moved past the versions it was built from.
+  /// Struct form of Explore().
+  Result<ExploreResponse> Explore(const ExploreRequest& request);
+
+  // --- Per-handle accessors (the typed replacements for session()) ------
+
+  /// The currently published answer set behind a handle, brought fresh
+  /// first like every serving op. The shared_ptr pins the set's generation
+  /// across refreshes; drop it when done reading.
+  Result<std::shared_ptr<const core::AnswerSet>> Answers(QueryHandle handle);
+
+  /// Persists the handle's (k, D) grid for `top_l` to `path`
+  /// (core::Session::SaveGuidance), building it first if needed; the file
+  /// warm-starts a future session via LoadGuidance.
+  Status SaveGuidance(QueryHandle handle, int top_l, const std::string& path);
+
+  /// Cache/generation observability for the session behind a handle.
+  /// Deliberately does NOT refresh the handle first: reading counters must
+  /// never perturb what they count (e.g. writer_lock_acquisitions).
+  Result<core::Session::CacheStats> SessionCacheStats(
+      QueryHandle handle) const;
+
+  /// The shared session behind a handle; owned by the service, itself
+  /// fully thread-safe. Like every other per-handle op, refreshes the
+  /// handle first if the catalog has moved past the versions it was built
+  /// from.
+  [[deprecated(
+      "raw session() escape hatch: use Answers / SaveGuidance / "
+      "SessionCacheStats (or the request/response API in service/api.h) "
+      "instead")]]
   Result<core::Session*> session(QueryHandle handle);
 
   // --- Aggregate statistics --------------------------------------------
 
-  /// Monotonic service-wide counters (a superset of what each RequestStats
-  /// reported): request mix, cache behaviour, and latency totals.
-  struct Stats {
-    int64_t datasets = 0;
-    int64_t sessions = 0;           // distinct cached (sql, value) pairs
-    int64_t queries = 0;            // Query() calls
-    int64_t query_cache_hits = 0;   // ... served an existing session
-    int64_t query_coalesced = 0;    // ... waited on an identical in-flight
-    int64_t summarize_requests = 0;
-    int64_t guidance_requests = 0;
-    int64_t retrieve_requests = 0;
-    int64_t explore_requests = 0;
-    int64_t cache_hits = 0;       // per-request traces, summed
-    int64_t coalesced_waits = 0;  // per-request traces, summed
-    int64_t builds = 0;           // per-request traces, summed
-    /// Stale-handle refreshes led (SQL re-executions after catalog moved),
-    /// and the subset that proved the answer set unchanged and reused
-    /// every session cache.
-    int64_t refreshes = 0;
-    int64_t refresh_full_reuses = 0;
-    /// Query() calls answered with an approximate (sample-based) set, and
-    /// non-query ops (Summarize/Guidance/Retrieve/Explore) that served
-    /// from one.
-    int64_t approx_queries = 0;
-    int64_t approx_served = 0;
-    /// Refine() calls plus background refinement tasks.
-    int64_t refine_requests = 0;
-    /// Exact builds that upgraded an approximate generation, and
-    /// refinement tasks that found the upgrade already done (another
-    /// trigger led it, or a refresh landed exact first).
-    int64_t refinements = 0;
-    int64_t refinements_superseded = 0;
-    /// Generation lifetime across all sessions (core::Session::CacheStats
-    /// summed at read time): retired generations still pinned by external
-    /// handles, generations currently alive (graveyard + one live per
-    /// session), and retired generations whose readers drained and whose
-    /// memory was reclaimed.
-    int64_t graveyard_size = 0;
-    int64_t live_generations = 0;
-    int64_t generations_evicted = 0;
-    double total_latency_ms = 0.0;
-    double max_latency_ms = 0.0;
-    int64_t requests() const {
-      return queries + summarize_requests + guidance_requests +
-             retrieve_requests + explore_requests + refine_requests;
-    }
-  };
+  /// The service-wide counter struct lives in service/api.h so transports
+  /// can serialize it; the nested name remains for existing callers.
+  using Stats = ServiceStats;
   /// Aggregates the per-thread statistic shards. Exact once the recorded
   /// requests happen-before the read (e.g. after joining the client
   /// threads); a read racing in-flight requests sees a consistent partial

@@ -53,9 +53,9 @@ ServiceOptions ApproxOptions() {
 
 std::shared_ptr<const core::AnswerSet> Answers(QueryService& service,
                                                QueryHandle handle) {
-  auto session = service.session(handle);
-  QAG_CHECK(session.ok()) << session.status().ToString();
-  return (*session)->answers();
+  auto answers = service.Answers(handle);
+  QAG_CHECK(answers.ok()) << answers.status().ToString();
+  return *answers;
 }
 
 /// Display-name key of one answer, stable across services that interned
@@ -337,9 +337,8 @@ TEST(ApproxConcurrency, ReadersSeeOnlyCompleteViewsDuringRefinement) {
     const int top_l = std::min(6, info->num_answers);
     const core::Params params{std::min(3, top_l), top_l, 2};
     ASSERT_TRUE(service.Summarize(info->handle, params).ok());
-    core::Session* session = *service.session(info->handle);
     const int64_t locks_before =
-        session->cache_stats().writer_lock_acquisitions;
+        service.SessionCacheStats(info->handle)->writer_lock_acquisitions;
     std::vector<std::thread> warm;
     for (int t = 0; t < kReaders; ++t) {
       warm.emplace_back([&] {
@@ -352,7 +351,8 @@ TEST(ApproxConcurrency, ReadersSeeOnlyCompleteViewsDuringRefinement) {
       });
     }
     for (auto& thread : warm) thread.join();
-    EXPECT_EQ(session->cache_stats().writer_lock_acquisitions, locks_before);
+    EXPECT_EQ(service.SessionCacheStats(info->handle)->writer_lock_acquisitions,
+              locks_before);
 
     // The retired approximate generation drained: no reader pins it, so
     // its memory was reclaimed (graveyard empty).

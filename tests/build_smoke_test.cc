@@ -89,6 +89,32 @@ namespace {
   }
 }
 
+// The HTTP front end the README "Serve it over HTTP" section promises —
+// the quickstart itself is shell (curl against qagview_server), so this
+// pins the underlying C++ surface it is built on: server options, the
+// server over a QueryService, and the open-loop load-generator contract.
+// If this function stops building, fix README.md and DESIGN.md to match.
+[[maybe_unused]] void ServeOverHttpSurfaceFromReadme() {
+  service::QueryService svc;
+  server::ServerOptions options;
+  options.port = 0;        // ephemeral; qagview_server defaults to 8080
+  options.num_workers = 4;
+  options.max_queue = 64;  // full queue -> 503 + Retry-After at the door
+  server::HttpServer http(&svc, options);
+  if (http.Start().ok()) {
+    server::LoadgenOptions load;
+    load.port = http.port();
+    load.rate = 200.0;  // open loop: request i due at start + i/rate
+    load.total_requests = 0;
+    server::LoadgenResults results =
+        server::RunOpenLoop({{"GET", "/healthz", ""}}, load);
+    (void)results.p99_ms;
+    (void)results.http_503;
+    http.Shutdown();  // graceful drain: admitted requests all finish
+    (void)http.stats().served_2xx;
+  }
+}
+
 TEST(BuildSmokeTest, OneTypePerLayer) {
   // common/ (pulled in transitively by every layer).
   Status ok = Status::OK();
@@ -122,6 +148,11 @@ TEST(BuildSmokeTest, OneTypePerLayer) {
   service::QueryService svc;
   EXPECT_EQ(svc.stats().requests(), 0);
   EXPECT_TRUE(svc.dataset_names().empty());
+
+  // server/
+  server::ServerOptions server_options;
+  EXPECT_EQ(server_options.bind_address, "127.0.0.1");
+  EXPECT_TRUE(server::ToJson(service::RequestStats{}).is_object());
 
   // viz/
   viz::ParamGrid grid;

@@ -1,0 +1,235 @@
+// Unit tests for the dependency-free JSON reader/writer shared by the
+// src/server front end and the bench load generator. The contract under
+// test: exact numeric round-trips (the server_test bit-identity checks
+// lean on this), deterministic insertion-ordered output, and a parser
+// that rejects hostile input with a ParseError instead of crashing.
+
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qagview::json {
+namespace {
+
+Json MustParse(const std::string& text) {
+  auto parsed = Json::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text << " -> " << parsed.status().message();
+  return parsed.ok() ? *std::move(parsed) : Json::Null();
+}
+
+TEST(JsonTest, ScalarsRoundTrip) {
+  EXPECT_EQ(MustParse("null").Dump(), "null");
+  EXPECT_EQ(MustParse("true").Dump(), "true");
+  EXPECT_EQ(MustParse("false").Dump(), "false");
+  EXPECT_EQ(MustParse("0").Dump(), "0");
+  EXPECT_EQ(MustParse("-7").Dump(), "-7");
+  EXPECT_EQ(MustParse("\"hi\"").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, DoublesRoundTripExactly) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           3.141592653589793,
+                           -2.2250738585072014e-308,
+                           1e-300,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::denorm_min(),
+                           123456.789};
+  for (double v : values) {
+    std::string text = FormatJsonNumber(v);
+    auto parsed = Json::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_TRUE(parsed->is_number());
+    EXPECT_EQ(parsed->AsDouble(), v) << text;
+    // And through a full document dump.
+    Json doc = Json::Object();
+    doc.Set("v", Json::Number(v));
+    auto reparsed = Json::Parse(doc.Dump());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->Find("v")->AsDouble(), v);
+  }
+}
+
+TEST(JsonTest, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(FormatJsonNumber(std::nan("")), "null");
+  EXPECT_EQ(FormatJsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(Json::Number(std::nan("")).Dump(), "null");
+}
+
+TEST(JsonTest, IntegersKeepExactInt64) {
+  const int64_t big = int64_t{1} << 62;  // not representable as a double
+  Json v = Json::Int(big);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.Dump(), "4611686018427387904");
+  Json back = MustParse(v.Dump());
+  EXPECT_TRUE(back.is_int());
+  EXPECT_EQ(back.AsInt(), big);
+
+  // min/max int64 survive a round trip too.
+  EXPECT_EQ(MustParse("-9223372036854775808").AsInt(),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(MustParse("9223372036854775807").AsInt(),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(JsonTest, IntegerFlavorClassification) {
+  EXPECT_TRUE(MustParse("42").is_int());
+  EXPECT_FALSE(MustParse("42.0").is_int());  // fraction -> double flavor
+  EXPECT_FALSE(MustParse("4e2").is_int());   // exponent -> double flavor
+  // Beyond int64 range falls back to double instead of failing.
+  Json huge = MustParse("92233720368547758080");
+  EXPECT_TRUE(huge.is_number());
+  EXPECT_FALSE(huge.is_int());
+  EXPECT_DOUBLE_EQ(huge.AsDouble(), 9.223372036854776e19);
+}
+
+TEST(JsonTest, StringEscapes) {
+  Json v = Json::Str("a\"b\\c\n\t\x01");
+  EXPECT_EQ(v.Dump(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  Json back = MustParse(v.Dump());
+  EXPECT_EQ(back.AsString(), v.AsString());
+
+  EXPECT_EQ(MustParse("\"\\u0041\"").AsString(), "A");
+  EXPECT_EQ(MustParse("\"\\/\"").AsString(), "/");
+  // Two-byte and three-byte UTF-8 from \u escapes.
+  EXPECT_EQ(MustParse("\"\\u00e9\"").AsString(), "\xc3\xa9");     // é
+  EXPECT_EQ(MustParse("\"\\u20ac\"").AsString(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonTest, SurrogatePairsDecodeToUtf8) {
+  // U+1F600 as the surrogate pair D83D DE00 -> 4-byte UTF-8.
+  EXPECT_EQ(MustParse("\"\\ud83d\\ude00\"").AsString(),
+            "\xf0\x9f\x98\x80");
+  // Raw UTF-8 bytes in the input pass through untouched.
+  EXPECT_EQ(MustParse("\"\xf0\x9f\x98\x80\"").AsString(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrderAndFirstMatchWins) {
+  Json doc = Json::Object();
+  doc.Set("z", Json::Int(1));
+  doc.Set("a", Json::Int(2));
+  doc.Set("z", Json::Int(3));  // duplicate key kept, lookup finds the first
+  EXPECT_EQ(doc.Dump(), "{\"z\":1,\"a\":2,\"z\":3}");
+  EXPECT_EQ(doc.Find("z")->AsInt(), 1);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  EXPECT_EQ(Json::Int(5).Find("z"), nullptr);  // non-object finds nothing
+
+  Json back = MustParse(doc.Dump());
+  EXPECT_EQ(back.Dump(), doc.Dump());
+}
+
+TEST(JsonTest, NestedStructuresRoundTrip) {
+  const std::string text =
+      "{\"answers\":[{\"attrs\":[\"F\",\"20s\"],\"value\":4.5,"
+      "\"bound\":0.125}],\"stats\":{\"cache_hit\":true,"
+      "\"latency_ms\":1.25},\"empty_arr\":[],\"empty_obj\":{}}";
+  Json doc = MustParse(text);
+  EXPECT_EQ(doc.Dump(), text);  // compact input reproduces byte-for-byte
+  ASSERT_NE(doc.Find("answers"), nullptr);
+  const Json& first = doc.Find("answers")->at(0);
+  EXPECT_EQ(first.Find("attrs")->at(1).AsString(), "20s");
+  EXPECT_EQ(first.Find("value")->AsDouble(), 4.5);
+  EXPECT_TRUE(doc.Find("stats")->Find("cache_hit")->AsBool());
+}
+
+TEST(JsonTest, WhitespaceTolerated) {
+  Json doc = MustParse(" \t\r\n{ \"a\" : [ 1 , 2 ] , \"b\" : null } \n");
+  EXPECT_EQ(doc.Dump(), "{\"a\":[1,2],\"b\":null}");
+}
+
+TEST(JsonTest, MalformedInputsRejectedWithoutCrashing) {
+  const char* corpus[] = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[1,",
+      "[1 2]",
+      "{\"a\"}",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "{a:1}",
+      "{'a':1}",
+      "[1,2],",
+      "1 2",          // trailing garbage
+      "true false",   // trailing garbage
+      "nul",
+      "tru",
+      "falsee",       // literal then trailing garbage
+      "\"unterminated",
+      "\"bad\\escape\"",
+      "\"trunc\\",
+      "\"\\u12\"",
+      "\"\\uZZZZ\"",
+      "\"\\ud83d\"",         // unpaired high surrogate
+      "\"\\ud83dxx\"",       // high surrogate then non-escape
+      "\"\\ud83d\\u0041\"",  // high surrogate then non-low-surrogate
+      "\"\\ude00\"",         // unpaired low surrogate
+      "\"ctrl\x01char\"",    // raw control char inside a string
+      "01",
+      "-",
+      "+1",
+      "1.",
+      ".5",
+      "1e",
+      "1e+",
+      "0x10",
+      "NaN",
+      "Infinity",
+      "-Infinity",
+      "1e999",  // overflows double
+  };
+  for (const char* text : corpus) {
+    auto parsed = Json::Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonTest, ParseErrorsCarryCodeAndOffset) {
+  auto parsed = Json::Parse("[1, oops]");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find("offset"), std::string::npos);
+}
+
+TEST(JsonTest, DepthLimitStopsHostileNesting) {
+  // Within the limit: fine.
+  std::string shallow;
+  for (int i = 0; i < 32; ++i) shallow += '[';
+  shallow += "1";
+  for (int i = 0; i < 32; ++i) shallow += ']';
+  EXPECT_TRUE(Json::Parse(shallow).ok());
+
+  // 100k unclosed brackets: must fail cleanly, not overflow the stack.
+  std::string hostile(100000, '[');
+  auto parsed = Json::Parse(hostile);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+
+  // The limit is configurable.
+  EXPECT_FALSE(Json::Parse("[[[[1]]]]", /*max_depth=*/2).ok());
+  EXPECT_TRUE(Json::Parse("[[[[1]]]]", /*max_depth=*/8).ok());
+}
+
+TEST(JsonTest, LargeFlatDocumentRoundTrips) {
+  Json arr = Json::Array();
+  for (int i = 0; i < 10000; ++i) {
+    Json row = Json::Object();
+    row.Set("i", Json::Int(i));
+    row.Set("v", Json::Number(i * 0.001));
+    arr.Append(std::move(row));
+  }
+  Json back = MustParse(arr.Dump());
+  ASSERT_EQ(back.size(), 10000u);
+  EXPECT_EQ(back.at(9999).Find("i")->AsInt(), 9999);
+  EXPECT_EQ(back.at(9999).Find("v")->AsDouble(), 9999 * 0.001);
+}
+
+}  // namespace
+}  // namespace qagview::json

@@ -121,15 +121,15 @@ Result<Footprint> RunOp(QueryService& service, int op) {
 /// Opens both sessions and pre-warms each one's widest universe (L=16) so
 /// the narrowest-covering-universe policy serves every request from the
 /// same universe in the serial and concurrent runs — making cluster ids,
-/// not just patterns, comparable across runs.
+/// not just patterns, comparable across runs. A Summarize at L=16 is the
+/// service-API warm trigger (one recorded request + one universe build per
+/// session, accounted for in the stats assertions below).
 void WarmUp(QueryService& service) {
   for (const char* sql : {kSqlCoarse, kSqlFine}) {
     auto info = service.Query(sql, "val");
     QAG_CHECK(info.ok()) << info.status().ToString();
-    auto session = service.session(info->handle);
-    QAG_CHECK(session.ok());
-    auto universe = (*session)->UniverseFor(16);
-    QAG_CHECK(universe.ok()) << universe.status().ToString();
+    auto solution = service.Summarize(info->handle, {4, 16, 1});
+    QAG_CHECK(solution.ok()) << solution.status().ToString();
   }
 }
 
@@ -187,15 +187,14 @@ void RunMixedWorkload(int clients) {
   for (const char* sql : {kSqlCoarse, kSqlFine}) {
     auto info = service->Query(sql, "val");
     ASSERT_TRUE(info.ok());
-    auto session = service->session(info->handle);
-    ASSERT_TRUE(session.ok());
-    core::Session::CacheStats cache = (*session)->cache_stats();
-    EXPECT_EQ(cache.universes, 1) << sql;
-    EXPECT_EQ(cache.universe_misses, 1) << sql;
+    auto cache = service->SessionCacheStats(info->handle);
+    ASSERT_TRUE(cache.ok());
+    EXPECT_EQ(cache->universes, 1) << sql;
+    EXPECT_EQ(cache->universe_misses, 1) << sql;
     // All ops share one grid shape, so exactly one precompute ran per
     // session — never one per client.
-    EXPECT_EQ(cache.stores, 1) << sql;
-    EXPECT_EQ(cache.store_misses, 1) << sql;
+    EXPECT_EQ(cache->stores, 1) << sql;
+    EXPECT_EQ(cache->store_misses, 1) << sql;
   }
 
   // Request accounting: every client call was recorded. The counters are
@@ -206,18 +205,20 @@ void RunMixedWorkload(int clients) {
   int64_t expected_non_query =
       static_cast<int64_t>(clients) * kRounds * kNumOps;
   // ops 2, 3, 5 issue Guidance + Retrieve (2 recorded requests each);
-  // ops 0, 1 issue Summarize; op 4 issues Explore.
-  EXPECT_EQ(stats.summarize_requests, expected_non_query / kNumOps * 2);
+  // ops 0, 1 issue Summarize; op 4 issues Explore. WarmUp added one
+  // Summarize per session (+2).
+  EXPECT_EQ(stats.summarize_requests, expected_non_query / kNumOps * 2 + 2);
   EXPECT_EQ(stats.explore_requests, expected_non_query / kNumOps);
   EXPECT_EQ(stats.guidance_requests, expected_non_query / kNumOps * 3);
   EXPECT_EQ(stats.retrieve_requests, expected_non_query / kNumOps * 3);
   // Per 6-op cycle: 2 Summarize + 3 Guidance + 3 Retrieve + 1 Explore =
-  // 9 recorded non-query requests.
-  const int64_t recorded_non_query = expected_non_query / kNumOps * 9;
+  // 9 recorded non-query requests, plus the 2 warm-up Summarizes.
+  const int64_t recorded_non_query = expected_non_query / kNumOps * 9 + 2;
   EXPECT_EQ(stats.requests(), stats.queries + recorded_non_query);
   // Every non-query request resolved to exactly one of {hit, built,
-  // coalesced}; with two grid precomputes total, the partition is exact.
-  EXPECT_EQ(stats.builds, 2);
+  // coalesced}; with two universe builds (warm-up) and two grid
+  // precomputes total, the partition is exact.
+  EXPECT_EQ(stats.builds, 4);
   EXPECT_EQ(stats.cache_hits + stats.builds + stats.coalesced_waits,
             recorded_non_query);
   EXPECT_EQ(stats.refreshes, 0);  // no dataset moved during the run
@@ -291,11 +292,11 @@ TEST(ServiceStressTest, ConcurrentGuidanceOnSharedSessionSingleFlight) {
   }
   EXPECT_EQ(built, 1);  // exactly one client paid for the precompute
   EXPECT_EQ(built + coalesced + hit, kClients);
-  auto session = service->session(info->handle);
-  ASSERT_TRUE(session.ok());
-  EXPECT_EQ((*session)->cache_stats().stores, 1);
-  EXPECT_EQ((*session)->cache_stats().store_misses, 1);
-  EXPECT_EQ((*session)->cache_stats().store_coalesced, coalesced);
+  auto cache = service->SessionCacheStats(info->handle);
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ(cache->stores, 1);
+  EXPECT_EQ(cache->store_misses, 1);
+  EXPECT_EQ(cache->store_coalesced, coalesced);
 }
 
 }  // namespace

@@ -241,21 +241,22 @@ TEST(QueryServiceTest, GuidanceRetrieveAndExplore) {
   EXPECT_GE(stats.max_latency_ms, 0.0);
 }
 
-TEST(QueryServiceTest, SessionAccessorAllowsGuidancePersistence) {
+TEST(QueryServiceTest, TypedAccessorsAllowGuidancePersistence) {
   auto service = MakeService();
   auto query = service->Query(kSqlCoarse, "val");
   ASSERT_TRUE(query.ok());
   ASSERT_TRUE(service->Guidance(query->handle, 10).ok());
 
-  auto session = service->session(query->handle);
-  ASSERT_TRUE(session.ok());
   std::string path = testing::TempDir() + "/qagview_service_guidance.txt";
-  EXPECT_TRUE((*session)->SaveGuidance(10, path).ok());
-  EXPECT_GE((*session)->cache_stats().stores, 1);
+  EXPECT_TRUE(service->SaveGuidance(query->handle, 10, path).ok());
+  auto cache = service->SessionCacheStats(query->handle);
+  ASSERT_TRUE(cache.ok());
+  EXPECT_GE(cache->stores, 1);
   std::remove(path.c_str());
 
-  EXPECT_FALSE(service->session(99).ok());
-  EXPECT_FALSE(service->session(-1).ok());
+  EXPECT_FALSE(service->SaveGuidance(99, 10, path).ok());
+  EXPECT_FALSE(service->SessionCacheStats(-1).ok());
+  EXPECT_FALSE(service->Answers(99).ok());
   EXPECT_FALSE(service->Summarize(99, {4, 8, 1}).ok());
 }
 
