@@ -169,87 +169,12 @@ class ThreadPool {
   std::exception_ptr exception_;
 };
 
-/// \brief Small fire-and-forget task executor for background work that must
-/// never block the submitting (foreground) thread.
-///
-/// The serve path uses it to run exact refinement builds behind approximate
-/// answers: Submit enqueues and returns immediately — it never runs the
-/// task inline, never waits for queue space, and the queue is unbounded
-/// (submission rates are bounded by the per-entry dedup at the call site).
-/// Tasks run one per worker in FIFO order.
-///
-/// Shutdown drops, it does not drain: the destructor lets tasks already
-/// running finish, discards everything still queued, and joins. Tasks must
-/// therefore be safe to never run, and must not outlive-reference state
-/// destroyed before the executor — declare a BackgroundExecutor *last* in
-/// the owning class so it is destroyed (and quiesced) first. Drain() exists
-/// for tests that need to observe a quiescent state.
-class BackgroundExecutor {
- public:
-  explicit BackgroundExecutor(int num_threads = 1) {
-    const int n = num_threads > 0 ? num_threads : 1;
-    workers_.reserve(static_cast<size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      workers_.emplace_back([this] { Loop(); });
-    }
-  }
-
-  ~BackgroundExecutor() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-      queue_.clear();  // drop, don't drain
-    }
-    cv_.notify_all();
-    for (std::thread& t : workers_) t.join();
-  }
-
-  BackgroundExecutor(const BackgroundExecutor&) = delete;
-  BackgroundExecutor& operator=(const BackgroundExecutor&) = delete;
-
-  /// Enqueues `task` and returns immediately. After shutdown began, the
-  /// task is silently dropped (callers must tolerate tasks never running).
-  void Submit(std::function<void()> task) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stop_) return;
-      queue_.push_back(std::move(task));
-    }
-    cv_.notify_one();
-  }
-
-  /// Blocks until the queue is empty and no task is running. Only
-  /// meaningful when no concurrent Submit is racing (tests, benchmarks).
-  void Drain() {
-    std::unique_lock<std::mutex> lock(mu_);
-    drained_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-  }
-
- private:
-  void Loop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (true) {
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_) return;
-      std::function<void()> task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
-      lock.unlock();
-      task();
-      lock.lock();
-      --active_;
-      if (queue_.empty() && active_ == 0) drained_cv_.notify_all();
-    }
-  }
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable drained_cv_;
-  std::deque<std::function<void()>> queue_;
-  int active_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-};
+// Deferred (fire-and-forget) work does not live here: it goes through
+// common/background_scheduler.h, the one prioritized, cancelable home for
+// refinement, prefetch, and warm-start tasks. ThreadPool remains the
+// engine-internal primitive for *synchronous* data parallelism — the
+// caller participates and blocks until the job completes — which is a
+// different contract from deferral, not a competing executor.
 
 }  // namespace qagview
 

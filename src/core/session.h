@@ -203,6 +203,40 @@ class Session {
   /// `top_l`.
   Status LoadGuidance(int top_l, const std::string& path);
 
+  /// A serialized guidance grid together with the identity of the answer
+  /// set it was built from — the unit persistent warm-start persists and
+  /// validates (service/warm_start.h wraps it in an on-disk envelope).
+  /// Produced and consumed under one pinned view, so the payload and the
+  /// fingerprints are mutually consistent even under concurrent refreshes.
+  struct GuidanceSnapshot {
+    /// The L the serialized grid was built for.
+    int store_l = 0;
+    /// Identity of the generating answer set: content fingerprint, code
+    /// space, and shape (answers x attributes).
+    uint64_t content_fingerprint = 0;
+    uint64_t domain_fingerprint = 0;
+    int num_answers = 0;
+    int num_attrs = 0;
+    /// The solution_store_io serialization of the grid.
+    std::string payload;
+  };
+
+  /// Serializes the narrowest cached grid with L' >= top_l, stamped with
+  /// its own generation's answer-set identity; requires a prior
+  /// Guidance(L') with L' >= top_l. Read-only and lock-free (one pinned
+  /// view), so it may run concurrently with serving traffic.
+  Result<GuidanceSnapshot> SnapshotGuidance(int top_l) const;
+
+  /// Installs a grid snapshotted by SnapshotGuidance — possibly in an
+  /// earlier process — skipping the precompute cost. Fails cleanly (no
+  /// session state changes) unless the snapshot's recorded identity
+  /// matches the currently published answer set exactly; the store
+  /// deserializer then re-resolves every cluster pattern against the
+  /// freshly built universe, so even a fingerprint collision cannot admit
+  /// a grid that does not fit this answer set. A stale or damaged
+  /// snapshot therefore degrades to a cold build, never a wrong answer.
+  Status LoadGuidanceSnapshot(const GuidanceSnapshot& snapshot);
+
   /// A handle to the universe serving requests at coverage level `top_l`
   /// (cached; concurrent misses for the same L coalesce onto one build).
   /// The handle pins the universe's generation across refreshes. Warm hits
@@ -347,6 +381,12 @@ class Session {
   /// options, or nullptr. Lock-free and allocation-free.
   static const SolutionStore* CoveringStore(const ReadView& view, int top_l,
                                             const PrecomputeOptions& resolved);
+
+  /// Shared admission tail of LoadGuidance / LoadGuidanceSnapshot: attach
+  /// the deserialized store to the generation its universe was pinned
+  /// from, and publish it into the serving view iff that generation is
+  /// still the live one.
+  void AdmitLoadedStore(PinnedUniverse pinned, SolutionStore store);
 
   /// Serializes writers: view publication, the flight maps, the graveyard
   /// ledger, and Generation ownership vectors. Readers take it shared only

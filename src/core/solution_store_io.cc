@@ -1,5 +1,7 @@
 #include "core/solution_store_io.h"
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -39,7 +41,32 @@ struct LineReader {
     return Status::InvalidArgument(
         StrCat("solution store line ", line_number, ": ", message));
   }
+
+  /// Parses an integer field and range-checks it *before* any narrowing
+  /// cast — the load path must survive arbitrary disk bytes, so a count
+  /// or coordinate outside its plausible range is rejected as damage
+  /// rather than truncated into something that happens to validate.
+  Result<int> BoundedInt(const std::string& field, const char* what,
+                         int64_t lo, int64_t hi) {
+    Result<int64_t> v = ParseInt64(field);
+    if (!v.ok()) return Error(StrCat("bad ", what, " '", field, "'"));
+    if (*v < lo || *v > hi) {
+      return Error(
+          StrCat(what, " = ", *v, " outside [", lo, ", ", hi, "]"));
+    }
+    return static_cast<int>(*v);
+  }
 };
+
+/// Structural ceilings for untrusted store files. Far above anything the
+/// precompute can produce, far below anything that overflows an int or
+/// turns a hostile header into unbounded work.
+constexpr int64_t kMaxL = int64_t{1} << 30;
+constexpr int64_t kMaxKMax = int64_t{1} << 30;
+constexpr int64_t kMaxAttrs = int64_t{1} << 20;
+constexpr int64_t kMaxDBlocks = int64_t{1} << 20;
+constexpr int64_t kMaxStates = int64_t{1} << 26;
+constexpr int64_t kMaxIntervals = int64_t{1} << 28;
 
 }  // namespace
 
@@ -86,10 +113,13 @@ Result<SolutionStore> DeserializeSolutionStore(const ClusterUniverse* universe,
   if (version != kFormatVersion) {
     return reader.Error(StrCat("unsupported format version ", version));
   }
-  QAG_ASSIGN_OR_RETURN(int64_t l, ParseInt64(head[2]));
-  QAG_ASSIGN_OR_RETURN(int64_t k_max, ParseInt64(head[3]));
-  QAG_ASSIGN_OR_RETURN(int64_t num_attrs, ParseInt64(head[4]));
-  QAG_ASSIGN_OR_RETURN(int64_t num_d, ParseInt64(head[5]));
+  QAG_ASSIGN_OR_RETURN(int l, reader.BoundedInt(head[2], "L", 1, kMaxL));
+  QAG_ASSIGN_OR_RETURN(int k_max,
+                       reader.BoundedInt(head[3], "k_max", 1, kMaxKMax));
+  QAG_ASSIGN_OR_RETURN(int num_attrs,
+                       reader.BoundedInt(head[4], "num_attrs", 1, kMaxAttrs));
+  QAG_ASSIGN_OR_RETURN(int64_t num_d,
+                       reader.BoundedInt(head[5], "num_d", 0, kMaxDBlocks));
   const int m = universe->answer_set().num_attrs();
   if (num_attrs != m) {
     return reader.Error(StrCat("store has ", num_attrs,
@@ -110,18 +140,26 @@ Result<SolutionStore> DeserializeSolutionStore(const ClusterUniverse* universe,
       return reader.Error("bad per-D header");
     }
     SolutionStore::PartsPerD part;
-    QAG_ASSIGN_OR_RETURN(int64_t d, ParseInt64(fields[1]));
-    QAG_ASSIGN_OR_RETURN(int64_t num_states, ParseInt64(fields[3]));
-    QAG_ASSIGN_OR_RETURN(int64_t num_intervals, ParseInt64(fields[5]));
-    part.d = static_cast<int>(d);
+    QAG_ASSIGN_OR_RETURN(int d, reader.BoundedInt(fields[1], "D", 0, m));
+    QAG_ASSIGN_OR_RETURN(
+        int64_t num_states,
+        reader.BoundedInt(fields[3], "state count", 1, kMaxStates));
+    QAG_ASSIGN_OR_RETURN(
+        int64_t num_intervals,
+        reader.BoundedInt(fields[5], "interval count", 0, kMaxIntervals));
+    part.d = d;
 
     for (int64_t r = 0; r < num_states; ++r) {
       QAG_ASSIGN_OR_RETURN(std::string line, reader.Next());
       std::vector<std::string> sv = Split(line, ' ');
       if (sv.size() != 3 || sv[0] != "s") return reader.Error("bad state row");
-      QAG_ASSIGN_OR_RETURN(int64_t size, ParseInt64(sv[1]));
-      QAG_ASSIGN_OR_RETURN(double value, ParseDouble(sv[2]));
-      part.size_value.emplace_back(static_cast<int>(size), value);
+      QAG_ASSIGN_OR_RETURN(int size,
+                           reader.BoundedInt(sv[1], "state size", 1, kMaxL));
+      Result<double> value = ParseDouble(sv[2]);
+      if (!value.ok() || !std::isfinite(*value)) {
+        return reader.Error(StrCat("bad state value '", sv[2], "'"));
+      }
+      part.size_value.emplace_back(size, *value);
     }
 
     for (int64_t r = 0; r < num_intervals; ++r) {
@@ -132,17 +170,19 @@ Result<SolutionStore> DeserializeSolutionStore(const ClusterUniverse* universe,
             StrCat("bad interval row (expected ", 3 + m, " fields)"));
       }
       SolutionStore::IntervalRecord record;
-      QAG_ASSIGN_OR_RETURN(int64_t lo, ParseInt64(fields2[1]));
-      QAG_ASSIGN_OR_RETURN(int64_t hi, ParseInt64(fields2[2]));
-      record.lo = static_cast<int>(lo);
-      record.hi = static_cast<int>(hi);
+      QAG_ASSIGN_OR_RETURN(record.lo,
+                           reader.BoundedInt(fields2[1], "lo", 1, kMaxKMax));
+      QAG_ASSIGN_OR_RETURN(record.hi,
+                           reader.BoundedInt(fields2[2], "hi", 1, kMaxKMax));
       std::vector<int32_t> pattern(static_cast<size_t>(m));
       for (int a = 0; a < m; ++a) {
         const std::string& field = fields2[static_cast<size_t>(3 + a)];
         if (field == "*") {
           pattern[static_cast<size_t>(a)] = kWildcard;
         } else {
-          QAG_ASSIGN_OR_RETURN(int64_t code, ParseInt64(field));
+          QAG_ASSIGN_OR_RETURN(
+              int code,
+              reader.BoundedInt(field, "attribute code", 0, INT32_MAX));
           pattern[static_cast<size_t>(a)] = static_cast<int32_t>(code);
         }
       }
@@ -156,8 +196,7 @@ Result<SolutionStore> DeserializeSolutionStore(const ClusterUniverse* universe,
     }
     parts.push_back(std::move(part));
   }
-  return SolutionStore::FromParts(universe, static_cast<int>(l),
-                                  static_cast<int>(k_max), std::move(parts));
+  return SolutionStore::FromParts(universe, l, k_max, std::move(parts));
 }
 
 Status SaveSolutionStore(const SolutionStore& store, const std::string& path) {
@@ -192,7 +231,15 @@ Result<int> PeekSolutionStoreL(const std::string& path) {
     return Status::InvalidArgument(
         StrCat(path, ": bad header (expected 'qagview-store <version> ...')"));
   }
+  QAG_ASSIGN_OR_RETURN(int64_t version, ParseInt64(head[1]));
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        StrCat(path, ": unsupported format version ", version));
+  }
   QAG_ASSIGN_OR_RETURN(int64_t l, ParseInt64(head[2]));
+  if (l < 1 || l > (int64_t{1} << 30)) {
+    return Status::InvalidArgument(StrCat(path, ": implausible L = ", l));
+  }
   return static_cast<int>(l);
 }
 

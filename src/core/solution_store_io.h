@@ -31,7 +31,12 @@ std::string SerializeSolutionStore(const SolutionStore& store);
 
 /// Parses `text` and rebuilds the store against `universe` (which must
 /// outlive the result). The universe must have been built from the same
-/// answer set with top_l >= the store's L.
+/// answer set with top_l >= the store's L. The text is treated as
+/// untrusted disk state (warm-start snapshots survive process restarts):
+/// every count and coordinate is range-checked before any narrowing cast,
+/// and truncation, bit flips, lying headers, or a wrong version fail with
+/// a clean InvalidArgument — never a crash, never a partially built store
+/// (SolutionStore::FromParts is all-or-nothing).
 Result<SolutionStore> DeserializeSolutionStore(const ClusterUniverse* universe,
                                                const std::string& text);
 

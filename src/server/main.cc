@@ -24,7 +24,16 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--workers N] [--queue N]\n"
-               "          [--dataset name=path.csv]...\n",
+               "          [--dataset name=path.csv]...\n"
+               "          [--snapshot-dir DIR] [--prefetch]\n"
+               "          [--background-threads N]\n"
+               "\n"
+               "  --snapshot-dir DIR      persist guidance grids to DIR and\n"
+               "                          warm-start new sessions from them\n"
+               "  --prefetch              speculatively build likely next\n"
+               "                          exploration levels in the background\n"
+               "  --background-threads N  workers for refinement/prefetch\n"
+               "                          (default 1)\n",
                argv0);
 }
 
@@ -35,6 +44,7 @@ int main(int argc, char** argv) {
 
   server::ServerOptions options;
   options.port = 8080;
+  service::ServiceOptions service_options;
   std::vector<std::pair<std::string, std::string>> datasets;
 
   for (int i = 1; i < argc; ++i) {
@@ -54,6 +64,12 @@ int main(int argc, char** argv) {
       options.num_workers = std::atoi(next());
     } else if (arg == "--queue") {
       options.max_queue = std::atoi(next());
+    } else if (arg == "--snapshot-dir") {
+      service_options.snapshot_dir = next();
+    } else if (arg == "--prefetch") {
+      service_options.prefetch = true;
+    } else if (arg == "--background-threads") {
+      service_options.background_threads = std::atoi(next());
     } else if (arg == "--dataset") {
       const std::string spec = next();
       const size_t eq = spec.find('=');
@@ -77,7 +93,7 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGINT);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
-  service::QueryService service;
+  service::QueryService service(service_options);
   for (const auto& [name, path] : datasets) {
     Status status = service.RegisterCsvFile(name, path);
     if (!status.ok()) {

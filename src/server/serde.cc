@@ -623,6 +623,9 @@ Json ToJson(const service::ServiceStats& stats) {
   out.Set("graveyard_size", Json::Int(stats.graveyard_size));
   out.Set("live_generations", Json::Int(stats.live_generations));
   out.Set("generations_evicted", Json::Int(stats.generations_evicted));
+  out.Set("prefetch_issued", Json::Int(stats.prefetch_issued));
+  out.Set("prefetch_hits", Json::Int(stats.prefetch_hits));
+  out.Set("warm_start_loads", Json::Int(stats.warm_start_loads));
   out.Set("total_latency_ms", Json::Number(stats.total_latency_ms));
   out.Set("max_latency_ms", Json::Number(stats.max_latency_ms));
   out.Set("requests", Json::Int(stats.requests()));
@@ -662,6 +665,10 @@ Result<service::ServiceStats> ServiceStatsFromJson(const Json& doc) {
                        GetInt(doc, "live_generations"));
   QAG_ASSIGN_OR_RETURN(out.generations_evicted,
                        GetInt(doc, "generations_evicted"));
+  QAG_ASSIGN_OR_RETURN(out.prefetch_issued, GetInt(doc, "prefetch_issued"));
+  QAG_ASSIGN_OR_RETURN(out.prefetch_hits, GetInt(doc, "prefetch_hits"));
+  QAG_ASSIGN_OR_RETURN(out.warm_start_loads,
+                       GetInt(doc, "warm_start_loads"));
   QAG_ASSIGN_OR_RETURN(out.total_latency_ms,
                        GetDouble(doc, "total_latency_ms"));
   QAG_ASSIGN_OR_RETURN(out.max_latency_ms, GetDouble(doc, "max_latency_ms"));

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "service/warm_start.h"
 #include "sql/executor.h"
 
 namespace qagview::service {
@@ -42,7 +44,9 @@ const char* ModeTag(QueryMode mode) {
 QueryService::QueryService(ServiceOptions options)
     : options_(std::move(options)),
       datasets_(CatalogOptionsFor(options_)),
-      registry_(std::make_shared<const Registry>()) {}
+      registry_(std::make_shared<const Registry>()),
+      predictor_(options_.prefetch_predictions),
+      scheduler_(options_.background_threads) {}
 
 Status QueryService::RegisterTable(const std::string& name,
                                    storage::Table table) {
@@ -57,7 +61,12 @@ Status QueryService::RegisterCsvFile(const std::string& name,
 Result<uint64_t> QueryService::AppendRows(
     const std::string& name,
     const std::vector<std::vector<storage::Value>>& rows) {
-  return datasets_.AppendRows(name, rows);
+  Result<uint64_t> version = datasets_.AppendRows(name, rows);
+  // The catalog moved: every queued speculative task tokened below the new
+  // version was predicted against data that no longer exists. Drop it at
+  // the queue instead of letting it build caches a refresh will retire.
+  if (version.ok()) scheduler_.InvalidateBelow(*version);
+  return version;
 }
 
 Result<AppendRowsResponse> QueryService::AppendRows(
@@ -73,7 +82,9 @@ Result<AppendRowsResponse> QueryService::AppendRows(
 
 Result<uint64_t> QueryService::ReplaceTable(const std::string& name,
                                             storage::Table table) {
-  return datasets_.ReplaceTable(name, std::move(table));
+  Result<uint64_t> version = datasets_.ReplaceTable(name, std::move(table));
+  if (version.ok()) scheduler_.InvalidateBelow(*version);
+  return version;
 }
 
 std::vector<std::string> QueryService::dataset_names() const {
@@ -93,6 +104,12 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
                                       const std::string& value_column,
                                       const QueryOptions& options) {
   WallTimer timer;
+  // Foreground gate: while any serving request is in flight, the scheduler
+  // parks its prefetch lane, so speculation can never delay the answer the
+  // user is actually waiting on. A null scheduler pointer (prefetch off)
+  // makes the guard a no-op with zero atomics.
+  BackgroundScheduler::ForegroundGuard fg(
+      options_.prefetch ? &scheduler_ : nullptr);
   const std::string trimmed(StripWhitespace(sql));
   RequestStats rs;
   if (trimmed.empty()) {
@@ -212,6 +229,7 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
       session->set_num_threads(options_.num_threads);
       auto entry = std::make_unique<SessionEntry>();
       entry->session = std::move(session);
+      entry->key = key;
       entry->sql = trimmed;
       entry->value_column = value_column;
       entry->mode = options.mode;
@@ -255,6 +273,12 @@ Result<QueryInfo> QueryService::Query(const std::string& sql,
       // (foreground) response returns the approximate set now.
       ScheduleRefinement(published);
     }
+    // A freshly built session is the coldest it will ever be: try to
+    // restore last session's guidance grid from disk, then speculate on
+    // the exploration levels sessions historically open with. Both are
+    // background tasks; neither delays this response.
+    ScheduleWarmStartLoad(published);
+    SchedulePrefetch(published, study::MoveKind::kQuery, /*level=*/0);
     rs.latency_ms = timer.ElapsedMillis();
     Record(RequestKind::kQuery, rs);
     info.stats = rs;
@@ -461,7 +485,10 @@ void QueryService::ScheduleRefinement(SessionEntry* entry) {
   // the task clears the flag *before* reconciling so a refresh landing
   // during its exact build can queue a follow-up instead of being lost.
   if (entry->refine_queued.exchange(true, std::memory_order_acq_rel)) return;
-  refine_pool_.Submit([this, entry] {
+  // Token 0: refinement is *owed* work (the client was promised an exact
+  // set), so a catalog mutation must not cancel it — Reconcile rebuilds
+  // against the newest snapshot anyway, folding the mutation in.
+  auto task = [this, entry] {
     WallTimer timer;
     entry->refine_queued.store(false, std::memory_order_release);
     RequestStats rs;
@@ -477,7 +504,9 @@ void QueryService::ScheduleRefinement(SessionEntry* entry) {
     StampApproximation(entry, &rs);
     rs.latency_ms = timer.ElapsedMillis();
     Record(RequestKind::kRefine, rs);
-  });
+  };
+  scheduler_.Submit(BackgroundScheduler::Lane::kRefinement, /*token=*/0,
+                    std::move(task));
 }
 
 void QueryService::StampApproximation(SessionEntry* entry, RequestStats* rs) {
@@ -490,6 +519,8 @@ void QueryService::StampApproximation(SessionEntry* entry, RequestStats* rs) {
 
 Status QueryService::Refine(QueryHandle handle, RequestStats* stats) {
   WallTimer timer;
+  BackgroundScheduler::ForegroundGuard fg(
+      options_.prefetch ? &scheduler_ : nullptr);
   RequestStats rs;
   auto run = [&]() -> Status {
     QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
@@ -508,6 +539,8 @@ Result<core::Solution> QueryService::Summarize(QueryHandle handle,
                                                const core::Params& params,
                                                RequestStats* stats) {
   WallTimer timer;
+  BackgroundScheduler::ForegroundGuard fg(
+      options_.prefetch ? &scheduler_ : nullptr);
   RequestStats rs;
   auto run = [&]() -> Result<core::Solution> {
     QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
@@ -517,6 +550,10 @@ Result<core::Solution> QueryService::Summarize(QueryHandle handle,
         entry->session->Summarize(params, core::HybridOptions(), &trace);
     MergeTrace(trace, &rs);
     StampApproximation(entry, &rs);
+    if (solution.ok()) {
+      CountPrefetchHit(entry, params.L, /*want_store=*/false, rs);
+      SchedulePrefetch(entry, study::MoveKind::kSummarize, params.L);
+    }
     return solution;
   };
   Result<core::Solution> solution = run();
@@ -530,6 +567,8 @@ Result<std::shared_ptr<const core::SolutionStore>> QueryService::Guidance(
     QueryHandle handle, int top_l, const core::PrecomputeOptions& options,
     RequestStats* stats) {
   WallTimer timer;
+  BackgroundScheduler::ForegroundGuard fg(
+      options_.prefetch ? &scheduler_ : nullptr);
   RequestStats rs;
   auto run = [&]() -> Result<std::shared_ptr<const core::SolutionStore>> {
     QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
@@ -539,6 +578,13 @@ Result<std::shared_ptr<const core::SolutionStore>> QueryService::Guidance(
         entry->session->Guidance(top_l, options, &trace);
     MergeTrace(trace, &rs);
     StampApproximation(entry, &rs);
+    if (store.ok()) {
+      CountPrefetchHit(entry, top_l, /*want_store=*/true, rs);
+      SchedulePrefetch(entry, study::MoveKind::kGuidance, top_l);
+      // A foreground-built exact grid is exactly what the next process
+      // start wants warm: persist it (best-effort, off the hot path).
+      if (rs.built && !rs.approximate) ScheduleSnapshotWrite(entry, top_l);
+    }
     return store;
   };
   Result<std::shared_ptr<const core::SolutionStore>> store = run();
@@ -552,6 +598,8 @@ Result<core::Solution> QueryService::Retrieve(QueryHandle handle, int top_l,
                                               int d, int k,
                                               RequestStats* stats) {
   WallTimer timer;
+  BackgroundScheduler::ForegroundGuard fg(
+      options_.prefetch ? &scheduler_ : nullptr);
   RequestStats rs;
   auto run = [&]() -> Result<core::Solution> {
     QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
@@ -574,6 +622,8 @@ Result<ExploreResult> QueryService::Explore(QueryHandle handle,
                                             const core::Params& params,
                                             int max_members) {
   WallTimer timer;
+  BackgroundScheduler::ForegroundGuard fg(
+      options_.prefetch ? &scheduler_ : nullptr);
   RequestStats rs;
   auto run = [&]() -> Result<ExploreResult> {
     QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
@@ -596,6 +646,8 @@ Result<ExploreResult> QueryService::Explore(QueryHandle handle,
         core::RenderExpanded(*universe, result.solution, max_members);
     MergeTrace(trace, &rs);
     StampApproximation(entry, &rs);
+    CountPrefetchHit(entry, params.L, /*want_store=*/false, rs);
+    SchedulePrefetch(entry, study::MoveKind::kExplore, params.L);
     return result;
   };
   Result<ExploreResult> result = run();
@@ -694,7 +746,9 @@ Result<ExploreResponse> QueryService::Explore(const ExploreRequest& request) {
   return out;
 }
 
-// --- Typed per-handle accessors (what session() callers actually did). ------
+// --- Typed per-handle accessors (the narrow replacements for the removed
+// session() escape hatch: every read goes through freshness + the RCU view,
+// never a raw Session pointer). ----------------------------------------------
 
 Result<std::shared_ptr<const core::AnswerSet>> QueryService::Answers(
     QueryHandle handle) {
@@ -716,10 +770,146 @@ Result<core::Session::CacheStats> QueryService::SessionCacheStats(
   return entry->session->cache_stats();
 }
 
-Result<core::Session*> QueryService::session(QueryHandle handle) {
-  QAG_ASSIGN_OR_RETURN(SessionEntry* entry, Lookup(handle));
-  QAG_RETURN_IF_ERROR(EnsureFresh(entry, /*rs=*/nullptr));
-  return entry->session.get();
+// --- Background work: speculation and persistence. --------------------------
+
+void QueryService::SchedulePrefetch(SessionEntry* entry, study::MoveKind kind,
+                                    int level) {
+  if (!options_.prefetch) return;
+  // While the published set is approximate the background cycles belong to
+  // the exact refinement; anything speculated now would be retired by the
+  // exact republish anyway.
+  if (!entry->session->approximation().is_exact) return;
+  const int num_answers =
+      static_cast<int>(entry->session->answers()->size());
+  const std::vector<int> targets =
+      kind == study::MoveKind::kQuery
+          ? predictor_.InitialLevels(num_answers)
+          : predictor_.NextLevels(kind, level, num_answers);
+  // Guidance historically leads to more guidance (drill-downs over the
+  // grid), so speculate whole stores there; after Summarize/Explore/Query
+  // the cheaper universe covers the likely next move.
+  const bool want_store = kind == study::MoveKind::kGuidance;
+  const uint64_t token = datasets_.version();
+  for (int target : targets) {
+    Bump(&ServiceStats::prefetch_issued);
+    auto task = [this, entry, target, want_store] {
+      // Token validity at dequeue proves no catalog mutation landed since
+      // submit, so the entry is as fresh as when the predictor fired: no
+      // EnsureFresh, no locks on the foreground path.
+      core::Session::RequestTrace trace;
+      bool ok;
+      if (want_store) {
+        ok = entry->session
+                 ->Guidance(target, core::PrecomputeOptions(), &trace)
+                 .ok();
+      } else {
+        ok = entry->session->UniverseFor(target, &trace).ok();
+      }
+      // Only a build this task *led* is claimable as a prefetch win; a
+      // cache hit means someone else (foreground or earlier prefetch)
+      // already paid for the structure.
+      if (!ok || !trace.built) return;
+      {
+        std::lock_guard<std::mutex> lock(entry->prefetch_mu);
+        entry->prefetched.emplace_back(target, want_store);
+      }
+      if (want_store) ScheduleSnapshotWrite(entry, target);
+    };
+    scheduler_.Submit(BackgroundScheduler::Lane::kPrefetch, token,
+                      std::move(task));
+  }
+}
+
+void QueryService::CountPrefetchHit(SessionEntry* entry, int level,
+                                    bool want_store, const RequestStats& rs) {
+  // Only a warm serve can have been a prefetch win, and only if a ledger
+  // entry covers the request: a universe or store for L' >= level serves
+  // level (wider structures subsume narrower requests), and a store
+  // satisfies a universe request but not vice versa.
+  if (!options_.prefetch || !rs.cache_hit) return;
+  {
+    std::lock_guard<std::mutex> lock(entry->prefetch_mu);
+    auto it = std::find_if(entry->prefetched.begin(), entry->prefetched.end(),
+                           [&](const std::pair<int, bool>& p) {
+                             return p.first >= level &&
+                                    (p.second || !want_store);
+                           });
+    if (it == entry->prefetched.end()) return;
+    // Claim once: a single speculative build must not be counted as a win
+    // by every later request it keeps serving.
+    entry->prefetched.erase(it);
+  }
+  Bump(&ServiceStats::prefetch_hits);
+}
+
+void QueryService::ScheduleWarmStartLoad(SessionEntry* entry) {
+  if (options_.snapshot_dir.empty()) return;
+  const std::string path =
+      options_.snapshot_dir + "/" + WarmStartFileName(entry->key);
+  // Foreground-build lane: a warm start substitutes for the grid build the
+  // first Guidance would otherwise pay, so it must not queue behind
+  // speculation. Tokened with the current version: a catalog mutation
+  // in between makes the snapshot's fingerprints unverifiable against the
+  // (about to be refreshed) answer set, so the load is dropped.
+  auto task = [this, entry, path] {
+    Result<WarmStartSnapshot> snap = ReadWarmStartSnapshot(path);
+    if (!snap.ok()) return;  // absent, truncated, or damaged: stay cold
+    core::Session::GuidanceSnapshot gs;
+    gs.store_l = snap->store_l;
+    gs.content_fingerprint = snap->content_fingerprint;
+    gs.domain_fingerprint = snap->domain_fingerprint;
+    gs.num_answers = snap->num_answers;
+    gs.num_attrs = snap->num_attrs;
+    gs.payload = std::move(snap->payload);
+    // A snapshot from a different query, catalog state, or a damaged
+    // payload fails validation inside the session and leaves it cold —
+    // a wrong answer is never possible, only a missed warm start.
+    if (entry->session->LoadGuidanceSnapshot(gs).ok()) {
+      Bump(&ServiceStats::warm_start_loads);
+    }
+  };
+  scheduler_.Submit(BackgroundScheduler::Lane::kForegroundBuild,
+                    datasets_.version(), std::move(task));
+}
+
+void QueryService::ScheduleSnapshotWrite(SessionEntry* entry, int top_l) {
+  if (options_.snapshot_dir.empty()) return;
+  const std::string path =
+      options_.snapshot_dir + "/" + WarmStartFileName(entry->key);
+  auto task = [this, entry, top_l, path] {
+    // Never persist estimates: an approximate grid would warm-start a
+    // future exact session with sampled values.
+    if (!entry->session->approximation().is_exact) return;
+    Result<core::Session::GuidanceSnapshot> gs =
+        entry->session->SnapshotGuidance(top_l);
+    if (!gs.ok()) return;
+    WarmStartSnapshot snap;
+    snap.catalog_version = entry->fresh_at.load(std::memory_order_acquire);
+    snap.content_fingerprint = gs->content_fingerprint;
+    snap.domain_fingerprint = gs->domain_fingerprint;
+    snap.num_answers = gs->num_answers;
+    snap.num_attrs = gs->num_attrs;
+    snap.store_l = gs->store_l;
+    snap.payload = std::move(gs->payload);
+    // Best-effort: a failed write (full disk, unwritable dir) costs the
+    // next process a cold build, nothing else.
+    Status written = WriteWarmStartSnapshot(path, snap);
+    (void)written;
+  };
+  scheduler_.Submit(BackgroundScheduler::Lane::kPrefetch, datasets_.version(),
+                    std::move(task));
+}
+
+void QueryService::Bump(int64_t ServiceStats::*field) {
+  StatShard& shard = stat_shards_.Local();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.stats.*field += 1;
+}
+
+void QueryService::DrainBackgroundWork() { scheduler_.Drain(); }
+
+BackgroundScheduler::Counters QueryService::scheduler_counters() const {
+  return scheduler_.counters();
 }
 
 void QueryService::Record(RequestKind kind, const RequestStats& stats) {
@@ -786,6 +976,9 @@ QueryService::Stats QueryService::stats() const {
     out.refine_requests += s.refine_requests;
     out.refinements += s.refinements;
     out.refinements_superseded += s.refinements_superseded;
+    out.prefetch_issued += s.prefetch_issued;
+    out.prefetch_hits += s.prefetch_hits;
+    out.warm_start_loads += s.warm_start_loads;
     out.total_latency_ms += s.total_latency_ms;
     out.max_latency_ms = std::max(out.max_latency_ms, s.max_latency_ms);
   });

@@ -10,14 +10,15 @@
 #include <string>
 #include <vector>
 
+#include "common/background_scheduler.h"
 #include "common/result.h"
 #include "common/sharded_stats.h"
 #include "common/single_flight.h"
-#include "common/thread_pool.h"
 #include "core/explore.h"
 #include "core/session.h"
 #include "service/api.h"
 #include "service/catalog.h"
+#include "service/prefetch.h"
 
 namespace qagview::service {
 
@@ -31,6 +32,27 @@ struct ServiceOptions {
   /// approximate-first serving (DatasetCatalogOptions::sample_capacity).
   /// <= 0 disables sampling: every mode serves exact answers.
   int sample_capacity = 4096;
+  /// Worker count of the unified background scheduler (warm-start loads,
+  /// refinements, prefetch; <= 0: one worker). One worker preserves the
+  /// strict FIFO refinement order the pre-scheduler service had.
+  int background_threads = 1;
+  /// Exploration-aware prefetch: after each foreground Summarize /
+  /// Guidance / Explore (and each cold Query), speculatively build the
+  /// predicted-next coverage levels' universes and grids on the
+  /// scheduler's lowest-priority lane. A correct prediction turns the
+  /// client's next request into a warm RCU read; a wrong one costs only
+  /// idle background cycles. Off by default: speculative builds perturb
+  /// the exact per-request build/hit accounting some callers assert on.
+  bool prefetch = false;
+  /// Speculative builds issued per observed foreground move (>= 1).
+  int prefetch_predictions = 2;
+  /// Directory for persistent warm-start snapshots (created by the
+  /// caller; empty = disabled). When set, foreground-built guidance grids
+  /// are snapshotted to disk in the background, and a cold Query()
+  /// schedules a foreground-lane reload of its session's snapshot —
+  /// validated by fingerprint, so stale or corrupt files degrade to a
+  /// cold build, never a wrong answer.
+  std::string snapshot_dir;
 };
 
 // QueryMode, QueryOptions, RequestStats, QueryHandle, QueryInfo,
@@ -223,15 +245,17 @@ class QueryService {
   Result<core::Session::CacheStats> SessionCacheStats(
       QueryHandle handle) const;
 
-  /// The shared session behind a handle; owned by the service, itself
-  /// fully thread-safe. Like every other per-handle op, refreshes the
-  /// handle first if the catalog has moved past the versions it was built
-  /// from.
-  [[deprecated(
-      "raw session() escape hatch: use Answers / SaveGuidance / "
-      "SessionCacheStats (or the request/response API in service/api.h) "
-      "instead")]]
-  Result<core::Session*> session(QueryHandle handle);
+  // --- Background work --------------------------------------------------
+
+  /// Blocks until the background scheduler is idle — no queued or running
+  /// warm-start load, refinement, snapshot write, or prefetch task. For
+  /// tests and benches that need a quiescent state before asserting; only
+  /// meaningful when no concurrent requests are racing.
+  void DrainBackgroundWork();
+
+  /// The scheduler's per-lane lifetime counters (submitted / ran /
+  /// dropped-superseded), for observability and tests.
+  BackgroundScheduler::Counters scheduler_counters() const;
 
   // --- Aggregate statistics --------------------------------------------
 
@@ -250,6 +274,9 @@ class QueryService {
     // Immutable after construction (safe to read without mu_).
     std::string sql;
     std::string value_column;
+    /// The registry cache key (also names this entry's warm-start
+    /// snapshot file). Immutable after construction.
+    std::string key;
     QueryMode mode = QueryMode::kExactOnly;
     double confidence = 0.0;
     /// True while a background refinement task for this entry is queued
@@ -271,6 +298,14 @@ class QueryService {
     /// In-flight stale-handle refresh concurrent users coalesce onto.
     /// Guarded by mu_.
     std::shared_ptr<FlightLatch> refresh_flight;
+    /// Prefetch ledger: speculative builds completed for this entry that
+    /// no foreground request has claimed yet, as (level, built-a-grid)
+    /// pairs. A foreground warm hit at a covered level consumes one entry
+    /// and counts a prefetch_hit. Guarded by prefetch_mu (never taken on
+    /// any path unless prefetch is enabled, so the warm path with
+    /// prefetch off is untouched).
+    std::mutex prefetch_mu;
+    std::vector<std::pair<int, bool>> prefetched;
   };
 
   /// The atomically published session-registry snapshot (RCU, like
@@ -344,8 +379,35 @@ class QueryService {
   }
 
   /// Queues a background exact refinement of an approx-first entry
-  /// (deduplicated per entry; never blocks the caller).
+  /// (deduplicated per entry; never blocks the caller). Rides the
+  /// scheduler's kRefinement lane with token 0: a refinement is owed
+  /// work, never superseded by catalog movement (Reconcile always builds
+  /// from the newest snapshot anyway).
   void ScheduleRefinement(SessionEntry* entry);
+
+  /// Enqueues speculative builds for the levels the predictor expects
+  /// next, on the kPrefetch lane with the current catalog version as the
+  /// validity token (a dataset mutation drops them unrun). `level` is the
+  /// observed move's coverage level (ignored for kQuery, which prefetches
+  /// the predicted initial levels). No-op unless options_.prefetch.
+  void SchedulePrefetch(SessionEntry* entry, study::MoveKind kind, int level);
+
+  /// Consumes a ledger entry covering a foreground warm hit at `level`
+  /// (want_store: the request needed a grid, not just a universe) and
+  /// counts the prefetch_hit. No-op unless options_.prefetch.
+  void CountPrefetchHit(SessionEntry* entry, int level, bool want_store,
+                        const RequestStats& rs);
+
+  /// Enqueues the foreground-lane warm-start reload of a cold session's
+  /// snapshot. No-op when snapshot_dir is unset.
+  void ScheduleWarmStartLoad(SessionEntry* entry);
+
+  /// Enqueues a background snapshot write of the grid serving `top_l`
+  /// (atomic write; best-effort). No-op when snapshot_dir is unset.
+  void ScheduleSnapshotWrite(SessionEntry* entry, int top_l);
+
+  /// Adds one to a ServiceStats counter in the calling thread's shard.
+  void Bump(int64_t ServiceStats::*field);
 
   /// Copies the published answer set's approximation onto the request
   /// stats (one wait-free answers() load).
@@ -381,10 +443,17 @@ class QueryService {
 
   mutable Sharded<StatShard> stat_shards_;
 
-  /// Runs background exact refinements. Declared LAST so it is destroyed
-  /// FIRST: shutdown quiesces in-flight refinement tasks (and drops queued
-  /// ones) while every member they touch is still alive.
-  BackgroundExecutor refine_pool_{1};
+  /// The prediction policy behind SchedulePrefetch (stateless, shared).
+  ExplorationPredictor predictor_;
+
+  /// The one home for all deferred work: warm-start loads (foreground
+  /// lane) > exact refinements (refinement lane) > speculative builds and
+  /// snapshot writes (prefetch lane, gated while foreground requests are
+  /// in flight, dropped when a catalog mutation supersedes their token).
+  /// Declared LAST so it is destroyed FIRST: shutdown quiesces in-flight
+  /// tasks (and drops queued ones) while every member they touch is still
+  /// alive.
+  BackgroundScheduler scheduler_;
 };
 
 }  // namespace qagview::service

@@ -1,0 +1,134 @@
+#include "study/trajectory.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/random.h"
+
+namespace qagview::study {
+
+namespace {
+
+int Clamp(int v, int lo, int hi) { return std::min(std::max(v, lo), hi); }
+
+/// One session: query, then a drill-down walk over coverage levels. The
+/// move mix mirrors how the paper's interface is driven: summaries
+/// dominate, expansions (Explore) follow a summary the user wants to
+/// inspect, and a user who settles into a level range switches to the
+/// precomputed grid (Guidance) to scrub (k, D) interactively.
+std::vector<Move> SimulateSession(Rng* rng, const TrajectoryOptions& options) {
+  std::vector<Move> session;
+  // Initial coverage: clustered around the interactive default (Params
+  // L = 8), truncated to the configured range.
+  int level = Clamp(static_cast<int>(rng->Gaussian(8.0, 2.0)),
+                    options.l_min, options.l_max);
+  session.push_back(Move{MoveKind::kQuery, level});
+  // The query counts as the first move; the walk fills the rest.
+  MoveKind kind = MoveKind::kSummarize;
+  for (int step = 1; step < options.moves_per_session; ++step) {
+    session.push_back(Move{kind, level});
+    // Where next: mostly one answer deeper (the paper's "what does the
+    // next answer add"), sometimes two; occasionally back out one, or
+    // double the coverage to widen the picture.
+    const double r = rng->Uniform01();
+    int delta;
+    if (r < 0.55) {
+      delta = 1;
+    } else if (r < 0.70) {
+      delta = 2;
+    } else if (r < 0.85) {
+      delta = -1;
+    } else {
+      delta = level;  // L -> 2L
+    }
+    level = Clamp(level + delta, options.l_min, options.l_max);
+    // What next: summaries dominate; an Explore expands the current
+    // summary; a Guidance precompute marks the switch to grid scrubbing.
+    const double k = rng->Uniform01();
+    if (k < 0.55) {
+      kind = MoveKind::kSummarize;
+    } else if (k < 0.80) {
+      kind = MoveKind::kExplore;
+    } else {
+      kind = MoveKind::kGuidance;
+    }
+  }
+  return session;
+}
+
+}  // namespace
+
+std::vector<std::vector<Move>> SimulateTrajectories(
+    const TrajectoryOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::vector<Move>> out;
+  out.reserve(static_cast<size_t>(options.num_sessions));
+  for (int i = 0; i < options.num_sessions; ++i) {
+    out.push_back(SimulateSession(&rng, options));
+  }
+  return out;
+}
+
+NextMoveModel NextMoveModel::FromTrajectories(
+    const std::vector<std::vector<Move>>& trajectories) {
+  std::map<int, int64_t> delta_counts[4];
+  std::map<int, int64_t> initial_counts;
+  for (const std::vector<Move>& session : trajectories) {
+    for (size_t i = 0; i + 1 < session.size(); ++i) {
+      const Move& cur = session[i];
+      const Move& next = session[i + 1];
+      if (cur.kind == MoveKind::kQuery) {
+        // The query row carries the level of the first summary request.
+        ++initial_counts[next.top_l];
+        continue;
+      }
+      const int delta = next.top_l - cur.top_l;
+      if (delta == 0) continue;  // same level: already cached, nothing to warm
+      ++delta_counts[static_cast<int>(cur.kind)][delta];
+    }
+  }
+  auto rank = [](const std::map<int, int64_t>& counts) {
+    std::vector<Ranked> out;
+    out.reserve(counts.size());
+    for (const auto& [value, count] : counts) out.push_back({value, count});
+    std::sort(out.begin(), out.end(), [](const Ranked& a, const Ranked& b) {
+      if (a.count != b.count) return a.count > b.count;
+      if (std::abs(a.value) != std::abs(b.value)) {
+        return std::abs(a.value) < std::abs(b.value);
+      }
+      return a.value > b.value;  // deeper before shallower on exact ties
+    });
+    return out;
+  };
+  NextMoveModel model;
+  for (int k = 0; k < 4; ++k) model.deltas_[k] = rank(delta_counts[k]);
+  model.initial_ = rank(initial_counts);
+  return model;
+}
+
+const NextMoveModel& NextMoveModel::Default() {
+  static const NextMoveModel* model =
+      new NextMoveModel(FromTrajectories(SimulateTrajectories()));
+  return *model;
+}
+
+std::vector<int> NextMoveModel::Top(const std::vector<Ranked>& ranked, int n) {
+  std::vector<int> out;
+  for (const Ranked& r : ranked) {
+    if (static_cast<int>(out.size()) >= n) break;
+    out.push_back(r.value);
+  }
+  return out;
+}
+
+std::vector<int> NextMoveModel::PredictDeltaL(MoveKind kind,
+                                              int max_predictions) const {
+  return Top(deltas_[static_cast<int>(kind)], max_predictions);
+}
+
+std::vector<int> NextMoveModel::PredictInitialL(int max_predictions) const {
+  return Top(initial_, max_predictions);
+}
+
+}  // namespace qagview::study

@@ -1,0 +1,102 @@
+#ifndef QAGVIEW_STUDY_TRAJECTORY_H_
+#define QAGVIEW_STUDY_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qagview::study {
+
+/// \file
+/// \brief Simulated exploration trajectories and the next-move model
+/// distilled from them — the study layer's export to the serving layer.
+///
+/// The paper's interactive session model (§3, Appendix A.3) makes the
+/// user's next move highly predictable: after summarizing the top-L
+/// answers, the user almost always drills into a *nearby* coverage level —
+/// one step deeper to see what the next answer adds, occasionally doubling
+/// L to widen the picture, or stepping back out — exactly the drill-down
+/// behaviour smart drill-down (Joglekar et al.) models for rule
+/// exploration. This module simulates such sessions with the same
+/// deterministic-Rng discipline as the §8 subject simulator and distills
+/// them into an empirical transition model over coverage levels, which
+/// the service layer's prefetcher consumes: it does not need to know *why*
+/// users move the way they do, only the ranked distribution of where they
+/// go next.
+
+/// The move kinds the serving layer distinguishes (they map 1:1 onto
+/// QueryService operations; Retrieve is excluded — it requires a prior
+/// Guidance, so the grid it reads is warm by construction).
+enum class MoveKind {
+  kQuery,      // session start: the aggregate query itself
+  kSummarize,  // one-off summary at L (Summarize / the paper's Figure 1b)
+  kExplore,    // summary plus expanded member lists (Figure 1c)
+  kGuidance,   // (k, D) grid precompute at L (§6.2)
+};
+
+/// One step of a simulated session: what the user did and at which
+/// coverage level. A kQuery move carries the L of the *first* summary the
+/// user asked for right after the query ran.
+struct Move {
+  MoveKind kind = MoveKind::kSummarize;
+  int top_l = 0;
+};
+
+struct TrajectoryOptions {
+  int num_sessions = 512;
+  int moves_per_session = 12;
+  /// Coverage levels stay within [l_min, l_max] (the paper's interactive
+  /// range: Params defaults to L = 8, and the §8 study conditions run
+  /// nearby levels).
+  int l_min = 2;
+  int l_max = 32;
+  uint64_t seed = 2018;
+};
+
+/// Simulates exploration sessions. Deterministic in the options (seed
+/// included), like every randomized component in the repo.
+std::vector<std::vector<Move>> SimulateTrajectories(
+    const TrajectoryOptions& options = TrajectoryOptions());
+
+/// \brief Empirical next-move model: for each move kind, the ranked
+/// distribution of the level change (delta-L) to the session's next move;
+/// plus the ranked initial levels right after a query.
+///
+/// Immutable after construction and therefore safe to share across
+/// threads; Default() is built once from SimulateTrajectories() defaults.
+class NextMoveModel {
+ public:
+  /// Tallies (kind at L) -> (next move at L') transitions over the
+  /// trajectories.
+  static NextMoveModel FromTrajectories(
+      const std::vector<std::vector<Move>>& trajectories);
+
+  /// The process-wide model distilled from the default simulation.
+  static const NextMoveModel& Default();
+
+  /// The most likely nonzero level changes following a move of `kind`,
+  /// most probable first, at most `max_predictions` entries. Delta 0 is
+  /// excluded by construction: a repeat at the same level is already
+  /// served by the caches a prefetcher would warm. Deterministic order:
+  /// frequency desc, then |delta| asc, then delta desc (deeper first).
+  std::vector<int> PredictDeltaL(MoveKind kind, int max_predictions) const;
+
+  /// The most likely first summarization levels right after a query,
+  /// most probable first, at most `max_predictions` entries.
+  std::vector<int> PredictInitialL(int max_predictions) const;
+
+ private:
+  struct Ranked {
+    int value = 0;
+    int64_t count = 0;
+  };
+  static std::vector<int> Top(const std::vector<Ranked>& ranked, int n);
+
+  // Indexed by static_cast<int>(MoveKind); each sorted by the order
+  // PredictDeltaL documents.
+  std::vector<Ranked> deltas_[4];
+  std::vector<Ranked> initial_;
+};
+
+}  // namespace qagview::study
+
+#endif  // QAGVIEW_STUDY_TRAJECTORY_H_

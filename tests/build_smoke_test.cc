@@ -89,6 +89,34 @@ namespace {
   }
 }
 
+// The README "Warm starts and prefetch" snippet, verbatim modulo the
+// elided SQL text. Compiling it pins the background-work surface the
+// README promises (ServiceOptions::snapshot_dir / prefetch,
+// DrainBackgroundWork, and the prefetch/warm-start counters). If this
+// function stops building, fix README.md to match.
+[[maybe_unused]] void WarmStartPrefetchSnippetFromReadme() {
+  service::ServiceOptions options;
+  options.snapshot_dir = "snapshots";  // persistent warm starts ("" = off)
+  options.prefetch = true;             // speculate on predicted next moves
+  service::QueryService svc(options);
+  svc.RegisterCsvFile("ratings", "ratings.csv");
+  auto q = svc.Query("SELECT gender, avg(rating) AS val "
+                     "FROM ratings GROUP BY gender", "val");
+  // A previous lifetime's guidance grid for this query reloads in the
+  // background, validated by content fingerprint — a stale or corrupt
+  // snapshot means a cold build, never a wrong answer. And after every
+  // foreground move, the predicted next coverage levels are built
+  // speculatively: a correct prediction turns the client's next request
+  // into a warm lock-free read, bit-identical to building on demand.
+  auto s = svc.Summarize(q->handle, {/*k=*/4, /*L=*/8, /*D=*/2});
+  svc.Guidance(q->handle, /*L=*/8);  // snapshotted to disk in the background
+  svc.DrainBackgroundWork();         // quiesce before asserting (tests/benches)
+  (void)svc.stats().prefetch_issued;
+  (void)svc.stats().prefetch_hits;
+  (void)svc.stats().warm_start_loads;
+  (void)s;
+}
+
 // The HTTP front end the README "Serve it over HTTP" section promises —
 // the quickstart itself is shell (curl against qagview_server), so this
 // pins the underlying C++ surface it is built on: server options, the

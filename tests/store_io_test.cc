@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -114,6 +115,112 @@ TEST(StoreIoTest, RejectsGarbageAndTruncation) {
       DeserializeSolutionStore(&inst.u, text.substr(0, text.size() / 2))
           .ok());
   EXPECT_FALSE(DeserializeSolutionStore(nullptr, text).ok());
+}
+
+TEST(StoreIoTest, RejectsHostileHeadersBeforeDoingWork) {
+  // Untrusted-disk hardening: counts and coordinates are range-checked
+  // before any narrowing cast or allocation, so a lying header is a clean
+  // InvalidArgument, never unbounded work or a crash.
+  Instance inst = MakeInstance(17, 60, 4, 3, 10);
+  auto expect_rejected = [&](const std::string& text, const char* label) {
+    auto result = DeserializeSolutionStore(&inst.u, text);
+    EXPECT_FALSE(result.ok()) << label;
+  };
+  // Counts far beyond the structural ceilings.
+  expect_rejected("qagview-store 1 99999999999 8 4 3\n", "huge L");
+  expect_rejected("qagview-store 1 10 99999999999 4 3\n", "huge k_max");
+  expect_rejected("qagview-store 1 10 8 99999999 3\n", "huge num_attrs");
+  expect_rejected("qagview-store 1 10 8 4 99999999\n", "huge num_d");
+  // Negative and zero where impossible.
+  expect_rejected("qagview-store 1 -1 8 4 3\n", "negative L");
+  expect_rejected("qagview-store 1 0 8 4 3\n", "zero L");
+  expect_rejected("qagview-store 1 10 8 4 -1\n", "negative num_d");
+  // Per-D block lying about its shape.
+  expect_rejected(
+      "qagview-store 1 10 8 4 1\nd 2 states 99999999999 intervals 0\n",
+      "huge state count");
+  expect_rejected(
+      "qagview-store 1 10 8 4 1\nd 99 states 1 intervals 0\ns 1 0.5\n",
+      "D beyond num_attrs");
+  expect_rejected(
+      "qagview-store 1 10 8 4 1\nd 2 states 1 intervals 999999999999\n"
+      "s 1 0.5\n",
+      "huge interval count");
+  // Non-finite state values are damage, not data.
+  expect_rejected(
+      "qagview-store 1 10 8 4 1\nd 2 states 1 intervals 0\ns 1 nan\n",
+      "NaN state value");
+  expect_rejected(
+      "qagview-store 1 10 8 4 1\nd 2 states 1 intervals 0\ns 1 inf\n",
+      "infinite state value");
+  // Interval coordinates outside [1, k_max ceiling].
+  expect_rejected(
+      "qagview-store 1 10 8 4 1\nd 2 states 1 intervals 1\ns 1 0.5\n"
+      "i 0 5 * * * *\n",
+      "zero interval lo");
+  expect_rejected(
+      "qagview-store 1 10 8 4 1\nd 2 states 1 intervals 1\ns 1 0.5\n"
+      "i 1 99999999999 * * * *\n",
+      "huge interval hi");
+  // Attribute codes must be non-negative int32.
+  expect_rejected(
+      "qagview-store 1 10 8 4 1\nd 2 states 1 intervals 1\ns 1 0.5\n"
+      "i 1 5 -7 * * *\n",
+      "negative attribute code");
+  expect_rejected(
+      "qagview-store 1 10 8 4 1\nd 2 states 1 intervals 1\ns 1 0.5\n"
+      "i 1 5 99999999999 * * *\n",
+      "overflowing attribute code");
+}
+
+TEST(StoreIoTest, BitFlipCorpusNeverCrashesOrCorrupts) {
+  // Flip one byte at a spread of positions across a real serialized store.
+  // Every variant must either fail cleanly or parse into a store whose
+  // retrievable solutions are well-formed — no crash, no partial store.
+  Instance inst = MakeInstance(19, 60, 4, 3, 10);
+  SolutionStore store = MakeStore(inst, 10);
+  const std::string text = SerializeSolutionStore(store);
+  const size_t step = text.size() / 97 + 1;
+  int parsed = 0, rejected = 0;
+  for (size_t pos = 0; pos < text.size(); pos += step) {
+    for (char flip : {char(0x01), char(0x10)}) {
+      std::string damaged = text;
+      damaged[pos] = static_cast<char>(damaged[pos] ^ flip);
+      auto loaded = DeserializeSolutionStore(&inst.u, damaged);
+      if (!loaded.ok()) {
+        ++rejected;
+        continue;
+      }
+      ++parsed;
+      // A flip can land in a value digit and still parse; the store must
+      // nonetheless be structurally sound end to end.
+      for (int d : loaded->d_values()) {
+        auto min_k = loaded->MinK(d);
+        ASSERT_TRUE(min_k.ok());
+        auto solution = loaded->Retrieve(d, *min_k);
+        ASSERT_TRUE(solution.ok()) << "pos " << pos;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0) << "corpus too small to hit a structural byte";
+  (void)parsed;  // benign flips (value digits) are allowed to parse
+}
+
+TEST(StoreIoTest, PeekValidatesVersionAndRange) {
+  Instance inst = MakeInstance(23, 60, 4, 3, 10);
+  SolutionStore store = MakeStore(inst, 10);
+  std::string path = testing::TempDir() + "/qagview_store_peek.txt";
+  ASSERT_TRUE(SaveSolutionStore(store, path).ok());
+  auto l = PeekSolutionStoreL(path);
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(*l, 10);
+
+  std::ofstream(path, std::ios::trunc) << "qagview-store 9 10 8 4 3\n";
+  EXPECT_FALSE(PeekSolutionStoreL(path).ok()) << "wrong version must fail";
+  std::ofstream(path, std::ios::trunc)
+      << "qagview-store 1 99999999999 8 4 3\n";
+  EXPECT_FALSE(PeekSolutionStoreL(path).ok()) << "implausible L must fail";
+  EXPECT_FALSE(PeekSolutionStoreL(path + ".absent").ok());
 }
 
 TEST(StoreIoTest, RejectsForeignUniverse) {

@@ -6,6 +6,7 @@
 #include "core/hybrid.h"
 #include "datagen/answers.h"
 #include "study/study.h"
+#include "study/trajectory.h"
 #include "test_util.h"
 
 namespace qagview::study {
@@ -155,6 +156,84 @@ TEST(StudySimulatorTest, PaperDirectionalFindings) {
   // Patterns+members is near-perfect for both (>= 0.85).
   EXPECT_GE(ours_result.patterns_members.t_accuracy.mean, 0.85);
   EXPECT_GE(dt_result.patterns_members.t_accuracy.mean, 0.85);
+}
+
+// --- Exploration trajectories and the next-move model (the export the
+// service-layer prefetcher consumes). ----------------------------------------
+
+TEST(TrajectoryTest, SimulationIsDeterministicInTheSeed) {
+  TrajectoryOptions options;
+  options.num_sessions = 32;
+  auto a = SimulateTrajectories(options);
+  auto b = SimulateTrajectories(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].size(), b[s].size());
+    for (size_t i = 0; i < a[s].size(); ++i) {
+      EXPECT_EQ(a[s][i].kind, b[s][i].kind);
+      EXPECT_EQ(a[s][i].top_l, b[s][i].top_l);
+    }
+  }
+  options.seed = 4242;
+  auto c = SimulateTrajectories(options);
+  bool any_different = false;
+  for (size_t s = 0; s < a.size() && !any_different; ++s) {
+    for (size_t i = 0; i < a[s].size(); ++i) {
+      if (a[s][i].top_l != c[s][i].top_l) {
+        any_different = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_different) << "the seed must actually matter";
+}
+
+TEST(TrajectoryTest, SessionsStartWithQueryAndStayInRange) {
+  TrajectoryOptions options;
+  options.num_sessions = 64;
+  auto trajectories = SimulateTrajectories(options);
+  ASSERT_EQ(trajectories.size(), 64u);
+  for (const auto& session : trajectories) {
+    ASSERT_EQ(session.size(), static_cast<size_t>(options.moves_per_session));
+    EXPECT_EQ(session[0].kind, MoveKind::kQuery);
+    for (size_t i = 1; i < session.size(); ++i) {
+      EXPECT_NE(session[i].kind, MoveKind::kQuery)
+          << "one query per session";
+      EXPECT_GE(session[i].top_l, options.l_min);
+      EXPECT_LE(session[i].top_l, options.l_max);
+    }
+  }
+}
+
+TEST(TrajectoryTest, ModelPredictsDrillDownFirst) {
+  const NextMoveModel& model = NextMoveModel::Default();
+  for (MoveKind kind :
+       {MoveKind::kSummarize, MoveKind::kExplore, MoveKind::kGuidance}) {
+    std::vector<int> deltas = model.PredictDeltaL(kind, 3);
+    ASSERT_FALSE(deltas.empty());
+    // The dominant transition in the simulated sessions is one step
+    // deeper; zero is excluded by construction.
+    EXPECT_EQ(deltas[0], 1);
+    for (int delta : deltas) EXPECT_NE(delta, 0);
+  }
+  std::vector<int> initial = model.PredictInitialL(3);
+  ASSERT_FALSE(initial.empty());
+  // Initial levels concentrate around the Params default (L = 8).
+  EXPECT_GE(initial[0], 5);
+  EXPECT_LE(initial[0], 11);
+}
+
+TEST(TrajectoryTest, PredictionsAreStableAcrossCalls) {
+  const NextMoveModel& model = NextMoveModel::Default();
+  EXPECT_EQ(model.PredictDeltaL(MoveKind::kGuidance, 4),
+            model.PredictDeltaL(MoveKind::kGuidance, 4));
+  EXPECT_EQ(model.PredictInitialL(4), model.PredictInitialL(4));
+  // max_predictions truncates, never reorders.
+  auto four = model.PredictDeltaL(MoveKind::kSummarize, 4);
+  auto two = model.PredictDeltaL(MoveKind::kSummarize, 2);
+  ASSERT_LE(two.size(), four.size());
+  for (size_t i = 0; i < two.size(); ++i) EXPECT_EQ(two[i], four[i]);
+  EXPECT_TRUE(model.PredictDeltaL(MoveKind::kSummarize, 0).empty());
 }
 
 }  // namespace

@@ -10,10 +10,10 @@ Usage (from the repo root, after building with -DQAGVIEW_COVERAGE=ON and
 running ctest in <build-dir>):
 
     python3 tools/coverage_summary.py --build-dir build-cov [--source src]
-            [--output coverage.txt]
+            [--output coverage.txt] [--fail-under 90]
 
-Exit status: 0 on success (coverage is reported, not gated — see
-CONTRIBUTING.md), 2 when no coverage data is found.
+Exit status: 0 on success, 1 when --fail-under is given and total line
+coverage sits below it (the CI gate), 2 when no coverage data is found.
 """
 
 import argparse
@@ -69,6 +69,10 @@ def main():
                         help="first-party prefix to report (default: src)")
     parser.add_argument("--output", default=None,
                         help="also write the table to this file")
+    parser.add_argument("--fail-under", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 1 when total line coverage is below PCT "
+                             "(default: report only)")
     args = parser.parse_args()
 
     gcda = find_gcda(args.build_dir)
@@ -109,6 +113,14 @@ def main():
         with open(args.output, "w", encoding="utf-8") as f:
             f.write(table + "\n")
         print(f"\nwrote {args.output}")
+    if args.fail_under is not None:
+        pct = 100.0 * grand_covered / grand_total
+        if pct < args.fail_under:
+            print(f"\ncoverage gate: FAILED — {pct:.1f}% < "
+                  f"--fail-under {args.fail_under:g}%", file=sys.stderr)
+            return 1
+        print(f"\ncoverage gate: OK ({pct:.1f}% >= "
+              f"{args.fail_under:g}%)")
     return 0
 
 
